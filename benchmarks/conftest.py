@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Every benchmark writes its rendered table to ``benchmarks/results/`` so
+the regenerated figures survive the run (pytest captures stdout).  Set
+``REPRO_BENCH_FULL=1`` to run the paper-scale grids instead of the
+default laptop-sized ones.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """Whether the paper-scale grids were requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_table(results_dir):
+    """Return a writer that stores a rendered table under results/."""
+
+    def write(name: str, table: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(table + "\n")
+
+    return write

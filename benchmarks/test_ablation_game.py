@@ -1,0 +1,70 @@
+"""Ablation: Tabu search vs exhaustive best responses.
+
+The paper adopts Tabu search as its discrete Tâtonnement substitute; this
+bench verifies that on the Fig. 7 scenario the heuristic (a) reaches the
+same equilibrium welfare as exhaustive best responses and (b) spends
+fewer model evaluations per round — the whole point of using it.
+"""
+
+from repro.bench.scenarios import fig7_scenario
+from repro.bench.tables import render_table
+from repro.core.framework import SCShare
+from repro.game.tabu import TabuSearch
+from repro.perf.pooled import PooledModel
+
+
+def run_comparison():
+    scenario = fig7_scenario("spread").with_price_ratio(0.5)
+    cache: dict = {}
+    outcomes = {}
+    for method, tabu in (
+        ("exhaustive", None),
+        ("tabu_d2", TabuSearch(distance=2, tenure=4, max_moves=30)),
+        ("tabu_d4", TabuSearch(distance=4, tenure=4, max_moves=30)),
+    ):
+        runner = SCShare(
+            scenario,
+            model=PooledModel(),
+            gamma=0.0,
+            best_response="exhaustive" if tabu is None else "tabu",
+            tabu=tabu,
+            params_cache=dict(cache),  # fresh copy: count evals per method
+        )
+        result = runner.game.run()
+        welfare = runner.evaluator.welfare(result.equilibrium, 0.0)
+        outcomes[method] = {
+            "equilibrium": result.equilibrium,
+            "welfare": welfare,
+            "iterations": result.iterations,
+            "evaluations": result.model_evaluations,
+            "converged": result.converged,
+        }
+    return outcomes
+
+
+def test_tabu_vs_exhaustive(benchmark, save_table):
+    outcomes = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    save_table(
+        "ablation_game",
+        render_table(
+            ["method", "equilibrium", "welfare", "rounds", "model evals"],
+            [
+                (
+                    name,
+                    str(o["equilibrium"]),
+                    o["welfare"],
+                    o["iterations"],
+                    o["evaluations"],
+                )
+                for name, o in outcomes.items()
+            ],
+            title="Ablation — best-response search strategies",
+        ),
+    )
+    assert all(o["converged"] for o in outcomes.values())
+    exhaustive = outcomes["exhaustive"]
+    for name in ("tabu_d2", "tabu_d4"):
+        # Tabu may stop at a different (local) equilibrium, but it must
+        # retain most of the welfare and must not cost more evaluations.
+        assert outcomes[name]["welfare"] >= 0.5 * exhaustive["welfare"]
+        assert outcomes[name]["evaluations"] <= exhaustive["evaluations"]

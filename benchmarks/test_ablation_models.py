@@ -1,0 +1,67 @@
+"""Ablation: the accuracy/cost trade-off across all four performance models.
+
+DESIGN.md calls out the model hierarchy (exact -> approximate -> pooled)
+as the central design choice; this bench quantifies what each step buys.
+On a common 2-SC scenario it measures wall-clock time and error against
+the exact chain for every estimator.
+"""
+
+import time
+
+from repro.bench.tables import render_table
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.perf.approximate import ApproximateModel
+from repro.perf.detailed import DetailedModel
+from repro.perf.pooled import PooledModel
+from repro.perf.simulation import SimulationModel
+
+
+def scenario():
+    return FederationScenario((
+        SmallCloud(name="a", vms=10, arrival_rate=7.0, shared_vms=5),
+        SmallCloud(name="b", vms=10, arrival_rate=8.0, shared_vms=3),
+    ))
+
+
+def run_ablation():
+    models = {
+        "detailed": DetailedModel(),
+        "approximate": ApproximateModel(),
+        "pooled": PooledModel(),
+        "simulation": SimulationModel(horizon=30_000.0, warmup=1_000.0, seed=7),
+    }
+    timings = {}
+    results = {}
+    for name, model in models.items():
+        start = time.perf_counter()
+        results[name] = model.evaluate(scenario())
+        timings[name] = time.perf_counter() - start
+    return timings, results
+
+
+def test_model_ablation(benchmark, save_table):
+    timings, results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    exact = results["detailed"]
+    rows = []
+    for name in ("detailed", "approximate", "pooled", "simulation"):
+        for i, p in enumerate(results[name]):
+            error = abs(p.net_borrowed - exact[i].net_borrowed)
+            rows.append((name, f"sc{i}", timings[name], p.lent_mean, p.borrowed_mean, error))
+    save_table(
+        "ablation_models",
+        render_table(
+            ["model", "sc", "seconds", "Ibar", "Obar", "abs err(O-I)"],
+            rows,
+            title="Ablation — accuracy/cost across performance models",
+        ),
+    )
+    # The hierarchy's reason to exist: each approximation level is at
+    # least ~5x faster than the one above it on this scenario.
+    assert timings["approximate"] < timings["detailed"]
+    assert timings["pooled"] < timings["approximate"]
+    # And the approximations stay within their documented bands.
+    for i in range(2):
+        approx_err = abs(results["approximate"][i].net_borrowed - exact[i].net_borrowed)
+        assert approx_err < 0.35
+        sim_err = abs(results["simulation"][i].net_borrowed - exact[i].net_borrowed)
+        assert sim_err < 0.1  # simulation is unbiased, just noisy

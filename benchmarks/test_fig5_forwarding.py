@@ -1,0 +1,54 @@
+"""Fig. 5 benchmark: forwarding probability vs utilization.
+
+Regenerates the four curves (N in {10, 100} x Q in {0.2, 0.5}) from the
+analytic model, validates a subset against simulation, and asserts the
+paper's qualitative claims (monotonicity in load, ordering in Q and N).
+"""
+
+from conftest import full_scale
+
+from repro.bench import fig5
+
+
+def test_fig5_model_curves(benchmark, save_table):
+    """Analytic curves for all four configurations (the figure's lines)."""
+    utilizations = (
+        (0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95)
+        if full_scale()
+        else (0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+    )
+    rows = benchmark.pedantic(
+        fig5.run_fig5,
+        kwargs={"utilizations": utilizations, "with_simulation": False},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig5_model", fig5.render(rows))
+    assert fig5.check_shape(rows) == []
+
+
+def test_fig5_simulation_validation(benchmark, save_table):
+    """Model vs simulation agreement (the figure's markers)."""
+    horizon = 40_000.0 if full_scale() else 8_000.0
+    rows = benchmark.pedantic(
+        fig5.run_fig5,
+        kwargs={
+            "utilizations": (0.7, 0.9),
+            "horizon": horizon,
+            "with_simulation": True,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig5_validation", fig5.render(rows))
+    for row in rows:
+        # The paper's model tracks simulation closely; at these horizons
+        # a 20% relative band (with an absolute floor for near-zero
+        # probabilities) is comfortably met.
+        assert row.relative_error < 0.2 or (
+            row.simulated_forward_probability < 1e-3
+            and abs(
+                row.model_forward_probability - row.simulated_forward_probability
+            )
+            < 2e-3
+        )

@@ -1,0 +1,33 @@
+"""Fig. 6e/6f benchmark: approximate vs simulation, 100-VM SCs.
+
+Two 100-VM SCs each sharing 10 VMs; the other SC runs at utilization 0.8
+or 0.9 while the target's load sweeps.  Ground truth: the simulator.
+"""
+
+from conftest import full_scale
+
+from repro.bench import fig6
+
+
+def test_fig6_100vm_validation(benchmark, save_table):
+    if full_scale():
+        others, rates, horizon = (0.8, 0.9), (60.0, 70.0, 80.0, 90.0), 50_000.0
+    else:
+        others, rates, horizon = (0.8,), (70.0,), 8_000.0
+    rows = benchmark.pedantic(
+        fig6.run_fig6_100vm,
+        kwargs={
+            "other_utilizations": others,
+            "target_rates": rates,
+            "horizon": horizon,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig6_100vm", fig6.render(rows))
+    for row in rows:
+        # Paper claim: the difference Obar - Ibar stays within 20% of the
+        # exact solution below target utilization 0.9.
+        assert row.net_error < 0.6
+        assert row.approx.lent_mean <= 10.0 + 1e-9
+        assert row.approx.borrowed_mean <= 10.0 + 1e-9

@@ -1,0 +1,36 @@
+"""Fig. 6c/6d benchmark: approximate vs simulation on the 10-SC federation.
+
+Nine fixed SCs (shares 3,3,3,2,2,2,1,1,1; loads 7,7,7,8,8,8,9,9,9) plus
+the swept target.  The exact chain has billions of states (the paper's
+own point), so the simulator is ground truth.  This is the expensive
+validation — the default grid is one point per panel; set
+``REPRO_BENCH_FULL=1`` for the paper's sweep.
+"""
+
+from conftest import full_scale
+
+from repro.bench import fig6
+
+
+def test_fig6_10sc_validation(benchmark, save_table):
+    if full_scale():
+        shares, rates, horizon = (1, 5), (5.0, 6.0, 7.0, 8.0), 100_000.0
+    else:
+        shares, rates, horizon = (1,), (7.0,), 20_000.0
+    rows = benchmark.pedantic(
+        fig6.run_fig6_10sc,
+        kwargs={
+            "target_shares": shares,
+            "target_rates": rates,
+            "horizon": horizon,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig6_10sc", fig6.render(rows))
+    for row in rows:
+        # Paper claim: within 10% below rho=0.8, within 20% below 0.9 for
+        # the difference; the absolute-floored relative error used here
+        # keeps near-zero denominators from exploding the metric.
+        assert row.net_error < 0.6
+        assert row.approx.borrowed_mean <= 18.0 + 1e-9  # pool bound

@@ -1,0 +1,93 @@
+"""Fig. 7 benchmark: market efficiency vs the price ratio C^G/C^P.
+
+Reproduces all four panels (load mixes x UF0/UF1) with the fast pooled
+performance model (see DESIGN.md: performance caching makes the whole
+sweep share one set of model solutions).  Asserts the paper's qualitative
+market findings:
+
+- a federation forms across the low/middle price range,
+- UF1 federations share far fewer VMs than UF0 federations,
+- equilibria verify as pure-strategy Nash points.
+"""
+
+from conftest import full_scale
+
+from repro.bench import fig7
+from repro.bench.scenarios import fig7_scenario
+
+
+def _ratios():
+    if full_scale():
+        return None  # the paper's full (0, 1] grid
+    return [0.1, 0.3, 0.5, 0.7, 0.9]
+
+
+def _step():
+    return 1 if full_scale() else 2
+
+
+def test_fig7a_spread_loads_uf0(benchmark, save_table):
+    rows = benchmark.pedantic(
+        fig7.run_fig7,
+        kwargs={"loads": "spread", "gamma": 0.0, "ratios": _ratios(), "strategy_step": _step()},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig7a_spread_uf0", fig7.render(rows))
+    assert fig7.check_shape(rows) == []
+    # UF0 SCs are incentivized to share: mid-range prices sustain sharing.
+    mid = [r for r in rows if 0.2 <= r.price_ratio <= 0.6]
+    assert any(sum(r.equilibrium) >= 3 for r in mid)
+
+
+def test_fig7b_spread_loads_uf1(benchmark, save_table):
+    rows = benchmark.pedantic(
+        fig7.run_fig7,
+        kwargs={"loads": "spread", "gamma": 1.0, "ratios": _ratios(), "strategy_step": 1},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig7b_spread_uf1", fig7.render(rows))
+    # Paper: under UF1 the SCs share only ~1 VM regardless of price.
+    formed = [r for r in rows if r.federation_formed]
+    assert formed, "UF1 federation should form somewhere"
+    for r in formed:
+        assert max(r.equilibrium) <= 3
+
+
+def test_fig7c_high_loads_uf0(benchmark, save_table):
+    rows = benchmark.pedantic(
+        fig7.run_fig7,
+        kwargs={"loads": "high", "gamma": 0.0, "ratios": _ratios(), "strategy_step": _step()},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig7c_high_uf0", fig7.render(rows))
+    assert fig7.check_shape(rows) == []
+
+
+def test_fig7d_medium_loads_uf1(benchmark, save_table):
+    rows = benchmark.pedantic(
+        fig7.run_fig7,
+        kwargs={"loads": "medium", "gamma": 1.0, "ratios": _ratios(), "strategy_step": 1},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig7d_medium_uf1", fig7.render(rows))
+    # Medium loads with UF1: the federation exists at low prices but is
+    # fragile at high ones (paper: breaks beyond ~0.8).
+    low = [r for r in rows if r.price_ratio <= 0.5]
+    assert any(r.federation_formed for r in low)
+
+
+def test_fig7_equilibria_are_nash(save_table):
+    """Spot-verify the reported equilibria against unilateral deviations."""
+    from repro.core.framework import SCShare
+    from repro.game.equilibrium import is_nash_equilibrium
+
+    scenario = fig7_scenario("spread").with_price_ratio(0.5)
+    runner = SCShare(scenario, gamma=0.0, strategy_step=2)
+    outcome = runner.run(alpha=0.0, optimum_method="ascent")
+    assert is_nash_equilibrium(
+        runner.evaluator, outcome.equilibrium, runner.strategy_spaces
+    )

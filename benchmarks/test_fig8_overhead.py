@@ -1,0 +1,50 @@
+"""Fig. 8 benchmark: computational overhead of the models.
+
+8a: approximate-model build+solve time as the federation grows — the
+paper's claim is feasibility (tens of seconds, polynomial growth) where
+the exact chain would need billions of states.
+8b: game rounds to equilibrium vs federation size and Tabu distance —
+the paper's claim is that iterations *shrink* as the federation grows.
+"""
+
+from conftest import full_scale
+
+from repro.bench import fig8
+
+
+def test_fig8a_model_time_growth(benchmark, save_table):
+    sizes = (2, 3, 4, 6, 8, 10) if full_scale() else (2, 3, 4, 6)
+    rows = benchmark.pedantic(
+        fig8.run_fig8a, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    save_table("fig8a_model_time", fig8.render_8a(rows))
+    # State counts (and hence cost) grow with K through the shared pool.
+    states = [r.states for r in rows]
+    assert states == sorted(states)
+    # Feasibility: every size solves in bounded time on a laptop.
+    assert all(r.seconds < 300.0 for r in rows)
+
+
+def test_fig8b_game_iterations(benchmark, save_table):
+    if full_scale():
+        sizes, vms = (2, 3, 4, 6, 8), 20
+    else:
+        sizes, vms = (2, 3, 4), 10
+    rows = benchmark.pedantic(
+        fig8.run_fig8b,
+        kwargs={"sizes": sizes, "tabu_distances": (1, 2, 4), "vms": vms},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig8b_game_iterations", fig8.render_8b(rows))
+    assert all(r.converged for r in rows)
+    # Paper's shape: bigger federations need no more rounds than the
+    # 2-SC case (each individual decision matters less).
+    by_distance: dict[int, list] = {}
+    for r in rows:
+        by_distance.setdefault(r.tabu_distance, []).append(r)
+    for distance, group in by_distance.items():
+        group.sort(key=lambda r: r.n_clouds)
+        assert group[-1].iterations <= group[0].iterations + 2, (
+            f"iterations grew with K at tabu distance {distance}"
+        )

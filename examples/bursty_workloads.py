@@ -1,0 +1,85 @@
+"""Sect. VII extension: how bursty demand changes the value of federating.
+
+The paper's base model assumes Poisson arrivals and exponential service;
+Sect. VII sketches Markov-modulated arrivals and phase-type service as
+extensions.  Both are implemented in this library and plug straight into
+the simulator.  This example measures how federation value (the cut in
+public-cloud forwarding) grows as demand gets burstier — bursty SCs
+rarely peak at the same instant, which is exactly when sharing helps.
+
+Run:  python examples/bursty_workloads.py     (~1 minute)
+"""
+
+import numpy as np
+
+from repro import FederationScenario, SmallCloud
+from repro.sim.federation import FederationSimulator
+from repro.workload.arrivals import MMPPProcess
+from repro.workload.phase_type import fit_two_moment
+
+
+def make_mmpp(mean_rate: float, burst_factor: float, seed: int) -> MMPPProcess:
+    """Two-phase MMPP with the given mean rate; higher factor = burstier."""
+    low = mean_rate / burst_factor
+    high = mean_rate * (2.0 - 1.0 / burst_factor)
+    return MMPPProcess(
+        rates=[low, high],
+        generator=[[-0.05, 0.05], [0.05, -0.05]],
+        rng=np.random.default_rng(seed),
+    )
+
+
+def total_forwarding(scenario, arrival_processes=None, service=None, seed=0):
+    simulator = FederationSimulator(
+        scenario,
+        seed=seed,
+        arrival_processes=arrival_processes,
+        service_distributions=service,
+    )
+    metrics = simulator.run(horizon=40_000.0, warmup=2_000.0)
+    return sum(m.forward_rate for m in metrics)
+
+
+def main() -> None:
+    rates = (7.0, 8.0)
+    isolated = FederationScenario((
+        SmallCloud(name="a", vms=10, arrival_rate=rates[0]),
+        SmallCloud(name="b", vms=10, arrival_rate=rates[1]),
+    ))
+    federated = isolated.with_sharing((5, 5))
+
+    print("arrival burstiness vs federation value (forwarded req/s)")
+    print(f"{'burst factor':>13} {'isolated':>9} {'federated':>10} {'saved':>7}")
+    for factor in (1.0, 2.0, 4.0):
+        if factor == 1.0:
+            processes_iso = processes_fed = None  # plain Poisson
+        else:
+            processes_iso = [
+                make_mmpp(rates[0], factor, 1), make_mmpp(rates[1], factor, 2)
+            ]
+            processes_fed = [
+                make_mmpp(rates[0], factor, 1), make_mmpp(rates[1], factor, 2)
+            ]
+        alone = total_forwarding(isolated, processes_iso, seed=3)
+        together = total_forwarding(federated, processes_fed, seed=3)
+        print(f"{factor:>13.1f} {alone:>9.3f} {together:>10.3f} {alone - together:>7.3f}")
+
+    print()
+    print("service variability (SCV) vs federation value, Poisson arrivals")
+    print(f"{'SCV':>5} {'isolated':>9} {'federated':>10} {'saved':>7}")
+    for scv in (0.25, 1.0, 4.0):
+        dist = fit_two_moment(mean=1.0, scv=scv)
+        alone = total_forwarding(isolated, service=[dist, dist], seed=4)
+        together = total_forwarding(federated, service=[dist, dist], seed=4)
+        print(f"{scv:>5.2f} {alone:>9.3f} {together:>10.3f} {alone - together:>7.3f}")
+
+    print()
+    print(
+        "burstier demand forwards more in isolation and gains more from\n"
+        "the federation - the paper's motivation, quantified beyond its\n"
+        "exponential base model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: should three small clouds federate, and at what price?
+
+Three small clouds with different loads consider pooling spare VMs
+instead of buying overflow capacity from a public cloud.  This example
+runs the full SC-Share loop (performance model -> cost -> utility ->
+repeated game -> equilibrium) at one price setting and prints each SC's
+position.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FederationScenario, SCShare, SmallCloud
+
+
+def main() -> None:
+    # Each SC: N VMs, Poisson demand (lambda), exponential service
+    # (mu = 1), an SLA bound Q on waiting time, and a public-cloud price.
+    scenario = FederationScenario((
+        SmallCloud(name="boutique", vms=10, arrival_rate=5.8, sla_bound=0.2),
+        SmallCloud(name="campus", vms=10, arrival_rate=7.3, sla_bound=0.2),
+        SmallCloud(name="startup", vms=10, arrival_rate=8.4, sla_bound=0.2),
+    )).with_price_ratio(0.5)  # federation VMs cost half the public cloud
+
+    runner = SCShare(scenario, gamma=0.0)  # gamma=0: pure cost reduction (UF0)
+    outcome = runner.run(alpha=0.0)  # utilitarian welfare scoring
+
+    print(f"equilibrium sharing vector: {outcome.equilibrium}")
+    print(f"game rounds to converge:    {outcome.game.iterations}")
+    print(f"federation efficiency:      {outcome.efficiency:.2%}")
+    print()
+    header = f"{'SC':<10} {'S_i':>4} {'cost':>8} {'baseline':>9} {'saving':>8} {'utility':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in outcome.details:
+        print(
+            f"{row.name:<10} {row.shared_vms:>4} {row.cost:>8.4f} "
+            f"{row.baseline_cost:>9.4f} {row.cost_reduction:>8.4f} "
+            f"{row.utility:>9.4f}"
+        )
+    print()
+    savers = [r.name for r in outcome.details if r.cost_reduction > 0]
+    if savers:
+        print(f"every SC in {savers} pays less inside the federation than alone.")
+    else:
+        print("at this price nobody profits - the federation would not form.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so the
+PEP 660 editable-install path (which builds a wheel) is unavailable.  This
+shim lets ``pip install -e .`` fall back to the legacy ``setup.py develop``
+path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

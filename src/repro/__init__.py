@@ -1,0 +1,71 @@
+"""SC-Share: performance-driven resource sharing markets for small clouds.
+
+A full reproduction of Lin, Pal, Paolieri & Golubchik, *SC-Share:
+Performance Driven Resource Sharing Markets for the Small Cloud*
+(ICDCS 2017).
+
+Quickstart::
+
+    from repro import FederationScenario, SCShare, SmallCloud
+
+    scenario = FederationScenario((
+        SmallCloud(name="sc1", vms=10, arrival_rate=5.8),
+        SmallCloud(name="sc2", vms=10, arrival_rate=7.3),
+        SmallCloud(name="sc3", vms=10, arrival_rate=8.4),
+    )).with_price_ratio(0.5)
+    outcome = SCShare(scenario).run(alpha=0.0)
+    print(outcome.equilibrium, outcome.efficiency)
+
+Package map (details in DESIGN.md):
+
+- :mod:`repro.core` — configuration types and the SC-Share orchestrator.
+- :mod:`repro.perf` — exact / approximate / pooled / simulated
+  performance models (Sect. III).
+- :mod:`repro.market` — cost, utility, fairness, efficiency (Eq. 1-3).
+- :mod:`repro.game` — the repeated sharing game (Algorithm 1, Sect. IV).
+- :mod:`repro.sim` — the discrete-event ground-truth simulator.
+- :mod:`repro.markov`, :mod:`repro.queueing`, :mod:`repro.workload` —
+  substrates.
+"""
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # Heavier stacks load lazily so `import repro` stays cheap.
+    if name in {"SCShare", "SCShareOutcome"}:
+        from repro.core import framework
+
+        return getattr(framework, name)
+    if name in {
+        "ApproximateModel",
+        "DetailedModel",
+        "PerformanceParams",
+        "PooledModel",
+        "SimulationModel",
+    }:
+        import repro.perf as perf
+
+        return getattr(perf, name)
+    if name == "FederationSimulator":
+        from repro.sim.federation import FederationSimulator
+
+        return FederationSimulator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ApproximateModel",
+    "DetailedModel",
+    "FederationScenario",
+    "FederationSimulator",
+    "PerformanceParams",
+    "PooledModel",
+    "SCShare",
+    "SCShareOutcome",
+    "SimulationModel",
+    "SmallCloud",
+    "__version__",
+]

@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``solve SCENARIO.json`` — run the SC-Share market loop on a scenario
+  file (see :mod:`repro.core.serialization` for the format) and print the
+  equilibrium, per-SC positions, and federation efficiency as JSON.
+- ``sweep SCENARIO.json`` — sweep the price ratio and print the
+  recommended price region per fairness objective.
+- ``simulate SCENARIO.json`` — run the discrete-event simulator and print
+  per-SC performance metrics.
+
+All commands accept ``--model {pooled,approximate}`` where applicable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.serialization import load_scenario, outcome_to_dict
+
+
+def _build_model(name: str):
+    if name == "pooled":
+        from repro.perf.pooled import PooledModel
+
+        return PooledModel()
+    if name == "approximate":
+        from repro.perf.approximate import ApproximateModel
+
+        return ApproximateModel()
+    raise SystemExit(f"unknown model {name!r}")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.core.framework import SCShare
+
+    scenario = load_scenario(args.scenario)
+    if args.price_ratio is not None:
+        scenario = scenario.with_price_ratio(args.price_ratio)
+    runner = SCShare(
+        scenario,
+        model=_build_model(args.model),
+        gamma=args.gamma,
+        strategy_step=args.strategy_step,
+    )
+    outcome = runner.run(alpha=args.alpha, optimum_method="ascent")
+    print(json.dumps(outcome_to_dict(outcome), indent=2))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.framework import SCShare
+    from repro.market.pricing import price_ratio_grid
+    from repro.market.regions import analyze_regions
+    from repro.bench.fig7 import ALPHAS, Fig7Row
+
+    scenario = load_scenario(args.scenario)
+    cache: dict = {}
+    rows = []
+    for ratio in price_ratio_grid(points=args.points):
+        runner = SCShare(
+            scenario.with_price_ratio(ratio),
+            model=_build_model(args.model),
+            gamma=args.gamma,
+            strategy_step=args.strategy_step,
+            params_cache=cache,
+        )
+        efficiency = {}
+        welfare = {}
+        equilibrium: tuple[int, ...] = ()
+        iterations = 0
+        for name, alpha in ALPHAS.items():
+            outcome = runner.run(alpha=alpha, optimum_method="ascent")
+            efficiency[name] = outcome.efficiency
+            welfare[name] = outcome.welfare
+            equilibrium = outcome.equilibrium
+            iterations = outcome.game.iterations
+        rows.append(
+            Fig7Row(
+                loads="custom",
+                gamma=args.gamma,
+                price_ratio=ratio,
+                equilibrium=equilibrium,
+                iterations=iterations,
+                efficiency=efficiency,
+                welfare=welfare,
+            )
+        )
+    report = analyze_regions(rows)
+    output = {
+        "regions": [
+            {
+                "objective": r.objective,
+                "best_ratio": r.best_ratio,
+                "range": [r.low, r.high],
+                "efficiency": r.efficiency,
+            }
+            for r in report.regions
+        ],
+        "collapse_ratios": list(report.collapse_ratios),
+    }
+    print(json.dumps(output, indent=2))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.federation import FederationSimulator
+
+    scenario = load_scenario(args.scenario)
+    simulator = FederationSimulator(scenario, seed=args.seed)
+    metrics = simulator.run(horizon=args.horizon, warmup=args.horizon * 0.05)
+    output = [
+        {
+            "name": cloud.name,
+            "lent_mean": m.lent_mean,
+            "borrowed_mean": m.borrowed_mean,
+            "forward_rate": m.forward_rate,
+            "forward_probability": m.forward_probability,
+            "utilization": m.utilization,
+            "mean_wait": m.mean_wait,
+        }
+        for cloud, m in zip(scenario, metrics)
+    ]
+    print(json.dumps(output, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="run the market loop to equilibrium")
+    solve.add_argument("scenario", help="scenario JSON file")
+    solve.add_argument("--model", default="pooled", choices=["pooled", "approximate"])
+    solve.add_argument("--gamma", type=float, default=0.0)
+    solve.add_argument("--alpha", type=float, default=0.0)
+    solve.add_argument("--price-ratio", type=float, default=None)
+    solve.add_argument("--strategy-step", type=int, default=1)
+    solve.set_defaults(func=_cmd_solve)
+
+    sweep = sub.add_parser("sweep", help="sweep C^G/C^P and recommend regions")
+    sweep.add_argument("scenario")
+    sweep.add_argument("--model", default="pooled", choices=["pooled", "approximate"])
+    sweep.add_argument("--gamma", type=float, default=0.0)
+    sweep.add_argument("--points", type=int, default=6)
+    sweep.add_argument("--strategy-step", type=int, default=2)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    simulate = sub.add_parser("simulate", help="run the discrete-event simulator")
+    simulate.add_argument("scenario")
+    simulate.add_argument("--horizon", type=float, default=20_000.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

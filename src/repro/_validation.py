@@ -1,0 +1,102 @@
+"""Shared argument-validation helpers.
+
+Every public constructor in the library funnels its scalar checks through
+these helpers so error messages are uniform ("name must be ... , got ...")
+and so tests can assert on :class:`~repro.exceptions.ConfigurationError`
+consistently.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    value = check_finite(value, name)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    value = check_finite(value, name)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_finite(value: float, name: str) -> float:
+    """Validate that ``value`` is a real, finite number and return it as float."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(value) or math.isinf(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = check_finite(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer (bools are rejected)."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        # numpy integers satisfy __index__; accept them explicitly.
+        try:
+            as_int = int(value)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"{name} must be an integer, got {value!r}") from exc
+        if as_int != value:
+            raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+        return as_int
+    return int(value)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer strictly greater than zero."""
+    value = check_int(value, name)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer greater than or equal to zero."""
+    value = check_int(value, name)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def check_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Validate that ``low <= value <= high``."""
+    value = check_finite(value, name)
+    if not low <= value <= high:
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_sequence_length(seq: Sequence, name: str, length: int) -> Sequence:
+    """Validate that ``seq`` has exactly ``length`` elements."""
+    if len(seq) != length:
+        raise ConfigurationError(
+            f"{name} must have length {length}, got length {len(seq)}"
+        )
+    return seq

@@ -1,0 +1,32 @@
+"""Benchmark harness: regenerates every figure of the paper's evaluation.
+
+One module per figure (5–8), each exposing a ``run_*`` function returning
+structured rows plus a ``render`` helper that prints the same series the
+paper plots.  The ``benchmarks/`` directory drives these through
+pytest-benchmark; ``python -m repro.bench.runner <figure>`` runs them
+standalone.
+
+Scenario constants (the paper's parameter choices) live in
+:mod:`repro.bench.scenarios` so tests, benches, and examples agree on
+them.
+"""
+
+from repro.bench.scenarios import (
+    fig5_configurations,
+    fig6_2sc_scenario,
+    fig6_10sc_scenario,
+    fig6_100vm_scenario,
+    fig7_scenario,
+    fig8_game_scenario,
+    fig8_perf_scenario,
+)
+
+__all__ = [
+    "fig5_configurations",
+    "fig6_2sc_scenario",
+    "fig6_10sc_scenario",
+    "fig6_100vm_scenario",
+    "fig7_scenario",
+    "fig8_game_scenario",
+    "fig8_perf_scenario",
+]

@@ -1,0 +1,142 @@
+"""Fig. 5: forwarding probability vs system utilization.
+
+For each of the four configurations (N in {10, 100} x Q in {0.2, 0.5})
+the harness sweeps the arrival rate so the achieved utilization covers
+the paper's range, computing the forwarding probability twice: from the
+Sect. III-A analytic model and from the discrete-event simulator.  The
+paper's claims checked here: the model tracks simulation closely, higher
+Q forwards less, and at equal utilization the smaller cloud forwards
+more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.scenarios import Fig5Config, fig5_configurations
+from repro.bench.tables import render_table
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.queueing.forwarding import NoSharingModel
+from repro.sim.federation import FederationSimulator
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One data point of Fig. 5."""
+
+    config: Fig5Config
+    arrival_rate: float
+    utilization: float
+    model_forward_probability: float
+    simulated_forward_probability: float
+
+    @property
+    def relative_error(self) -> float:
+        """Model vs simulation relative error (guarding tiny denominators)."""
+        sim = self.simulated_forward_probability
+        if sim < 1e-6:
+            return abs(self.model_forward_probability - sim)
+        return abs(self.model_forward_probability - sim) / sim
+
+
+def simulate_forward_probability(
+    config: Fig5Config, arrival_rate: float, horizon: float, seed: int
+) -> float:
+    """Estimate the forwarding probability of a lone SC by simulation."""
+    cloud = SmallCloud(
+        name="solo",
+        vms=config.vms,
+        arrival_rate=arrival_rate,
+        sla_bound=config.sla_bound,
+    )
+    simulator = FederationSimulator(FederationScenario((cloud,)), seed=seed)
+    metrics = simulator.run(horizon=horizon, warmup=horizon * 0.05)
+    return metrics[0].forward_probability
+
+
+def run_fig5(
+    utilizations: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95),
+    horizon: float = 20_000.0,
+    seed: int = 5,
+    with_simulation: bool = True,
+) -> list[Fig5Row]:
+    """Produce all Fig. 5 data points.
+
+    Args:
+        utilizations: target offered utilizations (``lambda = u * N``).
+        horizon: simulated time per point.
+        seed: simulation seed.
+        with_simulation: skip the simulator (model only) when False.
+    """
+    rows = []
+    for config in fig5_configurations():
+        for target in utilizations:
+            arrival_rate = target * config.vms
+            model = NoSharingModel(
+                servers=config.vms,
+                arrival_rate=arrival_rate,
+                service_rate=1.0,
+                sla_bound=config.sla_bound,
+            )
+            simulated = (
+                simulate_forward_probability(config, arrival_rate, horizon, seed)
+                if with_simulation
+                else float("nan")
+            )
+            rows.append(
+                Fig5Row(
+                    config=config,
+                    arrival_rate=arrival_rate,
+                    utilization=model.utilization,
+                    model_forward_probability=model.forward_probability,
+                    simulated_forward_probability=simulated,
+                )
+            )
+    return rows
+
+
+def render(rows: list[Fig5Row]) -> str:
+    """Render the Fig. 5 table."""
+    return render_table(
+        ["config", "lambda", "rho", "P_f (model)", "P_f (sim)"],
+        [
+            (
+                r.config.label,
+                r.arrival_rate,
+                r.utilization,
+                r.model_forward_probability,
+                r.simulated_forward_probability,
+            )
+            for r in rows
+        ],
+        title="Fig. 5 — forwarding probability vs utilization",
+    )
+
+
+def check_shape(rows: list[Fig5Row]) -> list[str]:
+    """Verify the paper's qualitative claims; returns violation messages."""
+    problems = []
+    by_config: dict[str, list[Fig5Row]] = {}
+    for row in rows:
+        by_config.setdefault(row.config.label, []).append(row)
+    for label, points in by_config.items():
+        probs = [p.model_forward_probability for p in sorted(points, key=lambda r: r.utilization)]
+        if probs != sorted(probs):
+            problems.append(f"{label}: forwarding not increasing with load")
+    # Higher Q forwards less at equal (N, lambda).
+    for vms in (10, 100):
+        tight = {r.arrival_rate: r for r in rows if r.config.vms == vms and r.config.sla_bound == 0.2}
+        loose = {r.arrival_rate: r for r in rows if r.config.vms == vms and r.config.sla_bound == 0.5}
+        for rate, row in tight.items():
+            if rate in loose and loose[rate].model_forward_probability > row.model_forward_probability + 1e-12:
+                problems.append(f"N={vms}, lambda={rate}: larger Q forwards more")
+    # The small cloud forwards more at equal utilization and Q.
+    for sla in (0.2, 0.5):
+        small = {round(r.arrival_rate / r.config.vms, 3): r for r in rows if r.config.vms == 10 and r.config.sla_bound == sla}
+        big = {round(r.arrival_rate / r.config.vms, 3): r for r in rows if r.config.vms == 100 and r.config.sla_bound == sla}
+        for u, row in small.items():
+            if u in big and big[u].model_forward_probability > row.model_forward_probability + 1e-12:
+                problems.append(f"Q={sla}, rho={u}: big cloud forwards more than small")
+    return problems

@@ -1,0 +1,99 @@
+"""Standalone benchmark runner: ``python -m repro.bench.runner <figure>``.
+
+Runs one figure's harness with its default parameters and prints the
+table.  The pytest-benchmark drivers in ``benchmarks/`` use the same
+functions; this entry point is for quick interactive regeneration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import fig5, fig6, fig7, fig8
+
+_QUICK_RATIOS = [0.1, 0.3, 0.5, 0.7, 0.9]
+
+
+def _run_fig5(quick: bool) -> str:
+    rows = fig5.run_fig5(
+        utilizations=(0.6, 0.8, 0.9) if quick else (0.5, 0.6, 0.7, 0.8, 0.9, 0.95),
+        horizon=5_000.0 if quick else 20_000.0,
+    )
+    problems = fig5.check_shape(rows)
+    output = fig5.render(rows)
+    if problems:
+        output += "\nSHAPE VIOLATIONS: " + "; ".join(problems)
+    return output
+
+
+def _run_fig6(quick: bool) -> str:
+    rates = (6.0, 8.0) if quick else (5.0, 6.0, 7.0, 8.0)
+    parts = [fig6.render(fig6.run_fig6_2sc(target_rates=rates))]
+    if not quick:
+        parts.append(fig6.render(fig6.run_fig6_10sc(target_rates=rates)))
+        parts.append(fig6.render(fig6.run_fig6_100vm()))
+    return "\n\n".join(parts)
+
+
+def _run_fig7(quick: bool) -> str:
+    parts = []
+    panels = [("spread", 0.0)] if quick else [
+        ("spread", 0.0),
+        ("spread", 1.0),
+        ("high", 0.0),
+        ("medium", 1.0),
+    ]
+    for loads, gamma in panels:
+        rows = fig7.run_fig7(
+            loads=loads,
+            gamma=gamma,
+            ratios=_QUICK_RATIOS if quick else None,
+            strategy_step=2 if quick else 1,
+        )
+        parts.append(fig7.render(rows))
+        problems = fig7.check_shape(rows)
+        if problems:
+            parts.append("SHAPE VIOLATIONS: " + "; ".join(problems))
+    return "\n\n".join(parts)
+
+
+def _run_fig8(quick: bool) -> str:
+    sizes_a = (2, 3, 4) if quick else (2, 3, 4, 6, 8, 10)
+    sizes_b = (2, 3, 4) if quick else (2, 3, 4, 6, 8)
+    parts = [
+        fig8.render_8a(fig8.run_fig8a(sizes=sizes_a)),
+        fig8.render_8b(fig8.run_fig8b(sizes=sizes_b)),
+    ]
+    return "\n\n".join(parts)
+
+
+FIGURES = {
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate a figure of the SC-Share evaluation."
+    )
+    parser.add_argument("figure", choices=sorted(FIGURES) + ["all"])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller grids / shorter simulations for a fast smoke run",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        print(FIGURES[name](args.quick))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""The paper's experimental configurations, centralized.
+
+Every figure's parameters (Sect. V) are defined here once so the
+benchmark drivers, integration tests, and examples cannot drift apart.
+All SCs use ``mu = 1`` and ``Q = 0.2`` unless a figure says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+
+
+@dataclass(frozen=True)
+class Fig5Config:
+    """One curve of Fig. 5: a single SC at a given size and SLA."""
+
+    vms: int
+    sla_bound: float
+
+    @property
+    def label(self) -> str:
+        """Legend label used in tables."""
+        return f"N={self.vms}, Q={self.sla_bound}"
+
+
+def fig5_configurations() -> list[Fig5Config]:
+    """The four curves of Fig. 5: N in {10, 100} x Q in {0.2, 0.5}."""
+    return [
+        Fig5Config(vms=10, sla_bound=0.2),
+        Fig5Config(vms=10, sla_bound=0.5),
+        Fig5Config(vms=100, sla_bound=0.2),
+        Fig5Config(vms=100, sla_bound=0.5),
+    ]
+
+
+def fig6_2sc_scenario(target_share: int, target_rate: float) -> FederationScenario:
+    """Fig. 6a/6b: fixed SC (lambda=7, S=5, N=10) plus a swept target SC.
+
+    The target SC is last, which is where the hierarchical approximate
+    model evaluates it.
+    """
+    fixed = SmallCloud(name="fixed", vms=10, arrival_rate=7.0, shared_vms=5)
+    target = SmallCloud(
+        name="target", vms=10, arrival_rate=target_rate, shared_vms=target_share
+    )
+    return FederationScenario((fixed, target))
+
+
+def fig6_10sc_scenario(target_share: int, target_rate: float) -> FederationScenario:
+    """Fig. 6c/6d: nine fixed SCs plus the swept target SC.
+
+    Fixed shares (3,3,3,2,2,2,1,1,1) with arrival rates
+    (7,7,7,8,8,8,9,9,9), as in the paper.
+    """
+    shares = (3, 3, 3, 2, 2, 2, 1, 1, 1)
+    rates = (7.0, 7.0, 7.0, 8.0, 8.0, 8.0, 9.0, 9.0, 9.0)
+    fixed = tuple(
+        SmallCloud(name=f"fixed{i}", vms=10, arrival_rate=rate, shared_vms=share)
+        for i, (share, rate) in enumerate(zip(shares, rates))
+    )
+    target = SmallCloud(
+        name="target", vms=10, arrival_rate=target_rate, shared_vms=target_share
+    )
+    return FederationScenario(fixed + (target,))
+
+
+def fig6_100vm_scenario(other_rate: float, target_rate: float) -> FederationScenario:
+    """Fig. 6e/6f: two 100-VM SCs, both sharing S=10."""
+    other = SmallCloud(name="other", vms=100, arrival_rate=other_rate, shared_vms=10)
+    target = SmallCloud(
+        name="target", vms=100, arrival_rate=target_rate, shared_vms=10
+    )
+    return FederationScenario((other, target))
+
+
+#: The paper's three Fig. 7 load mixes (utilization -> arrival rate at
+#: N=10, mu=1: the paper reports the *achieved* no-sharing utilization,
+#: which for these SLA settings is essentially lambda/N).
+FIG7_LOADS = {
+    "spread": (5.8, 7.3, 8.4),  # Fig. 7a/7b: rho = 0.58, 0.73, 0.84
+    "high": (7.3, 7.9, 8.4),  # Fig. 7c:    rho = 0.73, 0.79, 0.84
+    "medium": (4.9, 5.8, 6.6),  # Fig. 7d:    rho = 0.49, 0.58, 0.66
+}
+
+
+def fig7_scenario(loads: str = "spread") -> FederationScenario:
+    """A 3-SC federation with one of the paper's Fig. 7 load mixes.
+
+    The public-cloud price is set to 10 per VM-unit-time.  The market
+    knob is the *ratio* ``C^G/C^P`` (the absolute scale is arbitrary in
+    Eq. 1), but the scale does enter Eq. 3 at ``alpha = 1`` through
+    ``log U``: this price level keeps equilibrium utilities above 1 so
+    the proportional-fairness welfare is positive and its efficiency
+    ratio meaningful, mirroring the paper's plotted curves.
+    """
+    rates = FIG7_LOADS[loads]
+    return FederationScenario(
+        tuple(
+            SmallCloud(
+                name=f"sc{i + 1}",
+                vms=10,
+                arrival_rate=rate,
+                public_price=10.0,
+                federation_price=5.0,
+            )
+            for i, rate in enumerate(rates)
+        )
+    )
+
+
+def fig8_perf_scenario(n_clouds: int, shared: int = 2) -> FederationScenario:
+    """Fig. 8a: K SCs with 10 VMs each, sharing ``shared`` VMs apiece."""
+    return FederationScenario(
+        tuple(
+            SmallCloud(
+                name=f"sc{i + 1}",
+                vms=10,
+                arrival_rate=7.0 + 0.2 * i,
+                shared_vms=shared,
+            )
+            for i in range(n_clouds)
+        )
+    )
+
+
+def fig8_game_scenario(n_clouds: int, vms: int = 20) -> FederationScenario:
+    """Fig. 8b: K SCs for the game-convergence timing.
+
+    The paper uses 100-VM SCs; the default here scales to 20 VMs so the
+    sweep finishes on a laptop (see DESIGN.md substitutions) — pass
+    ``vms=100`` for the paper's size.  Loads are staggered between 55%
+    and 90% utilization.
+    """
+    return FederationScenario(
+        tuple(
+            SmallCloud(
+                name=f"sc{i + 1}",
+                vms=vms,
+                arrival_rate=vms * (0.55 + 0.35 * i / max(n_clouds - 1, 1)),
+            )
+            for i in range(n_clouds)
+        )
+    )

@@ -1,0 +1,32 @@
+"""Core SC-Share framework.
+
+- :mod:`repro.core.small_cloud` — the :class:`SmallCloud` and
+  :class:`FederationScenario` configuration types shared by every model.
+- :mod:`repro.core.results` — result containers.
+- :mod:`repro.core.framework` — the :class:`SCShare` orchestrator
+  implementing the paper's Fig. 2 feedback loop between the performance
+  model and the market game.
+"""
+
+from repro.core.results import SharingDecisionResult
+from repro.core.small_cloud import FederationScenario, SmallCloud
+
+
+def __getattr__(name: str):
+    # SCShare pulls in the game/market stack; import it lazily so the
+    # lightweight configuration types stay import-cheap for the simulator
+    # and the performance models.
+    if name in {"SCShare", "SCShareOutcome"}:
+        from repro.core import framework
+
+        return getattr(framework, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "FederationScenario",
+    "SCShare",
+    "SCShareOutcome",
+    "SharingDecisionResult",
+    "SmallCloud",
+]

@@ -1,0 +1,44 @@
+"""Result containers for the SC-Share framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SharingDecisionResult:
+    """One SC's evaluated position under a sharing vector.
+
+    Attributes:
+        name: the SC's name.
+        shared_vms: its sharing decision ``S_i``.
+        cost: net operating cost ``C_i^{S_i}`` (Eq. 1).
+        baseline_cost: no-sharing cost ``C_i^0``.
+        utility: utility ``U_i^{S_i}`` (Eq. 2).
+        utilization: federation utilization ``rho_i^{S_i}``.
+        baseline_utilization: no-sharing utilization ``rho_i^0``.
+        lent_mean: ``Ibar_i``.
+        borrowed_mean: ``Obar_i``.
+        forward_rate: ``Pbar_i``.
+    """
+
+    name: str
+    shared_vms: int
+    cost: float
+    baseline_cost: float
+    utility: float
+    utilization: float
+    baseline_utilization: float
+    lent_mean: float
+    borrowed_mean: float
+    forward_rate: float
+
+    @property
+    def cost_reduction(self) -> float:
+        """``C_i^0 - C_i^{S_i}``: the gain from federating (can be < 0)."""
+        return self.baseline_cost - self.cost
+
+    @property
+    def participates(self) -> bool:
+        """Whether this SC shares anything at all."""
+        return self.shared_vms > 0

@@ -1,0 +1,96 @@
+"""JSON-friendly serialization of scenarios and outcomes.
+
+Scenarios round-trip through plain dictionaries (and hence JSON files),
+which gives the examples and the CLI a stable configuration format and
+lets experiment definitions live outside Python code.  Outcomes serialize
+one way (to dicts) for logging and result archiving.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.exceptions import ConfigurationError
+
+_CLOUD_FIELDS = (
+    "name",
+    "vms",
+    "arrival_rate",
+    "service_rate",
+    "sla_bound",
+    "public_price",
+    "federation_price",
+    "shared_vms",
+)
+
+
+def cloud_to_dict(cloud: SmallCloud) -> dict:
+    """Serialize one SC to a plain dictionary."""
+    return {field: getattr(cloud, field) for field in _CLOUD_FIELDS}
+
+
+def cloud_from_dict(data: dict) -> SmallCloud:
+    """Deserialize one SC; unknown keys are rejected loudly."""
+    unknown = set(data) - set(_CLOUD_FIELDS)
+    if unknown:
+        raise ConfigurationError(f"unknown small-cloud fields: {sorted(unknown)}")
+    if "name" not in data or "vms" not in data or "arrival_rate" not in data:
+        raise ConfigurationError(
+            "a small cloud needs at least name, vms and arrival_rate"
+        )
+    return SmallCloud(**data)
+
+
+def scenario_to_dict(scenario: FederationScenario) -> dict:
+    """Serialize a federation scenario."""
+    return {"clouds": [cloud_to_dict(c) for c in scenario]}
+
+
+def scenario_from_dict(data: dict) -> FederationScenario:
+    """Deserialize a federation scenario."""
+    if "clouds" not in data:
+        raise ConfigurationError("scenario dictionary needs a 'clouds' list")
+    return FederationScenario(
+        tuple(cloud_from_dict(c) for c in data["clouds"])
+    )
+
+
+def save_scenario(scenario: FederationScenario, path: str | Path) -> None:
+    """Write a scenario to a JSON file."""
+    Path(path).write_text(json.dumps(scenario_to_dict(scenario), indent=2) + "\n")
+
+
+def load_scenario(path: str | Path) -> FederationScenario:
+    """Read a scenario from a JSON file."""
+    return scenario_from_dict(json.loads(Path(path).read_text()))
+
+
+def outcome_to_dict(outcome) -> dict:
+    """Serialize an :class:`~repro.core.framework.SCShareOutcome` for logging."""
+    return {
+        "equilibrium": list(outcome.equilibrium),
+        "welfare": outcome.welfare,
+        "optimum_profile": list(outcome.optimum_profile),
+        "optimum_welfare": outcome.optimum_welfare,
+        "efficiency": outcome.efficiency,
+        "alpha": outcome.alpha,
+        "gamma": outcome.gamma,
+        "iterations": outcome.game.iterations,
+        "converged": outcome.game.converged,
+        "details": [
+            {
+                "name": d.name,
+                "shared_vms": d.shared_vms,
+                "cost": d.cost,
+                "baseline_cost": d.baseline_cost,
+                "utility": d.utility,
+                "utilization": d.utilization,
+                "lent_mean": d.lent_mean,
+                "borrowed_mean": d.borrowed_mean,
+                "forward_rate": d.forward_rate,
+            }
+            for d in outcome.details
+        ],
+    }

@@ -1,0 +1,177 @@
+"""Configuration types shared by all SC-Share models.
+
+A :class:`SmallCloud` captures the paper's per-SC parameters (Sect. II-A):
+``N_i`` VMs, Poisson arrival rate ``lambda_i``, exponential service rate
+``mu_i``, SLA waiting bound ``Q_i``, and the prices ``C^P_i`` (public
+cloud) and ``C^G_i`` (federation).  A :class:`FederationScenario` is an
+ordered collection of SCs; every performance model, the simulator, and
+the market game consume the same scenario object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from collections.abc import Iterator, Sequence
+
+from repro._validation import (
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    require,
+)
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SmallCloud:
+    """One small cloud provider.
+
+    Attributes:
+        name: human-readable identifier.
+        vms: total number of homogeneous VMs ``N_i``.
+        arrival_rate: Poisson VM-request rate ``lambda_i``.
+        service_rate: per-VM exponential service rate ``mu_i``.
+        sla_bound: SLA waiting bound ``Q_i`` (time units).
+        public_price: cost ``C^P_i`` of one VM-second from the public cloud.
+        federation_price: cost ``C^G_i`` of one VM-second from the
+            federation (paper assumption: equal across SCs, ``< C^P_i``).
+        shared_vms: the sharing decision ``S_i`` (``0 <= S_i <= N_i``).
+    """
+
+    name: str
+    vms: int
+    arrival_rate: float
+    service_rate: float = 1.0
+    sla_bound: float = 0.2
+    public_price: float = 1.0
+    federation_price: float = 0.5
+    shared_vms: int = 0
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "small cloud must have a non-empty name")
+        check_positive_int(self.vms, "vms")
+        check_positive(self.arrival_rate, "arrival_rate")
+        check_positive(self.service_rate, "service_rate")
+        check_non_negative(self.sla_bound, "sla_bound")
+        check_positive(self.public_price, "public_price")
+        check_non_negative(self.federation_price, "federation_price")
+        check_non_negative_int(self.shared_vms, "shared_vms")
+        if self.shared_vms > self.vms:
+            raise ConfigurationError(
+                f"{self.name}: shared_vms={self.shared_vms} exceeds vms={self.vms}"
+            )
+        if self.federation_price > self.public_price:
+            raise ConfigurationError(
+                f"{self.name}: federation price {self.federation_price} exceeds "
+                f"public price {self.public_price} (paper requires C^G < C^P)"
+            )
+
+    @property
+    def offered_load(self) -> float:
+        """Offered load ``lambda / mu`` in VM units."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def nominal_utilization(self) -> float:
+        """Offered load divided by capacity (can exceed 1 for overload)."""
+        return self.offered_load / self.vms
+
+    def with_shared(self, shared_vms: int) -> "SmallCloud":
+        """Return a copy with a different sharing decision ``S_i``."""
+        return replace(self, shared_vms=shared_vms)
+
+    def with_prices(self, public_price: float, federation_price: float) -> "SmallCloud":
+        """Return a copy with different prices."""
+        return replace(
+            self, public_price=public_price, federation_price=federation_price
+        )
+
+
+@dataclass(frozen=True)
+class FederationScenario:
+    """An ordered federation of small clouds.
+
+    The order is significant for the hierarchical approximate model (the
+    last SC in ``clouds`` is the "target SC" in the paper's terminology
+    unless a model is asked for a different target, in which case the SCs
+    are rotated).
+    """
+
+    clouds: tuple[SmallCloud, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        clouds = tuple(self.clouds)
+        object.__setattr__(self, "clouds", clouds)
+        require(len(clouds) >= 1, "a scenario needs at least one small cloud")
+        names = [c.name for c in clouds]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate small-cloud names: {names}")
+
+    def __len__(self) -> int:
+        return len(self.clouds)
+
+    def __iter__(self) -> Iterator[SmallCloud]:
+        return iter(self.clouds)
+
+    def __getitem__(self, index: int) -> SmallCloud:
+        return self.clouds[index]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Names of all SCs in order."""
+        return tuple(c.name for c in self.clouds)
+
+    def index_of(self, name: str) -> int:
+        """Index of the SC named ``name``."""
+        for i, cloud in enumerate(self.clouds):
+            if cloud.name == name:
+                return i
+        raise ConfigurationError(f"no small cloud named {name!r}")
+
+    def sharing_vector(self) -> tuple[int, ...]:
+        """The sharing decisions ``(S_1, ..., S_K)``."""
+        return tuple(c.shared_vms for c in self.clouds)
+
+    def total_shared(self) -> int:
+        """Total shared VMs across the federation."""
+        return sum(c.shared_vms for c in self.clouds)
+
+    def shared_by_others(self, index: int) -> int:
+        """``B_i``: VMs shared by every SC except ``index``."""
+        return self.total_shared() - self.clouds[index].shared_vms
+
+    def with_sharing(self, sharing: Sequence[int]) -> "FederationScenario":
+        """Return a copy with sharing vector ``sharing`` applied in order."""
+        if len(sharing) != len(self.clouds):
+            raise ConfigurationError(
+                f"sharing vector length {len(sharing)} != {len(self.clouds)} SCs"
+            )
+        return FederationScenario(
+            tuple(c.with_shared(int(s)) for c, s in zip(self.clouds, sharing))
+        )
+
+    def with_price_ratio(self, ratio: float) -> "FederationScenario":
+        """Return a copy where every SC's ``C^G = ratio * C^P``.
+
+        This is the paper's market knob ``C^G/C^P`` (Sect. V-B sweeps it
+        over (0, 1]).
+        """
+        if not 0.0 <= ratio <= 1.0:
+            raise ConfigurationError(f"price ratio must be in [0, 1], got {ratio}")
+        return FederationScenario(
+            tuple(
+                c.with_prices(c.public_price, ratio * c.public_price)
+                for c in self.clouds
+            )
+        )
+
+    def rotated_to_target(self, index: int) -> "FederationScenario":
+        """Return a copy with SC ``index`` moved to the last (target) slot.
+
+        The hierarchical approximate model evaluates the *last* SC most
+        accurately, so per-SC evaluations rotate each SC into that slot.
+        """
+        clouds = list(self.clouds)
+        target = clouds.pop(index)
+        return FederationScenario(tuple(clouds + [target]))

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the SC-Share reproduction.
+
+All library errors derive from :class:`SCShareError` so callers can catch a
+single base class.  Subclasses distinguish configuration problems (caller
+bugs) from numerical/convergence failures (runtime conditions the caller may
+want to retry with different tolerances).
+"""
+
+from __future__ import annotations
+
+
+class SCShareError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(SCShareError, ValueError):
+    """A model or scenario was configured with invalid parameters."""
+
+
+class StateSpaceError(SCShareError):
+    """A state-space construction or lookup failed."""
+
+
+class SolverError(SCShareError):
+    """A numerical solver failed to produce a usable solution."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative procedure did not converge within its iteration budget."""
+
+
+class TruncationError(SolverError):
+    """A truncated computation could not reach the requested precision."""
+
+
+class SimulationError(SCShareError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class GameError(SCShareError):
+    """The market game could not be evaluated or did not terminate."""

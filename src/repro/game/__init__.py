@@ -1,0 +1,34 @@
+"""The non-cooperative sharing game (Sect. IV-B).
+
+- :mod:`repro.game.strategy` — per-SC strategy spaces (how many VMs to
+  share).
+- :mod:`repro.game.tabu` — the Tabu-search heuristic the paper uses for
+  best responses over discrete strategy sets.
+- :mod:`repro.game.best_response` — utility-maximizing responses, by
+  exhaustive search or Tabu search.
+- :mod:`repro.game.repeated_game` — Algorithm 1: the repeated
+  best-response dynamic, run to an empirical pure-strategy equilibrium.
+- :mod:`repro.game.equilibrium` — Nash-equilibrium verification.
+- :mod:`repro.game.fictitious` — a fictitious-play variant (best response
+  to the empirical average of past opponent play).
+"""
+
+from repro.game.best_response import BestResponder
+from repro.game.dynamics import SequentialGame
+from repro.game.equilibrium import is_nash_equilibrium
+from repro.game.fictitious import FictitiousPlay
+from repro.game.repeated_game import GameResult, RepeatedGame
+from repro.game.strategy import full_strategy_spaces, strategy_space
+from repro.game.tabu import TabuSearch
+
+__all__ = [
+    "BestResponder",
+    "SequentialGame",
+    "FictitiousPlay",
+    "GameResult",
+    "RepeatedGame",
+    "TabuSearch",
+    "full_strategy_spaces",
+    "is_nash_equilibrium",
+    "strategy_space",
+]

@@ -1,0 +1,97 @@
+"""Best responses in the sharing game.
+
+A best response for SC i fixes every other SC's sharing decision and
+maximizes SC i's utility (Eq. 2) over its own strategy space.  Two search
+strategies are provided:
+
+- ``exhaustive`` — evaluate every candidate (exact; fine for small SCs),
+- ``tabu`` — the paper's Tabu-search heuristic (fewer evaluations on
+  large strategy spaces; may return a local optimum, which the paper
+  mitigates by restarting from different initial points).
+
+Ties are broken toward the *current* decision first (so the dynamics
+settle instead of oscillating between equivalent responses) and then
+toward sharing less.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import GameError
+from repro.game.tabu import TabuSearch
+from repro.market.evaluator import UtilityEvaluator
+
+_TIE_TOLERANCE = 1e-12
+
+
+class BestResponder:
+    """Computes per-SC best responses through a :class:`UtilityEvaluator`.
+
+    Args:
+        evaluator: the caching cost/utility evaluator.
+        strategy_spaces: per-SC candidate sharing values.
+        method: ``'exhaustive'`` or ``'tabu'``.
+        tabu: optional configured :class:`TabuSearch` (defaults match the
+            paper's small search distance).
+    """
+
+    def __init__(
+        self,
+        evaluator: UtilityEvaluator,
+        strategy_spaces: Sequence[Sequence[int]],
+        method: str = "exhaustive",
+        tabu: TabuSearch | None = None,
+    ):
+        if method not in ("exhaustive", "tabu"):
+            raise GameError(f"unknown best-response method {method!r}")
+        if len(strategy_spaces) != len(evaluator.scenario):
+            raise GameError("one strategy space per SC is required")
+        self.evaluator = evaluator
+        self.strategy_spaces = [list(space) for space in strategy_spaces]
+        self.method = method
+        self.tabu = tabu if tabu is not None else TabuSearch()
+
+    def respond(self, sharing: Sequence[int], index: int) -> tuple[int, float]:
+        """Best sharing value for SC ``index`` given the profile ``sharing``.
+
+        Returns:
+            ``(best_share, best_utility)``.
+        """
+        profile = list(int(s) for s in sharing)
+        current = profile[index]
+
+        def objective(candidate: int) -> float:
+            profile[index] = candidate
+            try:
+                return self.evaluator.utility(profile, index)
+            finally:
+                profile[index] = current
+
+        if self.method == "exhaustive":
+            return self._exhaustive(objective, index, current)
+        best, best_obj, _evals = self.tabu.search(
+            self.strategy_spaces[index], objective, start=current
+        )
+        # Tie-break toward the incumbent: keep the current decision if it
+        # is as good as the search result.
+        if best != current and current in self.strategy_spaces[index]:
+            if objective(current) >= best_obj - _TIE_TOLERANCE:
+                return current, objective(current)
+        return best, best_obj
+
+    def _exhaustive(self, objective, index: int, current: int) -> tuple[int, float]:
+        best_share: int | None = None
+        best_utility = -1.0
+        for candidate in self.strategy_spaces[index]:
+            value = objective(candidate)
+            if value > best_utility + _TIE_TOLERANCE:
+                best_utility = value
+                best_share = candidate
+            elif value >= best_utility - _TIE_TOLERANCE and best_share is not None:
+                # Tie: prefer the incumbent, else the smaller share.
+                if candidate == current and best_share != current:
+                    best_share = candidate
+        if best_share is None:
+            raise GameError(f"SC {index} has an empty strategy space")
+        return best_share, best_utility

@@ -1,0 +1,74 @@
+"""Sequential (Gauss–Seidel) best-response dynamics.
+
+Algorithm 1 updates all SCs *simultaneously* from the previous round's
+profile.  The sequential variant lets each SC respond to the freshest
+information — SCs move one at a time, each seeing the decisions already
+made this round.  Sequential dynamics cannot cycle between two profiles
+the way simultaneous ones can (each move weakly improves the mover's
+utility against the current profile), so this is both a robustness
+fallback and an ablation for the convergence benchmark.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro._validation import check_positive_int
+from repro.exceptions import GameError
+from repro.game.best_response import BestResponder
+from repro.game.repeated_game import GameResult
+
+
+class SequentialGame:
+    """Gauss–Seidel best-response runner with the Algorithm 1 result type.
+
+    Args:
+        responder: the per-SC best-response engine.
+        max_rounds: full sweeps over all SCs before giving up.
+    """
+
+    def __init__(self, responder: BestResponder, max_rounds: int = 200):
+        self.responder = responder
+        self.max_rounds = check_positive_int(max_rounds, "max_rounds")
+
+    def run(self, initial: Sequence[int] | None = None) -> GameResult:
+        """Sweep SCs in order until a full sweep changes nothing."""
+        evaluator = self.responder.evaluator
+        k = len(evaluator.scenario)
+        if initial is None:
+            profile = [0] * k
+        else:
+            if len(initial) != k:
+                raise GameError(f"initial profile must have {k} entries")
+            profile = [int(s) for s in initial]
+        start_evals = evaluator.evaluations
+        history: list[tuple[int, ...]] = [tuple(profile)]
+
+        for round_number in range(1, self.max_rounds + 1):
+            changed = False
+            for i in range(k):
+                best, _utility = self.responder.respond(profile, i)
+                if best != profile[i]:
+                    profile[i] = best
+                    changed = True
+            history.append(tuple(profile))
+            if not changed:
+                return GameResult(
+                    equilibrium=tuple(profile),
+                    utilities=tuple(evaluator.utilities(profile)),
+                    iterations=round_number,
+                    converged=True,
+                    cycled=False,
+                    history=tuple(history),
+                    model_evaluations=evaluator.evaluations - start_evals,
+                )
+
+        return GameResult(
+            equilibrium=tuple(profile),
+            utilities=tuple(evaluator.utilities(profile)),
+            iterations=self.max_rounds,
+            converged=False,
+            cycled=False,
+            history=tuple(history),
+            model_evaluations=evaluator.evaluations - start_evals,
+        )

@@ -1,0 +1,71 @@
+"""Pure-strategy Nash-equilibrium verification.
+
+Used both as a post-condition on game outcomes and as the property tested
+by the suite's equilibrium invariants: at an equilibrium, no SC can raise
+its utility by unilaterally changing its sharing decision.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.market.evaluator import UtilityEvaluator
+
+_TOLERANCE = 1e-9
+
+
+def is_nash_equilibrium(
+    evaluator: UtilityEvaluator,
+    profile: Sequence[int],
+    strategy_spaces: Sequence[Sequence[int]],
+    tolerance: float = _TOLERANCE,
+) -> bool:
+    """Check that ``profile`` is a pure-strategy Nash equilibrium.
+
+    Args:
+        evaluator: the market evaluator.
+        profile: the candidate equilibrium.
+        strategy_spaces: per-SC deviation candidates.
+        tolerance: a deviation must improve utility by more than this to
+            count (guards against solver noise).
+    """
+    profile = [int(s) for s in profile]
+    for i, space in enumerate(strategy_spaces):
+        current_utility = evaluator.utility(profile, i)
+        original = profile[i]
+        for candidate in space:
+            if candidate == original:
+                continue
+            profile[i] = candidate
+            deviated = evaluator.utility(profile, i)
+            profile[i] = original
+            if deviated > current_utility + tolerance:
+                return False
+    return True
+
+
+def best_deviation(
+    evaluator: UtilityEvaluator,
+    profile: Sequence[int],
+    strategy_spaces: Sequence[Sequence[int]],
+) -> tuple[int, int, float] | None:
+    """Return the most profitable unilateral deviation, if any.
+
+    Returns:
+        ``(sc_index, new_share, utility_gain)`` for the best deviation, or
+        None when the profile is an equilibrium.
+    """
+    profile = [int(s) for s in profile]
+    best: tuple[int, int, float] | None = None
+    for i, space in enumerate(strategy_spaces):
+        current_utility = evaluator.utility(profile, i)
+        original = profile[i]
+        for candidate in space:
+            if candidate == original:
+                continue
+            profile[i] = candidate
+            gain = evaluator.utility(profile, i) - current_utility
+            profile[i] = original
+            if gain > _TOLERANCE and (best is None or gain > best[2]):
+                best = (i, candidate, gain)
+    return best

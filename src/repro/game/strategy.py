@@ -1,0 +1,41 @@
+"""Strategy spaces for the sharing game.
+
+An SC's strategy is the maximum number of VMs it shares, an integer in
+``[0, N_i]``.  For large SCs a coarser step keeps search tractable (the
+paper's Tabu search plays the same role); equilibria found on a coarse
+grid can be refined by re-running with a finer step around the result.
+"""
+
+from __future__ import annotations
+
+from repro._validation import check_positive_int
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.exceptions import ConfigurationError
+
+
+def strategy_space(cloud: SmallCloud, step: int = 1, max_share: int | None = None) -> list[int]:
+    """Return the candidate sharing values for one SC.
+
+    Args:
+        cloud: the SC (bounds the space by ``N_i``).
+        step: grid step (>= 1); 0 is always included, and so is the upper
+            bound even when the step does not land on it.
+        max_share: optional cap below ``N_i``.
+    """
+    step = check_positive_int(step, "step")
+    upper = cloud.vms if max_share is None else int(max_share)
+    if not 0 <= upper <= cloud.vms:
+        raise ConfigurationError(
+            f"max_share must be in [0, {cloud.vms}], got {max_share}"
+        )
+    space = list(range(0, upper + 1, step))
+    if space[-1] != upper:
+        space.append(upper)
+    return space
+
+
+def full_strategy_spaces(
+    scenario: FederationScenario, step: int = 1, max_share: int | None = None
+) -> list[list[int]]:
+    """Strategy spaces for every SC of a scenario."""
+    return [strategy_space(cloud, step, max_share) for cloud in scenario]

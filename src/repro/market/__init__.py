@@ -1,0 +1,52 @@
+"""Market economics of SC-Share (Sect. II-B and IV).
+
+- :mod:`repro.market.cost` — the net operating cost, Eq. (1), and the
+  no-sharing baseline ``C_i^0``.
+- :mod:`repro.market.utility` — the SC utility, Eq. (2), with the paper's
+  ``UF0``/``UF1`` special cases.
+- :mod:`repro.market.fairness` — weighted α-fairness welfare, Eq. (3).
+- :mod:`repro.market.evaluator` — a caching bridge from sharing vectors to
+  costs/utilities through any performance model.
+- :mod:`repro.market.pricing` — price-ratio grids for market sweeps.
+- :mod:`repro.market.efficiency` — federation efficiency (achieved W over
+  market-efficient W).
+"""
+
+from repro.market.cost import baseline_cost, baseline_metrics, operating_cost
+from repro.market.efficiency import federation_efficiency, social_optimum
+from repro.market.evaluator import UtilityEvaluator
+from repro.market.extensions import (
+    ExtendedUtilityEvaluator,
+    PowerAwareCost,
+    TransferAwareCost,
+)
+from repro.market.regions import analyze_regions
+from repro.market.fairness import (
+    ALPHA_MAX_MIN,
+    ALPHA_PROPORTIONAL,
+    ALPHA_UTILITARIAN,
+    welfare,
+)
+from repro.market.pricing import price_ratio_grid
+from repro.market.utility import UF0, UF1, utility
+
+__all__ = [
+    "ALPHA_MAX_MIN",
+    "ALPHA_PROPORTIONAL",
+    "ALPHA_UTILITARIAN",
+    "UF0",
+    "UF1",
+    "UtilityEvaluator",
+    "ExtendedUtilityEvaluator",
+    "PowerAwareCost",
+    "TransferAwareCost",
+    "analyze_regions",
+    "baseline_cost",
+    "baseline_metrics",
+    "federation_efficiency",
+    "operating_cost",
+    "price_ratio_grid",
+    "social_optimum",
+    "utility",
+    "welfare",
+]

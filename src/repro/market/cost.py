@@ -1,0 +1,75 @@
+"""The net operating cost of an SC — Eq. (1) of the paper.
+
+    C_i^{S_i} = Pbar_i * C_i^P + (Obar_i - Ibar_i) * C_i^G
+
+``Pbar_i`` is the public-cloud forwarding rate, ``Obar_i`` the mean VMs
+borrowed from the federation, ``Ibar_i`` the mean VMs lent to it.  The
+second term is negative for net lenders — lending is revenue at the
+federation price.  The no-sharing baseline ``C_i^0`` uses the Sect. III-A
+model (``Obar = Ibar = 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.small_cloud import SmallCloud
+from repro.perf.params import PerformanceParams
+from repro.queueing.forwarding import NoSharingModel
+
+
+def operating_cost(cloud: SmallCloud, params: PerformanceParams) -> float:
+    """Evaluate Eq. (1) for one SC.
+
+    Args:
+        cloud: the SC (supplies ``C^P`` and ``C^G``).
+        params: its performance parameters inside the federation.
+
+    Returns:
+        The net cost per time unit (negative when lending revenue exceeds
+        forwarding and borrowing costs).
+    """
+    return (
+        params.forward_rate * cloud.public_price
+        + params.net_borrowed * cloud.federation_price
+    )
+
+
+@dataclass(frozen=True)
+class BaselineMetrics:
+    """The no-sharing reference point of one SC.
+
+    Attributes:
+        cost: ``C_i^0 = Pbar_i^0 * C_i^P``.
+        utilization: ``rho_i^0``.
+        forward_rate: ``Pbar_i^0``.
+    """
+
+    cost: float
+    utilization: float
+    forward_rate: float
+
+
+def baseline_metrics(cloud: SmallCloud, tail_epsilon: float = 1e-12) -> BaselineMetrics:
+    """Solve the Sect. III-A no-sharing model and price it.
+
+    The result depends only on ``(N, lambda, mu, Q, C^P)`` — not on the
+    sharing decision or the federation price — so callers cache it per SC.
+    """
+    model = NoSharingModel(
+        cloud.vms,
+        cloud.arrival_rate,
+        cloud.service_rate,
+        cloud.sla_bound,
+        tail_epsilon=tail_epsilon,
+    )
+    return BaselineMetrics(
+        cost=model.forward_rate * cloud.public_price,
+        utilization=model.utilization,
+        forward_rate=model.forward_rate,
+    )
+
+
+def baseline_cost(cloud: SmallCloud) -> float:
+    """``C_i^0``: the SC's cost when it does not participate."""
+    return baseline_metrics(cloud).cost

@@ -1,0 +1,129 @@
+"""Federation efficiency: achieved welfare over market-efficient welfare.
+
+Sect. V-B scores each price setting by the ratio of the welfare ``W``
+achieved at the game's equilibrium to the *(empirical) market-efficient*
+``W`` — the best welfare over all sharing profiles.  Finding the optimum
+is a global search over the joint strategy space; this module provides a
+brute-force search (exact, exponential) and a multi-start coordinate
+ascent (the default for anything beyond tiny spaces).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Sequence
+
+from repro._validation import check_positive_int
+from repro.exceptions import GameError
+from repro.market.evaluator import UtilityEvaluator
+
+
+def _profiles(spaces: Sequence[Sequence[int]]) -> itertools.product:
+    return itertools.product(*spaces)
+
+
+def social_optimum(
+    evaluator: UtilityEvaluator,
+    alpha: float,
+    strategy_spaces: Sequence[Sequence[int]],
+    method: str = "auto",
+    starts: int = 4,
+    brute_force_limit: int = 300,
+) -> tuple[tuple[int, ...], float]:
+    """Find the sharing profile maximizing the Eq. (3) welfare.
+
+    Args:
+        evaluator: the (cached) market evaluator.
+        alpha: fairness parameter.
+        strategy_spaces: per-SC candidate sharing values.
+        method: ``'brute'``, ``'ascent'``, or ``'auto'`` (brute force when
+            the joint space has at most ``brute_force_limit`` profiles).
+        starts: number of coordinate-ascent restarts.
+        brute_force_limit: joint-space size threshold for ``'auto'``.
+
+    Returns:
+        ``(best_profile, best_welfare)``.
+    """
+    sizes = 1
+    for space in strategy_spaces:
+        if not space:
+            raise GameError("every SC needs a non-empty strategy space")
+        sizes *= len(space)
+    if method == "auto":
+        method = "brute" if sizes <= brute_force_limit else "ascent"
+    if method == "brute":
+        best_profile: tuple[int, ...] | None = None
+        best_value = -math.inf
+        for profile in _profiles(strategy_spaces):
+            value = evaluator.welfare(profile, alpha)
+            if value > best_value:
+                best_value = value
+                best_profile = tuple(profile)
+        assert best_profile is not None
+        return best_profile, best_value
+    if method == "ascent":
+        return _coordinate_ascent(evaluator, alpha, strategy_spaces, starts)
+    raise GameError(f"unknown social-optimum method {method!r}")
+
+
+def _coordinate_ascent(
+    evaluator: UtilityEvaluator,
+    alpha: float,
+    strategy_spaces: Sequence[Sequence[int]],
+    starts: int,
+) -> tuple[tuple[int, ...], float]:
+    starts = check_positive_int(starts, "starts")
+    k = len(strategy_spaces)
+    # Deterministic diverse starts: all-min, all-max, midpoints, staggered.
+    candidates: list[tuple[int, ...]] = []
+    mins = tuple(min(s) for s in strategy_spaces)
+    maxs = tuple(max(s) for s in strategy_spaces)
+    mids = tuple(sorted(s)[len(s) // 2] for s in strategy_spaces)
+    for start in (mins, maxs, mids):
+        if start not in candidates:
+            candidates.append(start)
+    stagger = tuple(
+        sorted(space)[(i * len(space)) // max(k, 1) % len(space)]
+        for i, space in enumerate(strategy_spaces)
+    )
+    if stagger not in candidates:
+        candidates.append(stagger)
+    best_profile = mins
+    best_value = -math.inf
+    for start in candidates[:starts]:
+        profile = list(start)
+        value = evaluator.welfare(profile, alpha)
+        improved = True
+        while improved:
+            improved = False
+            for i in range(k):
+                current = profile[i]
+                for candidate in strategy_spaces[i]:
+                    if candidate == current:
+                        continue
+                    profile[i] = candidate
+                    new_value = evaluator.welfare(profile, alpha)
+                    if new_value > value:
+                        value = new_value
+                        current = candidate
+                        improved = True
+                    profile[i] = current
+        if value > best_value:
+            best_value = value
+            best_profile = tuple(profile)
+    return best_profile, best_value
+
+
+def federation_efficiency(achieved: float, optimum: float) -> float:
+    """Ratio of achieved to market-efficient welfare, per the paper.
+
+    Conventions: a non-participating equilibrium (welfare 0 or ``-inf``)
+    has efficiency 0; if the optimum itself is non-positive the market
+    offers no surplus and efficiency is defined as 0.
+    """
+    if not math.isfinite(achieved) or achieved <= 0.0:
+        return 0.0
+    if not math.isfinite(optimum) or optimum <= 0.0:
+        return 0.0
+    return min(achieved / optimum, 1.0)

@@ -1,0 +1,100 @@
+"""Caching bridge between sharing vectors and market quantities.
+
+The game repeatedly asks "what is SC i's cost/utility if the sharing
+vector is S?".  Answering requires a performance-model evaluation, which
+is the expensive step — and crucially, the *performance* parameters
+depend only on the sharing vector (and the SCs' rates), never on prices.
+:class:`UtilityEvaluator` therefore caches performance parameters by
+sharing vector, so an entire ``C^G/C^P`` sweep (which changes only
+prices) reuses one set of model solutions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import MutableMapping, Sequence
+
+from repro._validation import check_in_range
+from repro.core.small_cloud import FederationScenario
+from repro.market.cost import BaselineMetrics, baseline_metrics, operating_cost
+from repro.market.fairness import welfare
+from repro.market.utility import utility as utility_fn
+from repro.perf.base import PerformanceModel
+from repro.perf.params import PerformanceParams
+
+#: Cache type mapping sharing vectors to per-SC performance parameters.
+ParamsCache = MutableMapping[tuple[int, ...], list[PerformanceParams]]
+
+
+class UtilityEvaluator:
+    """Evaluates costs, utilities, and welfare for sharing vectors.
+
+    Args:
+        scenario: the federation with its prices; sharing decisions in it
+            are ignored (each query supplies a vector).
+        model: any :class:`PerformanceModel`.
+        gamma: the Eq. (2) utilization exponent, shared by all SCs (the
+            paper fixes one gamma per experiment).
+        params_cache: optional externally shared cache.  Pass the same
+            mapping to evaluators with different prices to reuse model
+            solutions across a price sweep.
+    """
+
+    def __init__(
+        self,
+        scenario: FederationScenario,
+        model: PerformanceModel,
+        gamma: float = 0.0,
+        params_cache: ParamsCache | None = None,
+    ):
+        self.scenario = scenario
+        self.model = model
+        self.gamma = check_in_range(gamma, "gamma", 0.0, 1.0)
+        self._cache: ParamsCache = params_cache if params_cache is not None else {}
+        self._baselines: list[BaselineMetrics] = [
+            baseline_metrics(cloud) for cloud in scenario
+        ]
+        self.evaluations = 0  # number of *model* evaluations performed
+
+    def baseline(self, index: int) -> BaselineMetrics:
+        """The no-sharing reference of SC ``index``."""
+        return self._baselines[index]
+
+    def params(self, sharing: Sequence[int]) -> list[PerformanceParams]:
+        """Performance parameters for every SC under ``sharing`` (cached)."""
+        key = tuple(int(s) for s in sharing)
+        if key not in self._cache:
+            self._cache[key] = self.model.evaluate(self.scenario.with_sharing(key))
+            self.evaluations += 1
+        return self._cache[key]
+
+    def cost(self, sharing: Sequence[int], index: int) -> float:
+        """``C_i^{S_i}`` (Eq. 1) for SC ``index`` under ``sharing``."""
+        cloud = self.scenario[index].with_shared(int(sharing[index]))
+        return operating_cost(cloud, self.params(sharing)[index])
+
+    def utility(self, sharing: Sequence[int], index: int) -> float:
+        """``U_i^{S_i}`` (Eq. 2) for SC ``index`` under ``sharing``."""
+        if sharing[index] == 0:
+            return 0.0
+        base = self._baselines[index]
+        params = self.params(sharing)[index]
+        cloud = self.scenario[index].with_shared(int(sharing[index]))
+        return utility_fn(
+            baseline_cost=base.cost,
+            cost=operating_cost(cloud, params),
+            baseline_utilization=base.utilization,
+            utilization=params.utilization,
+            gamma=self.gamma,
+        )
+
+    def utilities(self, sharing: Sequence[int]) -> list[float]:
+        """All SCs' utilities under ``sharing``."""
+        return [self.utility(sharing, i) for i in range(len(self.scenario))]
+
+    def welfare(self, sharing: Sequence[int], alpha: float) -> float:
+        """The Eq. (3) welfare of ``sharing`` at fairness level ``alpha``."""
+        return welfare(alpha, list(sharing), self.utilities(sharing))
+
+    def cache_size(self) -> int:
+        """Number of distinct sharing vectors evaluated so far."""
+        return len(self._cache)

@@ -1,0 +1,77 @@
+"""Weighted α-fairness welfare — Eq. (3) of the paper.
+
+    W(alpha, S, U) = sum_i S_i * U_i^{1-alpha} / (1-alpha)    (alpha != 1)
+    W(1, S, U)     = sum_i S_i * log U_i
+
+weighted by the sharing decisions ``S_i``.  Three named values cover the
+paper's evaluation: ``alpha = 0`` (utilitarian), ``alpha = 1``
+(proportional fairness), and ``alpha = inf`` (max-min, implemented as the
+minimum utility over participating SCs).
+
+Conventions for degenerate inputs (DESIGN.md):
+
+- SCs with ``S_i = 0`` contribute nothing (weight zero), including under
+  the logarithm (``0 * log 0 := 0``).
+- A participating SC with zero utility drives ``W`` to ``-inf`` for
+  ``alpha >= 1`` (proportional fairness rejects starving anyone), and
+  contributes 0 for ``alpha < 1``.
+- If nobody participates the welfare is 0 for every alpha, and the
+  efficiency layer reports zero federation efficiency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro._validation import check_non_negative, require
+from repro.exceptions import ConfigurationError
+
+ALPHA_UTILITARIAN = 0.0
+ALPHA_PROPORTIONAL = 1.0
+ALPHA_MAX_MIN = math.inf
+
+
+def welfare(alpha: float, shares: Sequence[int], utilities: Sequence[float]) -> float:
+    """Evaluate Eq. (3).
+
+    Args:
+        alpha: fairness parameter (>= 0; ``math.inf`` selects max-min).
+        shares: the sharing decisions ``S_i`` (the weights).
+        utilities: the utilities ``U_i^{S_i}``.
+
+    Returns:
+        The welfare value; ``-inf`` is possible for ``alpha >= 1`` when a
+        participating SC has zero utility.
+    """
+    require(len(shares) == len(utilities), "shares and utilities must align")
+    if alpha != math.inf:
+        check_non_negative(alpha, "alpha")
+    for u in utilities:
+        if u < 0:
+            raise ConfigurationError(f"utilities must be >= 0, got {u}")
+
+    participating = [(s, u) for s, u in zip(shares, utilities) if s > 0]
+    if not participating:
+        return 0.0
+
+    if alpha == math.inf:
+        return min(u for _s, u in participating)
+
+    if alpha == 1.0:
+        total = 0.0
+        for s, u in participating:
+            if u == 0.0:
+                return -math.inf
+            total += s * math.log(u)
+        return total
+
+    exponent = 1.0 - alpha
+    total = 0.0
+    for s, u in participating:
+        if u == 0.0:
+            if exponent < 0.0:
+                return -math.inf
+            continue
+        total += s * u**exponent / exponent
+    return total

@@ -1,0 +1,39 @@
+"""Price grids for market sweeps.
+
+The paper's market knob is the ratio ``C^G / C^P`` of the federation
+price to the public-cloud price, swept over (0, 1] in Sect. V-B.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_positive_int
+from repro.exceptions import ConfigurationError
+
+
+def price_ratio_grid(
+    points: int = 11, low: float = 0.0, high: float = 1.0, include_zero: bool = False
+) -> list[float]:
+    """Return an evenly spaced grid of ``C^G/C^P`` ratios.
+
+    Args:
+        points: number of grid points (>= 2).
+        low: lower bound (>= 0).
+        high: upper bound (<= 1).
+        include_zero: whether ratio 0 is kept (a free federation is a
+            degenerate market; excluded by default, mirroring the paper's
+            plots which start just above zero).
+    """
+    points = check_positive_int(points, "points")
+    if points < 2:
+        raise ConfigurationError("grid needs at least two points")
+    if not 0.0 <= low < high <= 1.0:
+        raise ConfigurationError(
+            f"grid bounds must satisfy 0 <= low < high <= 1, got [{low}, {high}]"
+        )
+    grid = np.linspace(low, high, points)
+    ratios = [float(r) for r in grid]
+    if not include_zero:
+        ratios = [r for r in ratios if r > 0.0]
+    return ratios

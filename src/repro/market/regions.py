@@ -1,0 +1,79 @@
+"""Price-region analysis — the paper's summary of Fig. 7.
+
+Sect. V-B concludes with three operating regions for the price ratio
+``C^G/C^P``: a low range maximizing proportional fairness, a middle range
+maximizing max-min fairness, and a high range maximizing utilitarian
+welfare (at the risk of federation collapse near 1).  This module turns a
+Fig. 7 sweep into that recommendation: for each fairness objective it
+locates the efficiency-maximizing price region and flags where the
+federation stops forming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PriceRegion:
+    """The recommended price range for one fairness objective.
+
+    Attributes:
+        objective: fairness name (``'utilitarian'`` etc.).
+        best_ratio: the single best price ratio observed.
+        low: smallest ratio within ``tolerance`` of the best efficiency.
+        high: largest such ratio.
+        efficiency: the best efficiency achieved.
+    """
+
+    objective: str
+    best_ratio: float
+    low: float
+    high: float
+    efficiency: float
+
+
+@dataclass(frozen=True)
+class RegionReport:
+    """Full price-setting recommendation from one Fig. 7 sweep."""
+
+    regions: tuple[PriceRegion, ...]
+    collapse_ratios: tuple[float, ...]  # ratios where nobody shares
+
+    def region(self, objective: str) -> PriceRegion:
+        """The region for one objective."""
+        for region in self.regions:
+            if region.objective == objective:
+                return region
+        raise ConfigurationError(f"no region for objective {objective!r}")
+
+
+def analyze_regions(rows, tolerance: float = 0.05) -> RegionReport:
+    """Reduce Fig. 7 sweep rows to price-region recommendations.
+
+    Args:
+        rows: the output of :func:`repro.bench.fig7.run_fig7`.
+        tolerance: ratios whose efficiency is within this of the maximum
+            are included in the recommended region.
+    """
+    if not rows:
+        raise ConfigurationError("analyze_regions needs at least one sweep row")
+    objectives = sorted(rows[0].efficiency)
+    regions = []
+    for objective in objectives:
+        scored = [(r.price_ratio, r.efficiency[objective]) for r in rows]
+        best_ratio, best_eff = max(scored, key=lambda pair: pair[1])
+        near = [ratio for ratio, eff in scored if eff >= best_eff - tolerance]
+        regions.append(
+            PriceRegion(
+                objective=objective,
+                best_ratio=best_ratio,
+                low=min(near) if near else best_ratio,
+                high=max(near) if near else best_ratio,
+                efficiency=best_eff,
+            )
+        )
+    collapse = tuple(r.price_ratio for r in rows if not r.federation_formed)
+    return RegionReport(regions=tuple(regions), collapse_ratios=collapse)

@@ -1,0 +1,59 @@
+"""The SC utility function — Eq. (2) of the paper.
+
+    U_i^{S_i} = (max(C_i^0 - C_i^{S_i}, 0))^2 / (rho_i^{S_i} - rho_i^0)^gamma
+
+with ``0 <= gamma <= 1``.  ``gamma = 0`` (``UF0``) rewards pure cost
+reduction; ``gamma = 1`` (``UF1``) rewards the marginal cost reduction per
+unit of utilization increase — since ``0 < rho^S - rho^0 <= 1``, larger
+gamma weights the utilization change more heavily.
+
+Edge cases (pinned in DESIGN.md):
+
+- ``S_i = 0`` (not participating) gives utility 0 by definition — the
+  numerator is ``max(C^0 - C^0, 0) = 0``.
+- For ``gamma > 0``, a non-positive utilization change yields utility 0:
+  the paper argues utilization must strictly increase for a sharing SC,
+  so a model evaluation violating that means sharing brought no benefit.
+"""
+
+from __future__ import annotations
+
+from repro._validation import check_in_range
+
+#: The paper's named utility-function variants.
+UF0 = 0.0
+UF1 = 1.0
+
+_MIN_UTILIZATION_GAIN = 1e-12
+
+
+def utility(
+    baseline_cost: float,
+    cost: float,
+    baseline_utilization: float,
+    utilization: float,
+    gamma: float = UF0,
+) -> float:
+    """Evaluate Eq. (2).
+
+    Args:
+        baseline_cost: ``C_i^0`` (no sharing).
+        cost: ``C_i^{S_i}`` (with the current sharing decision).
+        baseline_utilization: ``rho_i^0``.
+        utilization: ``rho_i^{S_i}``.
+        gamma: the utilization-importance exponent in [0, 1].
+
+    Returns:
+        The non-negative utility.
+    """
+    gamma = check_in_range(gamma, "gamma", 0.0, 1.0)
+    reduction = max(baseline_cost - cost, 0.0)
+    if reduction == 0.0:
+        return 0.0
+    numerator = reduction * reduction
+    if gamma == 0.0:
+        return numerator
+    gain = utilization - baseline_utilization
+    if gain <= _MIN_UTILIZATION_GAIN:
+        return 0.0
+    return numerator / gain**gamma

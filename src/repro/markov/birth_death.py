@@ -1,0 +1,103 @@
+"""Analytic birth–death chains.
+
+A birth–death CTMC on ``{0, .., n}`` with level-dependent birth rates
+``lambda_k`` (k -> k+1) and death rates ``mu_k`` (k -> k-1) has the closed
+form stationary distribution
+
+    pi_k = pi_0 * prod_{j=1..k} lambda_{j-1} / mu_j.
+
+The Sect. III-A no-sharing model is exactly such a chain (arrival rate
+thinned by the SLA queueing probability above the server count), so this
+module provides both its analytic solution and a generic container used as
+ground truth for the sparse CTMC machinery in tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._validation import require
+from repro.exceptions import ConfigurationError
+from repro.markov.ctmc import CTMC
+from repro.markov.state_space import StateSpace
+
+
+class BirthDeathChain:
+    """A finite birth–death chain with explicit per-level rates.
+
+    Args:
+        birth_rates: ``birth_rates[k]`` is the rate from level k to k+1,
+            for k in ``0 .. n-1`` (length n).
+        death_rates: ``death_rates[k]`` is the rate from level k+1 to k,
+            for k in ``0 .. n-1`` (length n).
+    """
+
+    def __init__(self, birth_rates: Sequence[float], death_rates: Sequence[float]):
+        births = np.asarray(birth_rates, dtype=float)
+        deaths = np.asarray(death_rates, dtype=float)
+        if births.ndim != 1 or deaths.ndim != 1:
+            raise ConfigurationError("rates must be one-dimensional sequences")
+        require(len(births) == len(deaths), "birth and death rates must align")
+        require(len(births) >= 1, "chain needs at least two levels")
+        if births.min(initial=0.0) < 0.0 or deaths.min(initial=np.inf) <= 0.0:
+            raise ConfigurationError(
+                "birth rates must be >= 0 and death rates must be > 0"
+            )
+        if not np.all(np.isfinite(births)) or not np.all(np.isfinite(deaths)):
+            raise ConfigurationError("rates must be finite")
+        self.birth_rates = births
+        self.death_rates = deaths
+        self.n_levels = len(births) + 1
+
+    def stationary(self) -> np.ndarray:
+        """Return the stationary distribution over levels ``0 .. n``.
+
+        Computed with the product-form recurrence in log space to stay
+        stable for long chains and extreme rate ratios.
+        """
+        n = self.n_levels
+        log_pi = np.zeros(n)
+        with np.errstate(divide="ignore"):
+            log_ratios = np.log(self.birth_rates) - np.log(self.death_rates)
+        log_pi[1:] = np.cumsum(log_ratios)
+        log_pi -= log_pi.max()
+        pi = np.exp(log_pi)
+        # Levels beyond a zero birth rate get exactly zero mass.
+        pi[~np.isfinite(pi)] = 0.0
+        return pi / pi.sum()
+
+    def to_ctmc(self) -> CTMC:
+        """Materialize the chain as a sparse :class:`CTMC` (for cross-checks)."""
+        space = StateSpace(range(self.n_levels))
+
+        def triples():
+            for k, rate in enumerate(self.birth_rates):
+                if rate > 0.0:
+                    yield k, k + 1, rate
+            for k, rate in enumerate(self.death_rates):
+                yield k + 1, k, rate
+
+        return CTMC.from_transitions(space, triples())
+
+    def mean_level(self) -> float:
+        """Return the stationary mean level ``E[k]``."""
+        pi = self.stationary()
+        return float(np.dot(np.arange(self.n_levels), pi))
+
+
+def mmc_chain(arrival_rate: float, service_rate: float, servers: int, capacity: int) -> BirthDeathChain:
+    """Build the birth–death chain of an M/M/c/capacity queue.
+
+    Args:
+        arrival_rate: Poisson arrival rate ``lambda``.
+        service_rate: per-server exponential rate ``mu``.
+        servers: number of servers ``c``.
+        capacity: maximum number in system (``>= servers``).
+    """
+    if capacity < servers:
+        raise ConfigurationError("capacity must be at least the server count")
+    births = [arrival_rate] * capacity
+    deaths = [min(k + 1, servers) * service_rate for k in range(capacity)]
+    return BirthDeathChain(births, deaths)

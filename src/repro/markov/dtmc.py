@@ -1,0 +1,75 @@
+"""Discrete-time Markov chain container.
+
+Used as the embedded/uniformized companion of a CTMC: uniformization maps
+``Q`` to ``P = I + Q / gamma``; transient analysis then mixes powers of
+``P`` with Fox–Glynn Poisson weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigurationError
+from repro.markov.state_space import StateSpace
+
+
+class DTMC:
+    """A finite DTMC over an explicit state space.
+
+    Attributes:
+        space: the state space.
+        matrix: the sparse CSR row-stochastic transition matrix.
+    """
+
+    def __init__(self, space: StateSpace, matrix: sp.spmatrix):
+        n = len(space)
+        if matrix.shape != (n, n):
+            raise ConfigurationError(
+                f"transition matrix shape {matrix.shape} does not match space {n}"
+            )
+        self.space = space
+        self.matrix = sp.csr_matrix(matrix)
+        self._validate()
+
+    def _validate(self) -> None:
+        p = self.matrix
+        if p.nnz and p.data.min() < -1e-12:
+            raise ConfigurationError("DTMC has negative transition probabilities")
+        row_sums = np.asarray(p.sum(axis=1)).ravel()
+        if np.abs(row_sums - 1.0).max(initial=0.0) > 1e-8:
+            raise ConfigurationError(
+                "DTMC rows do not sum to one "
+                f"(max |row sum - 1| = {np.abs(row_sums - 1.0).max():.3e})"
+            )
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return len(self.space)
+
+    def step(self, distribution: np.ndarray) -> np.ndarray:
+        """Advance a row distribution one step: ``p' = p P``."""
+        return np.asarray(distribution @ self.matrix).ravel()
+
+    def power_distribution(self, distribution: np.ndarray, steps: int) -> np.ndarray:
+        """Advance ``distribution`` by ``steps`` transitions."""
+        if steps < 0:
+            raise ConfigurationError(f"steps must be >= 0, got {steps}")
+        result = np.asarray(distribution, dtype=float).copy()
+        for _ in range(steps):
+            result = self.step(result)
+        return result
+
+    def stationary(self, tol: float = 1e-12, max_iter: int = 1_000_000) -> np.ndarray:
+        """Return the stationary distribution by power iteration.
+
+        Requires the chain to be ergodic (guaranteed for uniformized CTMCs
+        built with a slack factor, which keep self-loops everywhere).
+        """
+        from repro.markov.solvers import stationary_power
+
+        return stationary_power(self.matrix, tol=tol, max_iter=max_iter)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DTMC(n={self.n_states}, nnz={self.matrix.nnz})"

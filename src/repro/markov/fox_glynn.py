@@ -1,0 +1,155 @@
+"""Fox–Glynn truncation of Poisson probabilities.
+
+Uniformization expresses a CTMC's transient distribution as a Poisson
+mixture of DTMC powers.  The Fox–Glynn method (Fox & Glynn, CACM 1988)
+bounds the mixture to a finite window ``[left, right]`` whose tail mass is
+below a requested precision, and computes the Poisson weights inside the
+window in a numerically stable way.
+
+This module implements the stable recurrence variant: weights are computed
+outward from the mode (where the Poisson pmf is largest) by the ratio
+recurrences ``p(k+1) = p(k) * m / (k+1)`` and ``p(k-1) = p(k) * k / m``,
+then normalized.  Window edges are found by walking the recurrence until
+the accumulated mass reaches ``1 - epsilon``; this matches the Fox–Glynn
+guarantees without the fragile closed-form corner cases of the original
+pseudo-code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_non_negative, check_probability
+from repro.exceptions import TruncationError
+
+
+@dataclass(frozen=True)
+class FoxGlynnWeights:
+    """Truncated Poisson weights ``P[K = k]`` for ``k`` in ``[left, right]``.
+
+    Attributes:
+        left: first retained Poisson index (inclusive).
+        right: last retained Poisson index (inclusive).
+        weights: array of length ``right - left + 1``; ``weights[k - left]``
+            approximates ``exp(-m) m^k / k!`` and the array sums to at most 1.
+        total: sum of ``weights`` (at least ``1 - epsilon``).
+    """
+
+    left: int
+    right: int
+    weights: np.ndarray
+    total: float
+
+    def __post_init__(self) -> None:
+        if self.right < self.left:
+            raise TruncationError(
+                f"empty Fox-Glynn window [{self.left}, {self.right}]"
+            )
+        if len(self.weights) != self.right - self.left + 1:
+            raise TruncationError("Fox-Glynn weight length does not match window")
+
+
+def fox_glynn(rate: float, epsilon: float = 1e-12) -> FoxGlynnWeights:
+    """Compute the Fox–Glynn window and Poisson weights for ``Poisson(rate)``.
+
+    Args:
+        rate: the Poisson mean ``m = gamma * t`` (non-negative).
+        epsilon: total truncated tail mass allowed (in (0, 1)).
+
+    Returns:
+        A :class:`FoxGlynnWeights` whose weights cover at least
+        ``1 - epsilon`` of the Poisson mass.
+    """
+    rate = check_non_negative(rate, "rate")
+    epsilon = check_probability(epsilon, "epsilon")
+    if epsilon <= 0.0:
+        raise TruncationError("epsilon must be strictly positive")
+
+    if rate == 0.0:
+        return FoxGlynnWeights(left=0, right=0, weights=np.array([1.0]), total=1.0)
+
+    mode = int(math.floor(rate))
+    # Work in log space at the mode to avoid under/overflow for large rates.
+    log_pmode = -rate + mode * math.log(rate) - math.lgamma(mode + 1)
+
+    # Walk right from the mode until the (unnormalized) tail is negligible.
+    # The ratio p(k+1)/p(k) = rate/(k+1) < 1 beyond the mode, so a geometric
+    # bound on the remaining tail gives a safe stopping rule.
+    right_ratios: list[float] = []
+    k = mode
+    value = 1.0  # pmf relative to the mode
+    acc_right = 0.0
+    while True:
+        ratio = rate / (k + 1)
+        value *= ratio
+        if value <= 0.0:
+            break
+        right_ratios.append(value)
+        acc_right += value
+        k += 1
+        if ratio < 1.0:
+            tail_bound = value * ratio / (1.0 - ratio)
+            if tail_bound * math.exp(log_pmode) < epsilon / 2.0:
+                break
+        if k - mode > 10_000_000:  # pragma: no cover - safety net
+            raise TruncationError("Fox-Glynn right walk did not terminate")
+
+    # Walk left from the mode symmetrically; pmf ratios shrink towards 0.
+    left_values: list[float] = []
+    value = 1.0
+    j = mode
+    while j > 0:
+        value *= j / rate
+        if value * math.exp(log_pmode) < epsilon / (4.0 * max(mode, 1)):
+            break
+        left_values.append(value)
+        j -= 1
+
+    left = j if j > 0 else 0
+    # If we walked all the way to zero, include index 0 explicitly.
+    if j == 0 and mode > 0 and (not left_values or len(left_values) < mode):
+        pass  # left already equals the last computed index
+
+    left = mode - len(left_values)
+    right = mode + len(right_ratios)
+
+    rel = np.empty(right - left + 1, dtype=float)
+    rel[mode - left] = 1.0
+    # reversed(left_values) runs from the leftmost retained index upward.
+    for idx, val in enumerate(reversed(left_values)):
+        rel[idx] = val
+    for idx, val in enumerate(right_ratios):
+        rel[mode - left + 1 + idx] = val
+
+    weights = rel * math.exp(log_pmode)
+    total = float(weights.sum())
+    if total <= 0.0:  # pragma: no cover - defensive
+        raise TruncationError("Fox-Glynn produced zero total mass")
+    # Renormalize so downstream mixtures are proper distributions; the
+    # discarded tail is below epsilon by construction.
+    weights = weights / total
+    return FoxGlynnWeights(left=left, right=right, weights=weights, total=total)
+
+
+def poisson_cdf(k: int, rate: float) -> float:
+    """Return ``P[Poisson(rate) <= k]`` stably (used by the SLA model).
+
+    Uses the regularized upper incomplete gamma identity
+    ``P[K <= k] = Q(k + 1, rate)`` via :func:`math` when small and a stable
+    summation otherwise.
+    """
+    rate = check_non_negative(rate, "rate")
+    if k < 0:
+        return 0.0
+    if rate == 0.0:
+        return 1.0
+    # Sum pmf terms from the largest downward for stability.
+    log_term = -rate  # log pmf at j=0
+    total = math.exp(log_term)
+    for j in range(1, k + 1):
+        log_term += math.log(rate) - math.log(j)
+        total += math.exp(log_term)
+    return min(total, 1.0)

@@ -1,0 +1,185 @@
+"""Steady-state solvers for CTMC generators.
+
+Three strategies, selectable explicitly or via ``method='auto'``:
+
+- ``direct``  — sparse LU on the constrained linear system; exact up to
+  floating point, preferred for the model sizes in this reproduction.
+- ``gmres``   — iterative Krylov solve with an ILU preconditioner; scales
+  to larger state spaces at some accuracy cost.
+- ``power``   — power iteration on the uniformized DTMC; slow but
+  unconditionally robust, used as a last-resort fallback and as an
+  independent cross-check in tests.
+
+All solvers return a probability row vector ``pi`` with ``pi Q = 0`` and
+``sum(pi) = 1``; tiny negative entries from round-off are clipped and the
+vector renormalized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.exceptions import ConvergenceError, SolverError
+
+
+def _clean(pi: np.ndarray, residual_scale: float = 1e-8) -> np.ndarray:
+    """Clip round-off negatives and renormalize a candidate distribution."""
+    pi = np.asarray(pi, dtype=float).ravel()
+    scale = max(float(np.abs(pi).max(initial=0.0)), 1.0)
+    min_val = pi.min(initial=0.0)
+    if min_val < -residual_scale * scale:
+        raise SolverError(
+            f"steady-state solution has significant negative mass ({min_val:.3e})"
+        )
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if total <= 0.0:
+        raise SolverError("steady-state solution has zero total mass")
+    return pi / total
+
+
+def _check_residual(q: sp.spmatrix, pi: np.ndarray, tol: float = 1e-7) -> None:
+    """Verify ``pi Q ~ 0`` relative to the generator's magnitude."""
+    scale = max(1.0, float(np.abs(q.diagonal()).max(initial=0.0)))
+    residual = np.abs(pi @ q).max() / scale
+    if residual > tol:
+        raise SolverError(f"steady-state residual too large: {residual:.3e}")
+
+
+def steady_state_direct(q: sp.spmatrix) -> np.ndarray:
+    """Solve ``pi Q = 0, sum(pi)=1`` by sparse LU on the transposed system.
+
+    The singular system is made determinate by *pinning* the first state's
+    probability to 1, dropping the (redundant) first balance equation, and
+    solving the remaining sparse square system; the result is then
+    normalized.  Pinning preserves sparsity — replacing an equation with a
+    dense row of ones would destroy the LU fill-in ordering and is orders
+    of magnitude slower on chains with tens of thousands of states.  The
+    first state is pinned because the library's state spaces start from
+    the empty-system state, which always carries non-negligible mass.
+    """
+    n = q.shape[0]
+    if n == 1:
+        return np.array([1.0])
+    qt = sp.csc_matrix(q.transpose())
+    a = qt[1:, 1:]
+    b = -qt[1:, 0].toarray().ravel()
+    try:
+        lu = spla.splu(sp.csc_matrix(a))
+        tail = lu.solve(b)
+    except RuntimeError as exc:  # singular factorization
+        raise SolverError(f"sparse LU failed: {exc}") from exc
+    pi = np.concatenate([[1.0], tail])
+    pi = _clean(pi)
+    _check_residual(q, pi)
+    return pi
+
+
+def steady_state_gmres(
+    q: sp.spmatrix, tol: float = 1e-12, max_iter: int = 20_000
+) -> np.ndarray:
+    """Solve the steady state with preconditioned GMRES."""
+    n = q.shape[0]
+    if n == 1:
+        return np.array([1.0])
+    a = sp.csc_matrix(q.transpose(), copy=True).tolil()
+    a[n - 1, :] = np.ones(n)
+    a = sp.csc_matrix(a)
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    preconditioner = None
+    try:
+        ilu = spla.spilu(a, drop_tol=1e-6, fill_factor=20)
+        preconditioner = spla.LinearOperator(a.shape, ilu.solve)
+    except RuntimeError:
+        preconditioner = None
+    x0 = np.full(n, 1.0 / n)
+    pi, info = spla.gmres(
+        a, b, x0=x0, rtol=tol, atol=0.0, maxiter=max_iter, M=preconditioner
+    )
+    if info != 0:
+        raise ConvergenceError(f"GMRES did not converge (info={info})")
+    pi = _clean(pi)
+    _check_residual(q, pi, tol=1e-6)
+    return pi
+
+
+def stationary_power(
+    p: sp.spmatrix, tol: float = 1e-12, max_iter: int = 1_000_000
+) -> np.ndarray:
+    """Power iteration for the stationary distribution of a DTMC matrix."""
+    n = p.shape[0]
+    pi = np.full(n, 1.0 / n)
+    for iteration in range(max_iter):
+        nxt = np.asarray(pi @ p).ravel()
+        delta = np.abs(nxt - pi).max()
+        pi = nxt
+        if delta < tol:
+            return _clean(pi)
+        if iteration % 1000 == 999:
+            pi = _clean(pi)  # guard against drift
+    raise ConvergenceError(
+        f"power iteration did not converge within {max_iter} iterations"
+    )
+
+
+def steady_state_power(
+    q: sp.spmatrix, tol: float = 1e-12, max_iter: int = 1_000_000
+) -> np.ndarray:
+    """Steady state via power iteration on the uniformized DTMC."""
+    exit_rates = -q.diagonal()
+    gamma = float(exit_rates.max(initial=0.0)) * 1.02
+    if gamma <= 0.0:
+        n = q.shape[0]
+        return np.full(n, 1.0 / n)
+    p = sp.eye(q.shape[0], format="csr") + q.multiply(1.0 / gamma)
+    pi = stationary_power(sp.csr_matrix(p), tol=tol, max_iter=max_iter)
+    _check_residual(q, pi, tol=1e-6)
+    return pi
+
+
+# Above this size, LU fill on lattice-shaped generators (the detailed
+# federation chains) costs minutes and gigabytes; power iteration on the
+# uniformized chain is tried first — these chains mix quickly, so it
+# typically wins by orders of magnitude and falls through cleanly if not.
+_LARGE_CHAIN_THRESHOLD = 20_000
+
+
+def steady_state(q: sp.spmatrix, method: str = "auto") -> np.ndarray:
+    """Solve the CTMC steady state with the requested ``method``.
+
+    ``auto`` picks a solver order by chain size (direct LU first for
+    small chains, power iteration first for large ones); the first solver
+    that produces a residual-checked distribution wins.
+    """
+    q = sp.csr_matrix(q)
+    methods = {
+        "direct": steady_state_direct,
+        "gmres": steady_state_gmres,
+        "power": steady_state_power,
+    }
+    if method in methods:
+        return methods[method](q)
+    if method != "auto":
+        raise SolverError(f"unknown steady-state method {method!r}")
+    if q.shape[0] > _LARGE_CHAIN_THRESHOLD:
+        order: list[tuple] = [
+            ("power", lambda m: steady_state_power(m, tol=1e-13, max_iter=100_000)),
+            ("direct", steady_state_direct),
+            ("gmres", steady_state_gmres),
+        ]
+    else:
+        order = [
+            ("direct", steady_state_direct),
+            ("gmres", steady_state_gmres),
+            ("power", steady_state_power),
+        ]
+    errors: list[str] = []
+    for name, solver in order:
+        try:
+            return solver(q)
+        except SolverError as exc:
+            errors.append(f"{name}: {exc}")
+    raise SolverError("all steady-state solvers failed: " + "; ".join(errors))

@@ -1,0 +1,116 @@
+"""Bijective state spaces for structured Markov chains.
+
+The detailed federation model (Sect. III-B) and the hierarchical
+approximate models (Sect. III-C) both index their CTMCs by structured
+tuples — queue lengths plus VM-allocation counters.  :class:`StateSpace`
+provides the tuple ↔ dense-index bijection those models need, and
+:func:`explore` builds a state space by breadth-first reachability from
+seed states under a caller-supplied successor function (so only reachable
+states are materialized, which matters for the detailed model whose naive
+product space is astronomically larger than its reachable core).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Hashable, Iterable, Iterator, Sequence
+
+from repro.exceptions import StateSpaceError
+
+State = Hashable
+
+
+class StateSpace:
+    """An immutable, ordered collection of states with O(1) index lookup.
+
+    States may be any hashable objects (the library uses tuples of ints).
+    Iteration order equals index order, so arrays indexed by this space can
+    be zipped directly with iteration.
+    """
+
+    __slots__ = ("_states", "_index")
+
+    def __init__(self, states: Iterable[State]):
+        self._states: tuple[State, ...] = tuple(states)
+        self._index: dict[State, int] = {s: i for i, s in enumerate(self._states)}
+        if len(self._index) != len(self._states):
+            raise StateSpaceError("duplicate states in state space")
+        if not self._states:
+            raise StateSpaceError("state space must contain at least one state")
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self._states)
+
+    def __contains__(self, state: State) -> bool:
+        return state in self._index
+
+    def __getitem__(self, index: int) -> State:
+        return self._states[index]
+
+    def index(self, state: State) -> int:
+        """Return the dense index of ``state``.
+
+        Raises:
+            StateSpaceError: if the state is not part of this space.
+        """
+        try:
+            return self._index[state]
+        except KeyError:
+            raise StateSpaceError(f"state {state!r} not in state space") from None
+
+    def get(self, state: State) -> int | None:
+        """Return the index of ``state`` or None if absent."""
+        return self._index.get(state)
+
+    def states(self) -> tuple[State, ...]:
+        """Return all states in index order."""
+        return self._states
+
+    def subset_indices(self, predicate: Callable[[State], bool]) -> list[int]:
+        """Return indices of all states satisfying ``predicate``."""
+        return [i for i, s in enumerate(self._states) if predicate(s)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StateSpace(n={len(self)})"
+
+
+def explore(
+    seeds: Sequence[State],
+    successors: Callable[[State], Iterable[tuple[State, float]]],
+    max_states: int = 5_000_000,
+) -> StateSpace:
+    """Build a :class:`StateSpace` of all states reachable from ``seeds``.
+
+    Args:
+        seeds: initial states (must be non-empty).
+        successors: maps a state to an iterable of ``(next_state, rate)``
+            pairs; rates are ignored here but the signature matches the
+            transition generators used to build CTMCs, so the same function
+            serves both exploration and matrix assembly.
+        max_states: safety bound on the reachable set.
+
+    Returns:
+        The reachable state space in BFS discovery order (seeds first).
+    """
+    if not seeds:
+        raise StateSpaceError("explore() needs at least one seed state")
+    discovered: dict[State, None] = {}
+    queue: deque[State] = deque()
+    for seed in seeds:
+        if seed not in discovered:
+            discovered[seed] = None
+            queue.append(seed)
+    while queue:
+        state = queue.popleft()
+        for nxt, _rate in successors(state):
+            if nxt not in discovered:
+                if len(discovered) >= max_states:
+                    raise StateSpaceError(
+                        f"reachable state space exceeds max_states={max_states}"
+                    )
+                discovered[nxt] = None
+                queue.append(nxt)
+    return StateSpace(discovered.keys())

@@ -1,0 +1,92 @@
+"""Analytic brackets on federation performance.
+
+Two easily computed systems bound the true federation between them:
+
+- **No-sharing upper bound** on forwarding: each SC alone (Sect. III-A)
+  forwards at least as much as it would inside any federation — sharing
+  can only add service capacity.
+- **Full-pooling lower bound**: merging every SC into one big
+  SLA-queueing system with ``sum(N_i)`` VMs and ``sum(lambda_i)`` load is
+  the perfect-sharing limit (no share caps, no lending frictions), so its
+  forwarding under-estimates every real federation's.
+
+The brackets serve three purposes: sanity tests for every estimator
+(model outputs must land inside), a quick feasibility screen before
+running expensive models, and a measure of *how much* of the theoretical
+pooling gain a sharing vector actually captures
+(:func:`pooling_gain_captured`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.small_cloud import FederationScenario
+from repro.queueing.forwarding import NoSharingModel
+
+
+@dataclass(frozen=True)
+class ForwardingBounds:
+    """Bracket on the federation's total public-cloud forwarding rate.
+
+    Attributes:
+        upper: total forwarding with no sharing at all (sum of per-SC
+            Sect. III-A models).
+        lower: total forwarding under perfect pooling (one merged system).
+    """
+
+    upper: float
+    lower: float
+
+    @property
+    def width(self) -> float:
+        """The maximum value cooperation can possibly save."""
+        return self.upper - self.lower
+
+    def contains(self, total_forward_rate: float, slack: float = 1e-6) -> bool:
+        """Whether a measured total forwarding rate lies in the bracket."""
+        return self.lower - slack <= total_forward_rate <= self.upper + slack
+
+
+def _merged_model(scenario: FederationScenario) -> NoSharingModel:
+    total_vms = sum(c.vms for c in scenario)
+    total_rate = sum(c.arrival_rate for c in scenario)
+    # The merged system adopts the tightest SLA and slowest service among
+    # members, which keeps the bound conservative (pessimistic pooling
+    # still beats any real federation's frictions for the metrics here).
+    sla = min(c.sla_bound for c in scenario)
+    mu = min(c.service_rate for c in scenario)
+    return NoSharingModel(
+        servers=total_vms, arrival_rate=total_rate, service_rate=mu, sla_bound=sla
+    )
+
+
+def forwarding_bounds(scenario: FederationScenario) -> ForwardingBounds:
+    """Compute the no-sharing / full-pooling bracket for a scenario."""
+    upper = sum(
+        NoSharingModel(
+            c.vms, c.arrival_rate, c.service_rate, c.sla_bound
+        ).forward_rate
+        for c in scenario
+    )
+    lower = _merged_model(scenario).forward_rate
+    return ForwardingBounds(upper=upper, lower=lower)
+
+
+def pooling_gain_captured(
+    scenario: FederationScenario, total_forward_rate: float
+) -> float:
+    """Fraction of the theoretical pooling gain a federation achieves.
+
+    0 means no better than isolation, 1 means as good as perfect pooling.
+    Values are clipped to [0, 1] to absorb estimator noise.
+
+    Args:
+        scenario: the federation.
+        total_forward_rate: the measured/estimated total ``sum(Pbar_i)``.
+    """
+    bounds = forwarding_bounds(scenario)
+    if bounds.width <= 0.0:
+        return 1.0  # nothing to gain: isolation is already optimal
+    captured = (bounds.upper - total_forward_rate) / bounds.width
+    return min(max(captured, 0.0), 1.0)

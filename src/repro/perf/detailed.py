@@ -1,0 +1,273 @@
+"""The detailed (exact) federation CTMC ``M`` of Sect. III-B.
+
+The joint state tracks, for every SC i, the number of its own requests in
+its local system (``q_i``) and the full who-serves-whom matrix
+(``borrow[o][h]`` = VMs at host ``h`` serving owner ``o``'s requests).
+Transition semantics follow Table I with the index typos resolved (see
+DESIGN.md): load-balanced lending on arrival, max-backlog lending on local
+release, owner-priority return of borrowed VMs, SLA-probabilistic
+queue-or-forward when the whole federation is saturated.
+
+The state space is exponential in K — the model is only practical for
+federations of 2–3 small SCs, exactly the regime the paper uses it in
+(validating the approximate model); larger scenarios use the simulator.
+Only *reachable* states are materialized (breadth-first exploration from
+the empty state), which shrinks the space considerably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_positive
+from repro.core.small_cloud import FederationScenario
+from repro.exceptions import ConfigurationError
+from repro.markov.ctmc import CTMC
+from repro.markov.state_space import StateSpace, explore
+from repro.perf.base import PerformanceModel
+from repro.perf.params import PerformanceParams
+from repro.queueing.forwarding import queue_truncation_level
+from repro.queueing.sla import prob_no_forward
+
+# A state is (q_0, .., q_{K-1}, borrow_pairs...) where borrow pairs are
+# flattened in the fixed order (owner, host) for owner != host.
+
+
+@dataclass(frozen=True)
+class _Derived:
+    """Derived per-SC quantities of one joint state."""
+
+    lent: tuple[int, ...]  # VMs lent by each SC
+    borrowed: tuple[int, ...]  # VMs borrowed by each SC
+    own_running: tuple[int, ...]  # own requests served locally
+    backlog: tuple[int, ...]  # own requests waiting
+    free: tuple[int, ...]  # idle VMs
+
+
+class DetailedModel(PerformanceModel):
+    """Exact CTMC performance model (Sect. III-B).
+
+    Args:
+        tail_epsilon: SLA-queue truncation tolerance (see
+            :func:`repro.queueing.forwarding.queue_truncation_level`).
+        max_states: safety bound on the reachable state space.
+    """
+
+    def __init__(self, tail_epsilon: float = 1e-9, max_states: int = 2_000_000):
+        self.tail_epsilon = check_positive(tail_epsilon, "tail_epsilon")
+        self.max_states = max_states
+
+    # ------------------------------------------------------------------ #
+    # state helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _pair_order(k: int) -> list[tuple[int, int]]:
+        return [(o, h) for o in range(k) for h in range(k) if o != h]
+
+    def _derive(self, scenario: FederationScenario, state: tuple) -> _Derived:
+        k = len(scenario)
+        q = state[:k]
+        pairs = self._pair_order(k)
+        borrow = {pair: state[k + idx] for idx, pair in enumerate(pairs)}
+        lent = tuple(sum(borrow[(o, h)] for o in range(k) if o != h) for h in range(k))
+        borrowed = tuple(
+            sum(borrow[(o, h)] for h in range(k) if h != o) for o in range(k)
+        )
+        own_running = tuple(
+            min(q[i], scenario[i].vms - lent[i]) for i in range(k)
+        )
+        backlog = tuple(q[i] - own_running[i] for i in range(k))
+        free = tuple(
+            scenario[i].vms - lent[i] - own_running[i] for i in range(k)
+        )
+        return _Derived(
+            lent=lent,
+            borrowed=borrowed,
+            own_running=own_running,
+            backlog=backlog,
+            free=free,
+        )
+
+    def _q_max(self, scenario: FederationScenario, index: int) -> int:
+        cloud = scenario[index]
+        capacity = cloud.vms + scenario.shared_by_others(index)
+        return queue_truncation_level(
+            capacity, cloud.service_rate, cloud.sla_bound, self.tail_epsilon
+        )
+
+    # ------------------------------------------------------------------ #
+    # transition semantics
+    # ------------------------------------------------------------------ #
+
+    def _successors(self, scenario: FederationScenario, q_max: tuple[int, ...]):
+        k = len(scenario)
+        pairs = self._pair_order(k)
+        pair_index = {pair: idx for idx, pair in enumerate(pairs)}
+
+        def set_q(state: tuple, i: int, value: int) -> tuple:
+            return state[:i] + (value,) + state[i + 1 :]
+
+        def bump_pair(state: tuple, owner: int, host: int, delta: int) -> tuple:
+            idx = k + pair_index[(owner, host)]
+            return state[:idx] + (state[idx] + delta,) + state[idx + 1 :]
+
+        def successors(state: tuple):
+            derived = self._derive(scenario, state)
+            transitions: list[tuple[tuple, float]] = []
+
+            for i, cloud in enumerate(scenario):
+                rate = cloud.arrival_rate
+                if derived.free[i] > 0:
+                    transitions.append((set_q(state, i, state[i] + 1), rate))
+                    continue
+                lenders = [
+                    j
+                    for j in range(k)
+                    if j != i
+                    and derived.free[j] > 0
+                    and derived.lent[j] < scenario[j].shared_vms
+                ]
+                if lenders:
+                    loads = [state[j] + derived.lent[j] for j in lenders]
+                    best = min(loads)
+                    tied = [j for j, load in zip(lenders, loads) if load == best]
+                    for j in tied:
+                        transitions.append(
+                            (bump_pair(state, i, j, +1), rate / len(tied))
+                        )
+                    continue
+                # Everything saturated: queue with the SLA probability.
+                busy_for_i = derived.own_running[i] + derived.borrowed[i]
+                p_queue = prob_no_forward(
+                    derived.backlog[i], busy_for_i, cloud.service_rate, cloud.sla_bound
+                )
+                if state[i] < q_max[i] and p_queue > 0.0:
+                    transitions.append(
+                        (set_q(state, i, state[i] + 1), rate * p_queue)
+                    )
+                # Forwarding leaves the state unchanged (rate accounted
+                # separately in the performance-parameter extraction).
+
+            for i, cloud in enumerate(scenario):
+                # Completion of an own request served locally.
+                running = derived.own_running[i]
+                if running > 0:
+                    rate = running * cloud.service_rate
+                    base = set_q(state, i, state[i] - 1)
+                    if derived.backlog[i] > 0 or derived.lent[i] >= cloud.shared_vms:
+                        transitions.append((base, rate))
+                    else:
+                        needy = [
+                            j
+                            for j in range(k)
+                            if j != i and derived.backlog[j] > 0
+                        ]
+                        if needy:
+                            backlogs = [derived.backlog[j] for j in needy]
+                            best = max(backlogs)
+                            tied = [
+                                j for j, b in zip(needy, backlogs) if b == best
+                            ]
+                            for j in tied:
+                                lent_state = bump_pair(
+                                    set_q(base, j, base[j] - 1), j, i, +1
+                                )
+                                transitions.append((lent_state, rate / len(tied)))
+                        else:
+                            transitions.append((base, rate))
+
+            for owner, host in pairs:
+                count = state[k + pair_index[(owner, host)]]
+                if count <= 0:
+                    continue
+                rate = count * scenario[host].service_rate
+                released = bump_pair(state, owner, host, -1)
+                if derived.backlog[host] > 0:
+                    # Owner reclaims the VM for its own queue head; the
+                    # decrement of lent[host] lets own_running grow, which
+                    # the derived quantities capture, so releasing the pair
+                    # is the whole transition.
+                    transitions.append((released, rate))
+                    continue
+                needy = [
+                    j for j in range(k) if j != host and derived.backlog[j] > 0
+                ]
+                if needy:
+                    backlogs = [derived.backlog[j] for j in needy]
+                    best = max(backlogs)
+                    tied = [j for j, b in zip(needy, backlogs) if b == best]
+                    for j in tied:
+                        relent = bump_pair(
+                            set_q(released, j, released[j] - 1), j, host, +1
+                        )
+                        transitions.append((relent, rate / len(tied)))
+                else:
+                    transitions.append((released, rate))
+
+            return transitions
+
+        return successors
+
+    # ------------------------------------------------------------------ #
+    # solution
+    # ------------------------------------------------------------------ #
+
+    def build(self, scenario: FederationScenario) -> tuple[StateSpace, CTMC]:
+        """Explore the reachable space and assemble the generator."""
+        k = len(scenario)
+        if k < 1:
+            raise ConfigurationError("scenario must contain at least one SC")
+        q_max = tuple(self._q_max(scenario, i) for i in range(k))
+        empty = tuple([0] * k + [0] * (k * (k - 1)))
+        successors = self._successors(scenario, q_max)
+        space = explore([empty], successors, max_states=self.max_states)
+        ctmc = CTMC.from_successor_function(space, successors)
+        return space, ctmc
+
+    def evaluate(self, scenario: FederationScenario) -> list[PerformanceParams]:
+        """Solve the exact chain and extract ``(Ibar, Obar, Pbar, rho)``."""
+        space, ctmc = self.build(scenario)
+        pi = ctmc.steady_state()
+        k = len(scenario)
+        lent = np.zeros((k, len(space)))
+        borrowed = np.zeros((k, len(space)))
+        busy = np.zeros((k, len(space)))
+        forward = np.zeros((k, len(space)))
+        for idx, state in enumerate(space):
+            derived = self._derive(scenario, state)
+            for i, cloud in enumerate(scenario):
+                lent[i, idx] = derived.lent[i]
+                borrowed[i, idx] = derived.borrowed[i]
+                busy[i, idx] = derived.own_running[i] + derived.lent[i]
+                if derived.free[i] > 0:
+                    continue
+                lender_exists = any(
+                    j != i
+                    and derived.free[j] > 0
+                    and derived.lent[j] < scenario[j].shared_vms
+                    for j in range(k)
+                )
+                if lender_exists:
+                    continue
+                busy_for_i = derived.own_running[i] + derived.borrowed[i]
+                p_queue = prob_no_forward(
+                    derived.backlog[i],
+                    busy_for_i,
+                    cloud.service_rate,
+                    cloud.sla_bound,
+                )
+                forward[i, idx] = cloud.arrival_rate * (1.0 - p_queue)
+        results = []
+        for i, cloud in enumerate(scenario):
+            results.append(
+                PerformanceParams(
+                    lent_mean=float(lent[i] @ pi),
+                    borrowed_mean=float(borrowed[i] @ pi),
+                    forward_rate=float(forward[i] @ pi),
+                    utilization=float(busy[i] @ pi) / cloud.vms,
+                )
+            )
+        return results

@@ -1,0 +1,45 @@
+"""The performance-parameter vector exchanged between models and market.
+
+One :class:`PerformanceParams` per SC carries exactly the quantities the
+paper's Eq. (1) cost function and Eq. (2) utility need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PerformanceParams:
+    """Stationary performance parameters of one SC inside the federation.
+
+    Attributes:
+        lent_mean: ``Ibar_i`` — mean VMs of SC i in use by other SCs.
+        borrowed_mean: ``Obar_i`` — mean VMs of other SCs in use by SC i.
+        forward_rate: ``Pbar_i`` — mean rate of requests forwarded to the
+            public cloud (requests per time unit).
+        utilization: ``rho_i`` — mean fraction of SC i's own VMs busy
+            (serving anyone, own customers or guests).
+    """
+
+    lent_mean: float
+    borrowed_mean: float
+    forward_rate: float
+    utilization: float
+
+    def __post_init__(self) -> None:
+        for name in ("lent_mean", "borrowed_mean", "forward_rate", "utilization"):
+            value = getattr(self, name)
+            if value < -1e-9:
+                raise ConfigurationError(f"{name} must be >= 0, got {value}")
+        if self.utilization > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"utilization must be <= 1, got {self.utilization}"
+            )
+
+    @property
+    def net_borrowed(self) -> float:
+        """``Obar - Ibar``: net federation usage priced at ``C^G`` in Eq. (1)."""
+        return self.borrowed_mean - self.lent_mean

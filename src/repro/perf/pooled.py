@@ -1,0 +1,381 @@
+"""Fast fixed-point ("pooled") performance approximation.
+
+This is an addition of the reproduction (not in the paper): a cheap
+estimator of ``(Ibar, Obar, Pbar, rho)`` used where the full hierarchical
+model of Sect. III-C is too expensive (large market sweeps) and as an
+ablation baseline against it.
+
+Construction.  Each SC i is modeled by a two-dimensional birth–death-like
+chain over ``(q, o)`` — own requests in the local system and VMs borrowed
+from the shared pool — exactly the shape of the paper's ``M^1``.  The
+federation coupling is collapsed into three scalars per SC, solved by
+damped fixed-point iteration:
+
+- ``ell_i``  — the expected number of VMs SC i lends (reduces its local
+  capacity to ``N_i - ell_i``; fractional values are allowed, entering
+  through the service/availability rates),
+- ``beta_i`` — the probability that some other SC can lend a VM at an
+  arrival epoch of SC i (thins the borrow transition),
+- supply weights — expected idle-and-sharable VMs of each SC, used to
+  split the total borrowing demand into per-SC lending ``ell``.
+
+The fixed point conserves flow: ``sum_i Obar_i = sum_j Ibar_j`` up to the
+iteration tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_in_range, check_positive, check_positive_int
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.exceptions import ConvergenceError
+from repro.markov.ctmc import CTMC
+from repro.markov.state_space import StateSpace
+from repro.perf.base import PerformanceModel
+from repro.perf.params import PerformanceParams
+from repro.queueing.forwarding import queue_truncation_level
+from repro.queueing.sla import prob_no_forward
+
+
+def _fractional_prob_no_forward(
+    waiting: float, busy: float, service_rate: float, sla_bound: float
+) -> float:
+    """``P^NF`` allowing fractional waiting and busy-server counts.
+
+    Bilinear interpolation of the integer-argument tail.  Continuity in
+    both arguments matters: the fixed point perturbs the effective
+    capacity continuously, and any jump in the chain's rates as capacity
+    crosses an integer turns the coupling map discontinuous (producing
+    limit cycles instead of a fixed point).
+    """
+    if waiting < 0.0:
+        return 1.0
+    if busy <= 0.0:
+        return 0.0
+
+    def at_busy(b: int) -> float:
+        w_lo = int(np.floor(waiting))
+        w_hi = int(np.ceil(waiting))
+        lo = prob_no_forward(w_lo, b, service_rate, sla_bound)
+        if w_hi == w_lo:
+            return lo
+        hi = prob_no_forward(w_hi, b, service_rate, sla_bound)
+        frac = waiting - w_lo
+        return (1.0 - frac) * lo + frac * hi
+
+    b_lo = int(np.floor(busy))
+    b_hi = int(np.ceil(busy))
+    low_val = at_busy(b_lo)
+    if b_hi == b_lo:
+        return low_val
+    high_val = at_busy(b_hi)
+    frac = busy - b_lo
+    return (1.0 - frac) * low_val + frac * high_val
+
+
+class _CloudChain:
+    """The per-SC (q, o) chain solved inside each fixed-point sweep."""
+
+    def __init__(self, cloud: SmallCloud, pool_size: int, tail_epsilon: float):
+        self.cloud = cloud
+        self.pool_size = pool_size
+        capacity = cloud.vms + pool_size
+        self.q_max = queue_truncation_level(
+            max(capacity, 1), cloud.service_rate, cloud.sla_bound, tail_epsilon
+        )
+        states = [
+            (q, o) for q in range(self.q_max + 1) for o in range(pool_size + 1)
+        ]
+        self.space = StateSpace(states)
+
+    def solve(self, ell: float, beta: float) -> dict[str, float]:
+        """Solve the chain for given lending level and pool availability.
+
+        The (q, o) grid is rectangular, so state indices are computed
+        arithmetically and the generator is assembled straight into COO
+        arrays — this method runs once per SC per fixed-point iteration
+        and dominates the pooled model's cost.
+        """
+        cloud = self.cloud
+        mu = cloud.service_rate
+        lam = cloud.arrival_rate
+        pool = self.pool_size
+        width = pool + 1
+        n_states = (self.q_max + 1) * width
+        capacity = cloud.vms - ell  # fractional effective own capacity
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        forward_flow = np.zeros(n_states)
+        pnf_cache: dict[float, float] = {}
+
+        def add(src_idx: int, dst_idx: int, rate: float) -> None:
+            rows.append(src_idx)
+            cols.append(dst_idx)
+            vals.append(rate)
+
+        for q in range(self.q_max + 1):
+            own_running = q if q < capacity else capacity
+            waiting = q - capacity
+            if waiting < 0.0:
+                waiting = 0.0
+            w_local = capacity - q
+            if w_local > 1.0:
+                w_local = 1.0
+            elif w_local < 0.0:
+                w_local = 0.0
+            saturated = 1.0 - w_local
+            for o in range(width):
+                idx = q * width + o
+                # Arrivals (split continuously at the fractional capacity).
+                if q + 1 <= self.q_max:
+                    if w_local > 0.0:
+                        add(idx, idx + width, lam * w_local)
+                    if saturated > 0.0:
+                        if o < pool and beta > 0.0:
+                            add(idx, idx + 1, lam * saturated * beta)
+                        blocked = saturated * (1.0 if o >= pool else 1.0 - beta)
+                        if blocked > 0.0:
+                            busy = own_running + o
+                            key = waiting * 4096.0 + busy
+                            p_queue = pnf_cache.get(key)
+                            if p_queue is None:
+                                p_queue = _fractional_prob_no_forward(
+                                    waiting, busy, mu, cloud.sla_bound
+                                )
+                                pnf_cache[key] = p_queue
+                            if p_queue > 0.0:
+                                add(idx, idx + width, lam * blocked * p_queue)
+                            forward_flow[idx] = lam * blocked * (1.0 - p_queue)
+                else:
+                    forward_flow[idx] = lam
+                # Local departures.
+                if own_running > 0:
+                    add(idx, idx - width, own_running * mu)
+                # Remote departures (continuous keep/return split).
+                if o > 0:
+                    w_keep = waiting if waiting < 1.0 else 1.0
+                    if w_keep > 0.0:
+                        add(idx, idx - width, o * mu * w_keep)
+                    if w_keep < 1.0:
+                        add(idx, idx - 1, o * mu * (1.0 - w_keep))
+
+        import scipy.sparse as sp
+
+        q_matrix = sp.coo_matrix(
+            (vals, (rows, cols)), shape=(n_states, n_states)
+        ).tocsr()
+        q_matrix = q_matrix - sp.diags(
+            np.asarray(q_matrix.sum(axis=1)).ravel(), format="csr"
+        )
+        from repro.markov.solvers import steady_state
+
+        pi = steady_state(q_matrix)
+
+        borrowed = 0.0
+        busy_own = 0.0
+        idle_sharable = 0.0
+        free_prob = 0.0
+        forward_rate = float(forward_flow @ pi)
+        share_room = cloud.shared_vms - ell
+        if share_room < 0.0:
+            share_room = 0.0
+        for q in range(self.q_max + 1):
+            own_running = q if q < capacity else capacity
+            idle = capacity - q
+            if idle < 0.0:
+                idle = 0.0
+            sharable = idle if idle < share_room else share_room
+            free_frac = idle if idle < 1.0 else 1.0
+            base = q * width
+            for o in range(width):
+                p = pi[base + o]
+                borrowed += o * p
+                busy_own += own_running * p
+                idle_sharable += sharable * p
+                free_prob += free_frac * p
+        headroom = share_room if share_room < 1.0 else 1.0
+        return {
+            "borrowed": borrowed,
+            "busy_own": busy_own,
+            "idle_sharable": idle_sharable,
+            "forward_rate": forward_rate,
+            "avail_prob": free_prob * headroom,
+        }
+
+
+class PooledModel(PerformanceModel):
+    """Fixed-point overflow approximation of the federation.
+
+    Args:
+        damping: fixed-point damping factor in (0, 1]; smaller is safer.
+        tolerance: convergence threshold on the lending vector.
+        max_iterations: iteration budget.
+        tail_epsilon: queue truncation tolerance.
+    """
+
+    def __init__(
+        self,
+        damping: float = 0.8,
+        tolerance: float = 1e-5,
+        max_iterations: int = 300,
+        tail_epsilon: float = 1e-9,
+    ):
+        self.damping = check_in_range(damping, "damping", 1e-6, 1.0)
+        self.tolerance = check_positive(tolerance, "tolerance")
+        self.max_iterations = check_positive_int(max_iterations, "max_iterations")
+        self.tail_epsilon = check_positive(tail_epsilon, "tail_epsilon")
+
+    def evaluate(self, scenario: FederationScenario) -> list[PerformanceParams]:
+        """Solve the coupling fixed point and project per-SC parameters."""
+        k = len(scenario)
+        shares = np.array([c.shared_vms for c in scenario], dtype=float)
+        if shares.sum() == 0.0 or k == 1:
+            return self._no_sharing(scenario)
+        chains = [
+            _CloudChain(
+                scenario[i],
+                pool_size=scenario.shared_by_others(i),
+                tail_epsilon=self.tail_epsilon,
+            )
+            for i in range(k)
+        ]
+        ell, beta = self._fixed_point(chains, shares)
+        stats = [chains[i].solve(ell[i], beta[i]) for i in range(k)]
+        results = []
+        for i, cloud in enumerate(scenario):
+            busy = stats[i]["busy_own"] + ell[i]
+            results.append(
+                PerformanceParams(
+                    lent_mean=float(ell[i]),
+                    borrowed_mean=float(stats[i]["borrowed"]),
+                    forward_rate=float(stats[i]["forward_rate"]),
+                    utilization=min(busy / cloud.vms, 1.0),
+                )
+            )
+        return results
+
+    def _apply_map(
+        self, chains: list[_CloudChain], shares: np.ndarray, ell: np.ndarray, beta: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One sweep of the coupling map ``(ell, beta) -> (ell', beta')``."""
+        k = len(chains)
+        stats = [chains[i].solve(ell[i], beta[i]) for i in range(k)]
+        borrowed = np.array([s["borrowed"] for s in stats])
+        supply = np.array([s["idle_sharable"] for s in stats])
+        # Split total borrowing demand into per-SC lending proportional to
+        # each lender's expected idle-and-sharable capacity, capped at the
+        # share limits.
+        new_ell = np.zeros(k)
+        for i in range(k):
+            other = np.array([supply[j] if j != i else 0.0 for j in range(k)])
+            total_other = other.sum()
+            if total_other <= 0.0:
+                continue
+            new_ell += borrowed[i] * other / total_other
+        new_ell = np.minimum(new_ell, shares)
+        new_beta = np.array(
+            [
+                1.0
+                - np.prod(
+                    [1.0 - stats[j]["avail_prob"] for j in range(k) if j != i]
+                )
+                for i in range(k)
+            ]
+        )
+        return new_ell, new_beta
+
+    def _fixed_point(
+        self, chains: list[_CloudChain], shares: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Solve the coupling fixed point.
+
+        Damped Picard iteration handles the common case; when the raw map
+        cycles (which happens for a few asymmetric share vectors), the
+        final iterate seeds a Newton-Krylov root solve of the residual
+        ``map(x) - x``, which lands on the fixed point at the cycle's
+        center.
+        """
+        k = len(chains)
+        ell = np.zeros(k)
+        beta = np.ones(k) * np.where(shares.sum() - shares > 0, 1.0, 0.0)
+        damping = self.damping
+        best_step = np.inf
+        stalled = 0
+        for _ in range(self.max_iterations):
+            new_ell, new_beta = self._apply_map(chains, shares, ell, beta)
+            step = np.abs(new_ell - ell).max(initial=0.0) + np.abs(
+                new_beta - beta
+            ).max(initial=0.0)
+            ell = (1.0 - damping) * ell + damping * new_ell
+            beta = (1.0 - damping) * beta + damping * new_beta
+            if step < self.tolerance:
+                return ell, beta
+            # The raw map can enter small limit cycles; shrinking the step
+            # turns the cycle into a spiral toward its center.
+            if step < best_step * 0.95:
+                best_step = min(step, best_step)
+                stalled = 0
+            else:
+                stalled += 1
+                if stalled >= 5:
+                    damping = max(damping * 0.5, 0.05)
+                    stalled = 0
+        return self._root_solve(chains, shares, ell, beta)
+
+    def _root_solve(
+        self,
+        chains: list[_CloudChain],
+        shares: np.ndarray,
+        ell: np.ndarray,
+        beta: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fallback: solve ``map(x) = x`` with a quasi-Newton root finder."""
+        import scipy.optimize
+
+        k = len(chains)
+
+        def clip(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            e = np.clip(x[:k], 0.0, shares)
+            b = np.clip(x[k:], 0.0, 1.0)
+            return e, b
+
+        def residual(x: np.ndarray) -> np.ndarray:
+            e, b = clip(x)
+            new_e, new_b = self._apply_map(chains, shares, e, b)
+            return np.concatenate([new_e - e, new_b - b])
+
+        start = np.concatenate([ell, beta])
+        solution = scipy.optimize.root(
+            residual, start, method="df-sane", options={"maxfev": 400, "fatol": self.tolerance}
+        )
+        res_norm = float(np.abs(residual(solution.x)).max())
+        if res_norm > max(self.tolerance * 100, 1e-4):
+            raise ConvergenceError(
+                "pooled model fixed point did not converge "
+                f"(residual {res_norm:.2e} after root fallback)"
+            )
+        return clip(solution.x)
+
+    def _no_sharing(self, scenario: FederationScenario) -> list[PerformanceParams]:
+        from repro.queueing.forwarding import NoSharingModel
+
+        results = []
+        for cloud in scenario:
+            model = NoSharingModel(
+                cloud.vms,
+                cloud.arrival_rate,
+                cloud.service_rate,
+                cloud.sla_bound,
+                tail_epsilon=self.tail_epsilon,
+            )
+            results.append(
+                PerformanceParams(
+                    lent_mean=0.0,
+                    borrowed_mean=0.0,
+                    forward_rate=model.forward_rate,
+                    utilization=model.utilization,
+                )
+            )
+        return results

@@ -1,0 +1,49 @@
+"""Simulation-backed performance model.
+
+Adapts the discrete-event :class:`~repro.sim.federation.FederationSimulator`
+to the :class:`~repro.perf.base.PerformanceModel` interface so that the
+market game (or any other consumer) can run against simulated ground
+truth.  Estimates are stochastic; horizon and warmup control accuracy.
+"""
+
+from __future__ import annotations
+
+from repro._validation import check_non_negative, check_non_negative_int, check_positive
+from repro.core.small_cloud import FederationScenario
+from repro.exceptions import ConfigurationError
+from repro.perf.base import PerformanceModel
+from repro.perf.params import PerformanceParams
+from repro.sim.federation import FederationSimulator
+
+
+class SimulationModel(PerformanceModel):
+    """Performance parameters estimated by discrete-event simulation.
+
+    Args:
+        horizon: simulated time per evaluation.
+        warmup: initial transient excluded from statistics.
+        seed: base RNG seed; each evaluation reuses the same seed so the
+            model is deterministic for a fixed scenario (common random
+            numbers across sharing decisions).
+    """
+
+    def __init__(self, horizon: float = 50_000.0, warmup: float = 2_000.0, seed: int = 0):
+        self.horizon = check_positive(horizon, "horizon")
+        self.warmup = check_non_negative(warmup, "warmup")
+        if self.warmup >= self.horizon:
+            raise ConfigurationError("warmup must be shorter than horizon")
+        self.seed = check_non_negative_int(seed, "seed")
+
+    def evaluate(self, scenario: FederationScenario) -> list[PerformanceParams]:
+        """Simulate the scenario and project the per-SC metrics."""
+        simulator = FederationSimulator(scenario, seed=self.seed)
+        metrics = simulator.run(horizon=self.horizon, warmup=self.warmup)
+        return [
+            PerformanceParams(
+                lent_mean=m.lent_mean,
+                borrowed_mean=m.borrowed_mean,
+                forward_rate=m.forward_rate,
+                utilization=m.utilization,
+            )
+            for m in metrics
+        ]

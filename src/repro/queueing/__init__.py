@@ -1,0 +1,30 @@
+"""Queueing-theory substrate.
+
+Provides the classical formulas used as analytic anchors (Erlang-B/C,
+M/M/c) and the SC-Share specific pieces:
+
+- :mod:`repro.queueing.sla` — the SLA no-forward probability ``P^NF``
+  (a Poisson tail on the waiting-time bound).
+- :mod:`repro.queueing.forwarding` — the Sect. III-A model of a small
+  cloud that does not share: a birth–death chain with SLA-thinned
+  arrivals, giving the public-cloud forwarding rate ``Pbar^0`` and the
+  baseline utilization ``rho^0``.
+"""
+
+from repro.queueing.erlang import erlang_b, erlang_c
+from repro.queueing.forwarding import NoSharingModel, NoSharingResult
+from repro.queueing.mmc import MMCQueue
+from repro.queueing.sla import prob_forward, prob_no_forward
+from repro.queueing.waiting_time import WaitingTimeAnalysis, wait_cdf_at_admission
+
+__all__ = [
+    "MMCQueue",
+    "NoSharingModel",
+    "NoSharingResult",
+    "erlang_b",
+    "erlang_c",
+    "prob_forward",
+    "prob_no_forward",
+    "WaitingTimeAnalysis",
+    "wait_cdf_at_admission",
+]

@@ -1,0 +1,50 @@
+"""Erlang loss and delay formulas.
+
+Computed with the standard numerically stable recurrences (never the raw
+factorial ratios).  These serve as analytic anchors for the Markov-chain
+machinery: an M/M/c/c chain's blocking probability must match Erlang-B,
+and an M/M/c chain's delay probability must match Erlang-C.
+"""
+
+from __future__ import annotations
+
+from repro._validation import check_positive, check_positive_int
+from repro.exceptions import ConfigurationError
+
+
+def erlang_b(offered_load: float, servers: int) -> float:
+    """Return the Erlang-B blocking probability.
+
+    Args:
+        offered_load: ``a = lambda / mu`` in Erlangs (> 0).
+        servers: number of servers ``c`` (>= 1).
+
+    Uses the recurrence ``B(0) = 1``,
+    ``B(c) = a B(c-1) / (c + a B(c-1))``.
+    """
+    a = check_positive(offered_load, "offered_load")
+    c = check_positive_int(servers, "servers")
+    b = 1.0
+    for k in range(1, c + 1):
+        b = a * b / (k + a * b)
+    return b
+
+
+def erlang_c(offered_load: float, servers: int) -> float:
+    """Return the Erlang-C probability that an arrival must wait.
+
+    Args:
+        offered_load: ``a = lambda / mu`` in Erlangs; must satisfy
+            ``a < servers`` for stability.
+        servers: number of servers ``c``.
+
+    Uses ``C = c B / (c - a (1 - B))`` with ``B`` from :func:`erlang_b`.
+    """
+    a = check_positive(offered_load, "offered_load")
+    c = check_positive_int(servers, "servers")
+    if a >= c:
+        raise ConfigurationError(
+            f"Erlang-C requires offered load < servers, got a={a}, c={c}"
+        )
+    b = erlang_b(a, c)
+    return c * b / (c - a * (1.0 - b))

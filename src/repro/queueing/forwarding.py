@@ -1,0 +1,163 @@
+"""The Sect. III-A no-sharing performance model.
+
+A small cloud outside the federation is a birth–death chain on the number
+of requests in its system: arrivals join at full rate while a VM is free,
+join with probability ``P^NF`` when all VMs are busy (otherwise they are
+forwarded to the public cloud), and departures occur at rate
+``min(q, N) mu``.  The chain is truncated where the SLA tail makes further
+queue growth negligible; the truncation level is chosen automatically and
+checked.
+
+Outputs (used by Eq. (1) and Eq. (2) of the paper):
+
+- ``forward_rate``: ``Pbar^0 = lambda * P^F``, the mean rate of requests
+  sent to the public cloud,
+- ``forward_probability``: ``P^F``,
+- ``utilization``: ``rho^0``, the fraction of busy VM capacity,
+- the full stationary distribution for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro._validation import check_non_negative, check_positive, check_positive_int
+from repro.exceptions import TruncationError
+from repro.markov.birth_death import BirthDeathChain
+from repro.queueing.sla import prob_no_forward
+
+_TAIL_EPSILON = 1e-12
+_MAX_EXTRA_LEVELS = 100_000
+
+
+def queue_truncation_level(
+    servers: int, service_rate: float, sla_bound: float, epsilon: float = _TAIL_EPSILON
+) -> int:
+    """Return a queue length beyond which SLA-queueing is negligible.
+
+    Finds the smallest waiting count ``w`` with
+    ``P^NF(w, servers, mu, Q) < epsilon`` and returns ``servers + w + 1``
+    (total in system).  With SLA thinning the queue cannot effectively grow
+    past this point, so truncating there loses less than ``epsilon`` flow.
+    """
+    if sla_bound == 0.0:
+        return servers + 1
+    w = 0
+    while prob_no_forward(w, servers, service_rate, sla_bound) >= epsilon:
+        w += 1
+        if w > _MAX_EXTRA_LEVELS:
+            raise TruncationError(
+                "SLA queue does not truncate; check service_rate and sla_bound"
+            )
+    return servers + w + 1
+
+
+@dataclass(frozen=True)
+class NoSharingResult:
+    """Stationary metrics of a small cloud outside the federation.
+
+    Attributes:
+        forward_probability: ``P^F``, probability an arrival is forwarded.
+        forward_rate: ``Pbar^0 = lambda * P^F`` (requests/second).
+        utilization: ``rho^0``, mean busy VMs divided by ``N``.
+        mean_in_system: mean number of requests present.
+        mean_waiting: mean number of requests waiting for a VM.
+        distribution: stationary distribution over ``q = 0 .. q_max``.
+    """
+
+    forward_probability: float
+    forward_rate: float
+    utilization: float
+    mean_in_system: float
+    mean_waiting: float
+    distribution: np.ndarray
+
+
+class NoSharingModel:
+    """Performance model of one SC that shares nothing (Sect. III-A).
+
+    Args:
+        servers: number of VMs ``N``.
+        arrival_rate: Poisson request rate ``lambda``.
+        service_rate: per-VM exponential rate ``mu``.
+        sla_bound: SLA waiting bound ``Q`` (seconds); 0 means requests
+            never wait (pure loss to the public cloud when busy).
+        tail_epsilon: truncation tolerance for the queue.
+    """
+
+    def __init__(
+        self,
+        servers: int,
+        arrival_rate: float,
+        service_rate: float,
+        sla_bound: float,
+        tail_epsilon: float = _TAIL_EPSILON,
+    ):
+        self.servers = check_positive_int(servers, "servers")
+        self.arrival_rate = check_positive(arrival_rate, "arrival_rate")
+        self.service_rate = check_positive(service_rate, "service_rate")
+        self.sla_bound = check_non_negative(sla_bound, "sla_bound")
+        self.tail_epsilon = check_positive(tail_epsilon, "tail_epsilon")
+        self.q_max = queue_truncation_level(
+            self.servers, self.service_rate, self.sla_bound, self.tail_epsilon
+        )
+
+    def queueing_probability(self, in_system: int) -> float:
+        """``P^NF`` seen by an arrival finding ``in_system`` requests."""
+        if in_system < self.servers:
+            return 1.0
+        return prob_no_forward(
+            in_system - self.servers, self.servers, self.service_rate, self.sla_bound
+        )
+
+    def chain(self) -> BirthDeathChain:
+        """Return the truncated birth–death chain of the model."""
+        births = [
+            self.arrival_rate * self.queueing_probability(q) for q in range(self.q_max)
+        ]
+        deaths = [
+            min(q + 1, self.servers) * self.service_rate for q in range(self.q_max)
+        ]
+        return BirthDeathChain(births, deaths)
+
+    @cached_property
+    def result(self) -> NoSharingResult:
+        """Solve the chain and compute all stationary metrics (cached)."""
+        pi = self.chain().stationary()
+        levels = np.arange(self.q_max + 1)
+        busy = np.minimum(levels, self.servers)
+        forward_prob = float(
+            sum(
+                (1.0 - self.queueing_probability(q)) * pi[q]
+                for q in range(self.servers, self.q_max + 1)
+            )
+        )
+        utilization = float(np.dot(busy, pi)) / self.servers
+        mean_in_system = float(np.dot(levels, pi))
+        mean_waiting = float(np.dot(np.maximum(levels - self.servers, 0), pi))
+        return NoSharingResult(
+            forward_probability=forward_prob,
+            forward_rate=self.arrival_rate * forward_prob,
+            utilization=utilization,
+            mean_in_system=mean_in_system,
+            mean_waiting=mean_waiting,
+            distribution=pi,
+        )
+
+    @property
+    def forward_probability(self) -> float:
+        """``P^F`` (convenience accessor)."""
+        return self.result.forward_probability
+
+    @property
+    def forward_rate(self) -> float:
+        """``Pbar^0`` (convenience accessor)."""
+        return self.result.forward_rate
+
+    @property
+    def utilization(self) -> float:
+        """``rho^0`` (convenience accessor)."""
+        return self.result.utilization

@@ -1,0 +1,80 @@
+"""M/M/c queue metrics.
+
+A thin analytic layer over :func:`repro.queueing.erlang.erlang_c` giving
+the standard stationary metrics.  Used as ground truth in tests of the
+birth–death and CTMC solvers and by the pooled fast performance model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._validation import check_positive, check_positive_int
+from repro.exceptions import ConfigurationError
+from repro.queueing.erlang import erlang_c
+
+
+@dataclass(frozen=True)
+class MMCQueue:
+    """An M/M/c queue with Poisson arrivals and exponential service.
+
+    Attributes:
+        arrival_rate: Poisson arrival rate ``lambda``.
+        service_rate: per-server service rate ``mu``.
+        servers: number of servers ``c``.
+    """
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.arrival_rate, "arrival_rate")
+        check_positive(self.service_rate, "service_rate")
+        check_positive_int(self.servers, "servers")
+        if self.offered_load >= self.servers:
+            raise ConfigurationError(
+                "M/M/c requires lambda/mu < c for stability; got "
+                f"load {self.offered_load} with c={self.servers}"
+            )
+
+    @property
+    def offered_load(self) -> float:
+        """Offered load ``a = lambda / mu`` in Erlangs."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def utilization(self) -> float:
+        """Per-server utilization ``rho = a / c``."""
+        return self.offered_load / self.servers
+
+    def wait_probability(self) -> float:
+        """Probability an arrival waits (Erlang-C)."""
+        return erlang_c(self.offered_load, self.servers)
+
+    def mean_wait(self) -> float:
+        """Mean waiting time in queue ``Wq``."""
+        c = self.servers
+        mu = self.service_rate
+        return self.wait_probability() / (c * mu - self.arrival_rate)
+
+    def mean_queue_length(self) -> float:
+        """Mean number waiting in queue ``Lq`` (Little's law)."""
+        return self.arrival_rate * self.mean_wait()
+
+    def mean_in_system(self) -> float:
+        """Mean number in system ``L = Lq + a``."""
+        return self.mean_queue_length() + self.offered_load
+
+    def wait_exceeds(self, threshold: float) -> float:
+        """Return ``P[Wq > t]`` for the FCFS M/M/c queue.
+
+        ``P[Wq > t] = C * exp(-(c mu - lambda) t)`` where ``C`` is the
+        Erlang-C delay probability.
+        """
+        if threshold < 0:
+            raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
+        c = self.servers
+        decay = c * self.service_rate - self.arrival_rate
+        return self.wait_probability() * math.exp(-decay * threshold)

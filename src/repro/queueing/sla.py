@@ -1,0 +1,87 @@
+"""SLA waiting-time bound: the no-forward probability ``P^NF``.
+
+Sect. III-A of SC-Share: a request arriving at a fully busy small cloud is
+queued only if its service can start within the SLA bound ``Q``; otherwise
+it is forwarded to a public cloud.  With ``w`` requests already waiting and
+``c`` busy VMs (exponential service, rate ``mu`` each), the arriving
+request starts service after ``w + 1`` departures, and departures form a
+Poisson process of rate ``c mu``.  Hence
+
+    P^NF = P[wait <= Q] = P[Poisson(c mu Q) >= w + 1]
+         = 1 - sum_{j=0}^{w} e^{-c mu Q} (c mu Q)^j / j!
+
+which is the paper's formula with ``w = q - N``.  This module is the single
+canonical implementation used by the no-sharing model, the detailed CTMC,
+the approximate model and the simulator.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro._validation import check_non_negative, check_non_negative_int, check_positive
+from repro.markov.fox_glynn import poisson_cdf
+
+
+@lru_cache(maxsize=1_000_000)
+def _cached_tail(waiting: int, rate: float) -> float:
+    return max(0.0, 1.0 - poisson_cdf(waiting, rate))
+
+
+def prob_no_forward(waiting: int, busy: int, service_rate: float, sla_bound: float) -> float:
+    """Probability that an arriving request is queued (not forwarded).
+
+    Args:
+        waiting: number of requests already waiting ahead of the arrival
+            (``w = q - N`` in the paper's notation); negative values mean a
+            free VM exists and the probability is 1.
+        busy: number of busy VMs currently serving (``c``); if zero while
+            requests wait, no departure can occur and the probability is 0.
+        service_rate: per-VM exponential service rate ``mu``.
+        sla_bound: the SLA waiting-time bound ``Q`` (>= 0).
+
+    Returns:
+        ``P^NF`` in [0, 1].
+
+    Note:
+        This function sits on the hottest path of every model (it is
+        evaluated per CTMC state per fixed-point iteration), so argument
+        validation is deliberately minimal: invalid rates raise, but
+        fractional counts are truncated rather than rejected.
+    """
+    if service_rate <= 0.0:
+        check_positive(service_rate, "service_rate")
+    if sla_bound < 0.0:
+        check_non_negative(sla_bound, "sla_bound")
+    if waiting < 0:
+        return 1.0
+    if busy <= 0:
+        return 0.0
+    rate = busy * service_rate * sla_bound
+    return _cached_tail(int(waiting), rate)
+
+
+def prob_forward(waiting: int, busy: int, service_rate: float, sla_bound: float) -> float:
+    """Probability that an arriving request is forwarded to the public cloud.
+
+    The complement of :func:`prob_no_forward`.
+    """
+    return 1.0 - prob_no_forward(waiting, busy, service_rate, sla_bound)
+
+
+def prob_no_forward_total(
+    in_system: int, servers: int, service_rate: float, sla_bound: float
+) -> float:
+    """Paper-notation wrapper ``P^NF(q, N, Q)`` taking the total in system.
+
+    Args:
+        in_system: total requests in the system ``q`` at the arrival epoch.
+        servers: capacity ``N`` (all busy when ``q >= N``).
+        service_rate: per-VM rate ``mu``.
+        sla_bound: SLA bound ``Q``.
+    """
+    check_non_negative_int(in_system, "in_system")
+    check_non_negative_int(servers, "servers")
+    if in_system < servers:
+        return 1.0
+    return prob_no_forward(in_system - servers, servers, service_rate, sla_bound)

@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate.
+
+Rebuilds the paper's C++ validation simulator in Python:
+
+- :mod:`repro.sim.engine` — a generic event-heap simulation core.
+- :mod:`repro.sim.rng` — reproducible independent random streams.
+- :mod:`repro.sim.stats` — time-weighted averages, Welford accumulators,
+  and batch-means confidence intervals.
+- :mod:`repro.sim.federation` — the federation simulator implementing the
+  exact SC-Share sharing semantics (load-balanced lending, SLA-driven
+  forwarding, owner-priority VM returns, no preemption).
+- :mod:`repro.sim.trace` — event trace recording for debugging/replay.
+"""
+
+from repro.sim.engine import Event, SimulationEngine
+from repro.sim.federation import FederationSimulator, SimulatedMetrics
+from repro.sim.replications import ReplicatedMetrics, replicate
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import BatchMeans, TimeWeightedAverage, WelfordAccumulator
+
+__all__ = [
+    "BatchMeans",
+    "Event",
+    "FederationSimulator",
+    "RandomStreams",
+    "ReplicatedMetrics",
+    "replicate",
+    "SimulatedMetrics",
+    "SimulationEngine",
+    "TimeWeightedAverage",
+    "WelfordAccumulator",
+]

@@ -1,0 +1,132 @@
+"""Generic discrete-event simulation core.
+
+A small, dependency-free event heap: callers schedule ``Event`` objects
+(time, priority, callback) and run until a horizon or event budget.  The
+federation simulator builds on this core; keeping the core generic lets
+tests exercise ordering/cancellation semantics in isolation and makes the
+engine reusable for other queueing experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+
+from repro.exceptions import SimulationError
+
+
+class Event:
+    """A scheduled event.
+
+    Ordering is (time, priority, sequence): ties in time are broken by
+    priority (lower first), then by insertion order, so simultaneous
+    events execute deterministically.  Implemented with ``__slots__`` and
+    a hand-written ``__lt__`` because event comparison is the simulator's
+    hottest operation (every heap push/pop).
+    """
+
+    __slots__ = ("time", "priority", "sequence", "callback", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[[], None],
+    ):
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.sequence < other.sequence
+
+    def cancel(self) -> None:
+        """Mark this event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """An event-heap simulator with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.events_executed = 0
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Returns the :class:`Event`, which the caller may cancel.
+        """
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = Event(
+            time=self.now + delay,
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        return self.schedule(time - self.now, callback, priority)
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events still on the heap."""
+        return len(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the heap is drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next live event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now - 1e-9:
+                raise SimulationError("event heap produced an out-of-order event")
+            self.now = max(self.now, event.time)
+            self.events_executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, horizon: float, max_events: int | None = None) -> None:
+        """Run until simulated time reaches ``horizon``.
+
+        Events scheduled exactly at the horizon are *not* executed; the
+        clock is advanced to the horizon on return so time-weighted
+        statistics can be finalized consistently.
+        """
+        if horizon < self.now:
+            raise SimulationError(f"horizon {horizon} is in the past (now={self.now})")
+        executed = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time >= horizon:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        self.now = max(self.now, horizon)

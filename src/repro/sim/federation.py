@@ -1,0 +1,493 @@
+"""Discrete-event simulator of an SC federation.
+
+Implements the exact sharing semantics of Sect. II-A / III-B (the paper's
+ground-truth C++ simulator, rebuilt in Python):
+
+- Arrivals at SC i first use a free local VM.
+- If SC i is saturated, the request borrows a VM from the lender set
+  ``L = {j : j has a free VM and lent_j < S_j}``, choosing uniformly among
+  lenders with the *minimum* total load (the model's load-balancing rule).
+- If no lender exists, the request joins SC i's FCFS queue with the SLA
+  probability ``P^NF`` (service must be able to start within ``Q_i``);
+  otherwise it is forwarded to the public cloud.
+- A VM freed at SC h serves h's own queue first (owner priority); if h has
+  no backlog and ``lent_h < S_h``, it is lent to the SC with the *maximum*
+  backlog; otherwise it idles.  Guests are never preempted.
+
+Metrics accumulated after warmup map one-to-one onto the paper's cost
+inputs: ``Ibar_i`` (time-averaged VMs lent), ``Obar_i`` (time-averaged VMs
+borrowed), ``Pbar_i`` (public-cloud forwarding rate), ``rho_i`` (busy
+fraction of own VMs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_non_negative, check_positive
+from repro.core.small_cloud import FederationScenario
+from repro.exceptions import SimulationError
+from repro.queueing.sla import prob_no_forward
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import WelfordAccumulator
+from repro.sim.trace import TraceRecorder
+from repro.workload.service import ExponentialService, ServiceDistribution
+
+
+@dataclass(frozen=True)
+class SimulatedMetrics:
+    """Post-warmup metrics for one SC.
+
+    Attributes:
+        lent_mean: ``Ibar_i`` — time-averaged VMs lent to other SCs.
+        borrowed_mean: ``Obar_i`` — time-averaged VMs borrowed.
+        forward_rate: ``Pbar_i`` — forwarded requests per time unit.
+        forward_probability: forwarded / arrived.
+        utilization: ``rho_i`` — time-averaged busy own VMs over ``N_i``.
+        mean_wait: mean realized waiting time of queued-and-served requests.
+        mean_queue_length: time-averaged own-queue length.
+        arrivals: arrivals counted after warmup.
+        forwarded: forwards counted after warmup.
+        served_locally: completions on own VMs (own traffic).
+        served_borrowed: completions of own traffic on borrowed VMs.
+        sla_violations: served requests whose realized wait exceeded Q_i.
+    """
+
+    lent_mean: float
+    borrowed_mean: float
+    forward_rate: float
+    forward_probability: float
+    utilization: float
+    mean_wait: float
+    mean_queue_length: float
+    arrivals: int
+    forwarded: int
+    served_locally: int
+    served_borrowed: int
+    sla_violations: int
+
+
+class _CloudState:
+    """Mutable per-SC simulator state.
+
+    Statistics are integrated inline (plain float accumulators) rather
+    than through :class:`TimeWeightedAverage` objects — ``record`` runs on
+    every event and dominates the simulator's profile otherwise.  The
+    ``record`` contract: it must be called, at the current simulation
+    time, for every cloud whose counters changed during an event, *after*
+    the mutation (the integral attributes the pre-mutation value to the
+    elapsed interval because integration happens before the snapshot is
+    refreshed).
+    """
+
+    __slots__ = (
+        "index",
+        "vms",
+        "share_limit",
+        "sla_bound",
+        "own_running",
+        "lent_to",
+        "lent_total",
+        "queue_arrival_times",
+        "arrivals",
+        "forwarded",
+        "served_locally",
+        "served_borrowed",
+        "sla_violations",
+        "wait_acc",
+        "borrowed_count",
+        "_last_time",
+        "_start_time",
+        "_integ_busy",
+        "_integ_lent",
+        "_integ_borrowed",
+        "_integ_queue",
+        "_snap_busy",
+        "_snap_lent",
+        "_snap_borrowed",
+        "_snap_queue",
+    )
+
+    def __init__(self, index: int, vms: int, share_limit: int, sla_bound: float):
+        self.index = index
+        self.vms = vms
+        self.share_limit = share_limit
+        self.sla_bound = sla_bound
+        self.own_running = 0  # own requests served on own VMs
+        self.lent_to: dict[int, int] = {}  # borrower index -> VM count
+        self.lent_total = 0  # sum of lent_to values, kept incrementally
+        self.queue_arrival_times: list[float] = []  # FCFS own queue
+        self.arrivals = 0
+        self.forwarded = 0
+        self.served_locally = 0
+        self.served_borrowed = 0
+        self.sla_violations = 0
+        self.borrowed_count = 0
+        self.wait_acc = WelfordAccumulator()
+        self._last_time = 0.0
+        self._start_time = 0.0
+        self._integ_busy = 0.0
+        self._integ_lent = 0.0
+        self._integ_borrowed = 0.0
+        self._integ_queue = 0.0
+        self._snap_busy = 0
+        self._snap_lent = 0
+        self._snap_borrowed = 0
+        self._snap_queue = 0
+
+    @property
+    def busy(self) -> int:
+        """VMs currently serving anyone."""
+        return self.own_running + self.lent_total
+
+    @property
+    def free(self) -> int:
+        """Idle VMs."""
+        return self.vms - self.own_running - self.lent_total
+
+    @property
+    def backlog(self) -> int:
+        """Own requests waiting for a VM."""
+        return len(self.queue_arrival_times)
+
+    @property
+    def load(self) -> int:
+        """The load-balancing metric ``q_i + s_{i,i}`` of the paper."""
+        return self.own_running + len(self.queue_arrival_times) + self.lent_total
+
+    def record(self, time: float) -> None:
+        """Integrate the previous snapshot up to ``time`` and re-snapshot."""
+        dt = time - self._last_time
+        if dt > 0.0:
+            self._integ_busy += self._snap_busy * dt
+            self._integ_lent += self._snap_lent * dt
+            self._integ_borrowed += self._snap_borrowed * dt
+            self._integ_queue += self._snap_queue * dt
+            self._last_time = time
+        self._snap_busy = self.own_running + self.lent_total
+        self._snap_lent = self.lent_total
+        self._snap_borrowed = self.borrowed_count
+        self._snap_queue = len(self.queue_arrival_times)
+
+    def reset_statistics(self, time: float) -> None:
+        """Discard integrals accumulated so far (end of warmup)."""
+        self.record(time)
+        self._integ_busy = 0.0
+        self._integ_lent = 0.0
+        self._integ_borrowed = 0.0
+        self._integ_queue = 0.0
+        self._start_time = time
+        self._last_time = time
+
+    def time_averages(self, time: float) -> tuple[float, float, float, float]:
+        """Return (busy, lent, borrowed, queue) time averages up to ``time``."""
+        self.record(time)
+        elapsed = time - self._start_time
+        if elapsed <= 0.0:
+            return (float(self._snap_busy), float(self._snap_lent),
+                    float(self._snap_borrowed), float(self._snap_queue))
+        return (
+            self._integ_busy / elapsed,
+            self._integ_lent / elapsed,
+            self._integ_borrowed / elapsed,
+            self._integ_queue / elapsed,
+        )
+
+
+class FederationSimulator:
+    """Discrete-event simulator for a :class:`FederationScenario`.
+
+    Args:
+        scenario: the federation configuration (sharing decisions included).
+        seed: master RNG seed.
+        service_distributions: optional per-SC service distributions
+            overriding the exponential defaults (Sect. VII extension).
+        arrival_processes: optional per-SC arrival processes (objects with
+            a ``next_interarrival()`` method, e.g.
+            :class:`~repro.workload.arrivals.MMPPProcess`) overriding the
+            Poisson defaults (Sect. VII extension).  When provided, the
+            scenario's ``arrival_rate`` is only used by analytic models.
+        trace: optional :class:`TraceRecorder` capturing every event.
+    """
+
+    def __init__(
+        self,
+        scenario: FederationScenario,
+        seed: int = 0,
+        service_distributions: list[ServiceDistribution] | None = None,
+        arrival_processes: list | None = None,
+        trace: TraceRecorder | None = None,
+    ):
+        self.scenario = scenario
+        self.k = len(scenario)
+        self.engine = SimulationEngine()
+        self.streams = RandomStreams(seed)
+        self.trace = trace
+        if service_distributions is None:
+            service_distributions = [
+                ExponentialService(c.service_rate) for c in scenario
+            ]
+        if len(service_distributions) != self.k:
+            raise SimulationError(
+                "service_distributions must have one entry per SC"
+            )
+        self.service = service_distributions
+        if arrival_processes is not None and len(arrival_processes) != self.k:
+            raise SimulationError("arrival_processes must have one entry per SC")
+        self.arrivals = arrival_processes
+        self.clouds = [
+            _CloudState(i, c.vms, c.shared_vms, c.sla_bound)
+            for i, c in enumerate(scenario)
+        ]
+        # Fixed stream-creation order for reproducibility.
+        self._arrival_rng = [self.streams.stream(f"arrivals[{i}]") for i in range(self.k)]
+        self._service_rng = [self.streams.stream(f"service[{i}]") for i in range(self.k)]
+        self._choice_rng = self.streams.stream("choices")
+        self._sla_rng = self.streams.stream("sla")
+        self._measuring = True
+        for i in range(self.k):
+            self._schedule_arrival(i)
+
+    # ------------------------------------------------------------------ #
+    # event machinery
+    # ------------------------------------------------------------------ #
+
+    def _schedule_arrival(self, sc: int) -> None:
+        if self.arrivals is not None:
+            delay = float(self.arrivals[sc].next_interarrival())
+        else:
+            rate = self.scenario[sc].arrival_rate
+            delay = float(self._arrival_rng[sc].exponential(1.0 / rate))
+        self.engine.schedule(delay, lambda: self._on_arrival(sc))
+
+    def _schedule_completion(self, owner: int, host: int) -> None:
+        duration = self.service[host].sample(self._service_rng[host])
+        self.engine.schedule(duration, lambda: self._on_completion(owner, host))
+
+    def _record_all(self) -> None:
+        now = self.engine.now
+        for cloud in self.clouds:
+            cloud.record(now)
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.record(self.engine.now, kind, **fields)
+
+    # ------------------------------------------------------------------ #
+    # semantics
+    # ------------------------------------------------------------------ #
+
+    def _on_arrival(self, sc: int) -> None:
+        self._schedule_arrival(sc)
+        cloud = self.clouds[sc]
+        now = self.engine.now
+        if self._measuring:
+            cloud.arrivals += 1
+        if cloud.free > 0:
+            cloud.own_running += 1
+            self._schedule_completion(sc, sc)
+            self._emit("serve_local", sc=sc)
+        else:
+            lender = self._pick_lender(sc)
+            if lender is not None:
+                host = self.clouds[lender]
+                host.lent_to[sc] = host.lent_to.get(sc, 0) + 1
+                host.lent_total += 1
+                cloud.borrowed_count += 1
+                self._schedule_completion(sc, lender)
+                self._emit("serve_borrowed", sc=sc, host=lender)
+                host.record(now)
+            else:
+                self._queue_or_forward(sc)
+        cloud.record(now)
+
+    def _pick_lender(self, sc: int) -> int | None:
+        """Lender with a free VM, sharing headroom, and minimum load."""
+        candidates = [
+            j
+            for j in range(self.k)
+            if j != sc
+            and self.clouds[j].free > 0
+            and self.clouds[j].lent_total < self.clouds[j].share_limit
+        ]
+        if not candidates:
+            return None
+        loads = [self.clouds[j].load for j in candidates]
+        best = min(loads)
+        tied = [j for j, load in zip(candidates, loads) if load == best]
+        if len(tied) == 1:
+            return tied[0]
+        return int(tied[self._choice_rng.integers(len(tied))])
+
+    def _queue_or_forward(self, sc: int) -> None:
+        cloud = self.clouds[sc]
+        config = self.scenario[sc]
+        busy_for_own = cloud.own_running + cloud.borrowed_count
+        p_queue = prob_no_forward(
+            cloud.backlog, busy_for_own, config.service_rate, config.sla_bound
+        )
+        if self._sla_rng.random() < p_queue:
+            cloud.queue_arrival_times.append(self.engine.now)
+            self._emit("queue", sc=sc, backlog=cloud.backlog)
+        else:
+            if self._measuring:
+                cloud.forwarded += 1
+            self._emit("forward", sc=sc)
+
+    def _on_completion(self, owner: int, host: int) -> None:
+        host_cloud = self.clouds[host]
+        owner_cloud = self.clouds[owner]
+        if owner == host:
+            if host_cloud.own_running <= 0:
+                raise SimulationError("completion with no running own request")
+            host_cloud.own_running -= 1
+            if self._measuring:
+                owner_cloud.served_locally += 1
+        else:
+            count = host_cloud.lent_to.get(owner, 0)
+            if count <= 0:
+                raise SimulationError("completion of untracked borrowed VM")
+            if count == 1:
+                del host_cloud.lent_to[owner]
+            else:
+                host_cloud.lent_to[owner] = count - 1
+            host_cloud.lent_total -= 1
+            owner_cloud.borrowed_count -= 1
+            if self._measuring:
+                owner_cloud.served_borrowed += 1
+        self._emit("complete", owner=owner, host=host)
+        extra = self._allocate_freed_vm(host)
+        now = self.engine.now
+        owner_cloud.record(now)
+        if host != owner:
+            host_cloud.record(now)
+        if extra is not None and extra not in (owner, host):
+            self.clouds[extra].record(now)
+
+    def _allocate_freed_vm(self, host: int) -> int | None:
+        """Dispatch the VM freed at ``host`` per the paper's return rules.
+
+        Returns the index of a third SC whose state changed (a borrower
+        whose queued request was started), if any, so the caller can
+        refresh its statistics.
+        """
+        cloud = self.clouds[host]
+        if cloud.backlog > 0:
+            # Owner priority: serve the host's own queue head.
+            self._start_queued(host, host)
+            return None
+        if cloud.lent_total < cloud.share_limit:
+            borrower = self._pick_borrower(host)
+            if borrower is not None:
+                self._start_queued(borrower, host)
+                self._emit("lend_freed", host=host, borrower=borrower)
+                return borrower
+        return None
+
+    def _pick_borrower(self, host: int) -> int | None:
+        """Borrower with the maximum backlog (uniform tie-break)."""
+        candidates = [
+            j for j in range(self.k) if j != host and self.clouds[j].backlog > 0
+        ]
+        if not candidates:
+            return None
+        backlogs = [self.clouds[j].backlog for j in candidates]
+        best = max(backlogs)
+        tied = [j for j, b in zip(candidates, backlogs) if b == best]
+        if len(tied) == 1:
+            return tied[0]
+        return int(tied[self._choice_rng.integers(len(tied))])
+
+    def _start_queued(self, owner: int, host: int) -> None:
+        """Move the FCFS head of ``owner``'s queue onto a VM at ``host``."""
+        owner_cloud = self.clouds[owner]
+        queued_at = owner_cloud.queue_arrival_times.pop(0)
+        wait = self.engine.now - queued_at
+        if self._measuring:
+            owner_cloud.wait_acc.add(wait)
+            if wait > owner_cloud.sla_bound + 1e-12:
+                owner_cloud.sla_violations += 1
+        if owner == host:
+            owner_cloud.own_running += 1
+        else:
+            host_cloud = self.clouds[host]
+            host_cloud.lent_to[owner] = host_cloud.lent_to.get(owner, 0) + 1
+            host_cloud.lent_total += 1
+            owner_cloud.borrowed_count += 1
+        self._schedule_completion(owner, host)
+
+    # ------------------------------------------------------------------ #
+    # running and results
+    # ------------------------------------------------------------------ #
+
+    def run(self, horizon: float, warmup: float = 0.0) -> list[SimulatedMetrics]:
+        """Simulate to ``horizon`` and return per-SC metrics.
+
+        Args:
+            horizon: total simulated time (> warmup).
+            warmup: initial period excluded from all statistics.
+        """
+        horizon = check_positive(horizon, "horizon")
+        warmup = check_non_negative(warmup, "warmup")
+        if warmup >= horizon:
+            raise SimulationError("warmup must be shorter than the horizon")
+        if warmup > 0.0:
+            self._measuring = False
+            self.engine.run_until(warmup)
+            self._measuring = True
+            for cloud in self.clouds:
+                cloud.reset_statistics(warmup)
+        self.engine.run_until(horizon)
+        self._record_all()
+        self._check_conservation()
+        elapsed = horizon - warmup
+        results = []
+        for cloud in self.clouds:
+            arrivals = cloud.arrivals
+            busy_mean, lent_mean, borrowed_mean, queue_mean = cloud.time_averages(
+                horizon
+            )
+            results.append(
+                SimulatedMetrics(
+                    lent_mean=lent_mean,
+                    borrowed_mean=borrowed_mean,
+                    forward_rate=cloud.forwarded / elapsed,
+                    forward_probability=(
+                        cloud.forwarded / arrivals if arrivals else 0.0
+                    ),
+                    utilization=busy_mean / cloud.vms,
+                    mean_wait=cloud.wait_acc.mean(),
+                    mean_queue_length=queue_mean,
+                    arrivals=arrivals,
+                    forwarded=cloud.forwarded,
+                    served_locally=cloud.served_locally,
+                    served_borrowed=cloud.served_borrowed,
+                    sla_violations=cloud.sla_violations,
+                )
+            )
+        return results
+
+    def _check_conservation(self) -> None:
+        """Invariants that must hold in any reachable simulator state."""
+        for cloud in self.clouds:
+            if cloud.busy > cloud.vms:
+                raise SimulationError(
+                    f"SC {cloud.index}: {cloud.busy} busy VMs exceed {cloud.vms}"
+                )
+            if cloud.lent_total > cloud.share_limit:
+                raise SimulationError(
+                    f"SC {cloud.index}: lent {cloud.lent_total} exceeds limit "
+                    f"{cloud.share_limit}"
+                )
+            borrowed_elsewhere = sum(
+                other.lent_to.get(cloud.index, 0)
+                for other in self.clouds
+                if other is not cloud
+            )
+            if borrowed_elsewhere != cloud.borrowed_count:
+                raise SimulationError(
+                    f"SC {cloud.index}: borrowed bookkeeping mismatch"
+                )

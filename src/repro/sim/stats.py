@@ -1,0 +1,150 @@
+"""Streaming statistics for simulation output analysis.
+
+Three accumulators cover the simulator's needs:
+
+- :class:`TimeWeightedAverage` — integrates a piecewise-constant signal
+  (queue lengths, busy VM counts) over simulated time.
+- :class:`WelfordAccumulator` — numerically stable mean/variance of i.i.d.
+  observations (waiting times).
+- :class:`BatchMeans` — the classical batch-means method for confidence
+  intervals on steady-state means from a single autocorrelated run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._validation import check_positive_int
+from repro.exceptions import SimulationError
+
+# Two-sided 95% normal quantile; batch counts are large enough (>= 10)
+# that the normal approximation to the t distribution is adequate and we
+# avoid a scipy.stats dependency in the hot path.
+_Z_95 = 1.959963984540054
+
+
+class TimeWeightedAverage:
+    """Time integral of a piecewise-constant signal divided by elapsed time."""
+
+    def __init__(self, initial_value: float = 0.0, start_time: float = 0.0):
+        self._value = float(initial_value)
+        self._last_time = float(start_time)
+        self._start_time = float(start_time)
+        self._integral = 0.0
+
+    def update(self, time: float, new_value: float) -> None:
+        """Record that the signal changed to ``new_value`` at ``time``."""
+        if time < self._last_time - 1e-12:
+            raise SimulationError(
+                f"time went backwards: {time} < {self._last_time}"
+            )
+        self._integral += self._value * (time - self._last_time)
+        self._value = float(new_value)
+        self._last_time = max(time, self._last_time)
+
+    def reset(self, time: float) -> None:
+        """Restart integration at ``time`` keeping the current value (warmup cut)."""
+        self._integral = 0.0
+        self._start_time = time
+        self._last_time = time
+
+    def mean(self, time: float) -> float:
+        """Time-weighted mean of the signal from the last reset to ``time``."""
+        elapsed = time - self._start_time
+        if elapsed <= 0.0:
+            return self._value
+        return (self._integral + self._value * (time - self._last_time)) / elapsed
+
+    @property
+    def current(self) -> float:
+        """Current signal value."""
+        return self._value
+
+
+class WelfordAccumulator:
+    """Streaming mean and variance (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance())
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric confidence interval ``mean ± half_width``."""
+
+    mean: float
+    half_width: float
+
+    @property
+    def low(self) -> float:
+        """Lower endpoint."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper endpoint."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+class BatchMeans:
+    """Batch-means confidence intervals for steady-state simulation output.
+
+    Observations (one per batch, e.g. the time-weighted mean of a signal
+    over each batch window) are assumed approximately i.i.d. normal, which
+    holds for batch windows much longer than the process correlation time.
+    """
+
+    def __init__(self, min_batches: int = 10):
+        self.min_batches = check_positive_int(min_batches, "min_batches")
+        self._acc = WelfordAccumulator()
+
+    def add_batch(self, batch_mean: float) -> None:
+        """Record the mean of one batch."""
+        self._acc.add(batch_mean)
+
+    @property
+    def n_batches(self) -> int:
+        """Batches recorded so far."""
+        return self._acc.count
+
+    def interval(self) -> ConfidenceInterval:
+        """95% confidence interval over batch means.
+
+        Raises:
+            SimulationError: with fewer than ``min_batches`` batches.
+        """
+        n = self._acc.count
+        if n < self.min_batches:
+            raise SimulationError(
+                f"need at least {self.min_batches} batches, have {n}"
+            )
+        half = _Z_95 * self._acc.std() / math.sqrt(n)
+        return ConfidenceInterval(mean=self._acc.mean(), half_width=half)

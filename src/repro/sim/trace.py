@@ -1,0 +1,69 @@
+"""Event-trace recording for the federation simulator.
+
+A :class:`TraceRecorder` captures a bounded list of structured events
+(time, kind, fields).  Traces support debugging (inspecting the exact
+sequence of sharing decisions), regression tests (golden traces for a
+fixed seed), and post-hoc workload analysis (feeding waiting times to the
+phase-type fitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulator event."""
+
+    time: float
+    kind: str
+    fields: tuple[tuple[str, object], ...]
+
+    def as_dict(self) -> dict[str, object]:
+        """Return the event as a plain dictionary (time/kind included)."""
+        data: dict[str, object] = {"time": self.time, "kind": self.kind}
+        data.update(dict(self.fields))
+        return data
+
+
+@dataclass
+class TraceRecorder:
+    """A bounded in-memory event trace.
+
+    Args:
+        max_events: hard cap; recording silently stops once reached (the
+            ``truncated`` flag reports whether that happened).
+    """
+
+    max_events: int = 100_000
+    events: list[TraceEvent] = field(default_factory=list)
+    truncated: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_events, "max_events")
+
+    def record(self, time: float, kind: str, **fields: object) -> None:
+        """Append one event unless the cap has been reached."""
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(
+            TraceEvent(time=time, kind=kind, fields=tuple(sorted(fields.items())))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All events of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        """Event counts per kind."""
+        result: dict[str, int] = {}
+        for event in self.events:
+            result[event.kind] = result.get(event.kind, 0) + 1
+        return result

@@ -1,0 +1,31 @@
+"""Workload substrate: arrival processes and service-time distributions.
+
+The paper's base model is Poisson arrivals with exponential service
+(Sect. II-A); Sect. VII sketches extensions to Markov-modulated arrivals
+and phase-type service fitted to trace moments.  This package implements
+both the base model and those extensions:
+
+- :mod:`repro.workload.arrivals` — Poisson and MMPP arrival processes.
+- :mod:`repro.workload.service` — exponential, Erlang, hyperexponential
+  service distributions behind one protocol.
+- :mod:`repro.workload.phase_type` — two-moment PH fitting (Sect. VII).
+"""
+
+from repro.workload.arrivals import MMPPProcess, PoissonProcess
+from repro.workload.phase_type import fit_two_moment
+from repro.workload.service import (
+    ErlangService,
+    ExponentialService,
+    HyperExponentialService,
+    ServiceDistribution,
+)
+
+__all__ = [
+    "ErlangService",
+    "ExponentialService",
+    "HyperExponentialService",
+    "MMPPProcess",
+    "PoissonProcess",
+    "ServiceDistribution",
+    "fit_two_moment",
+]

@@ -1,0 +1,88 @@
+"""Two-moment phase-type fitting (Sect. VII extension).
+
+The paper notes that non-exponential service times can be handled by
+fitting phase-type distributions to trace moments (citing Osogami &
+Harchol-Balter).  This module implements the classical two-moment recipe:
+
+- SCV == 1  → exponential,
+- SCV  < 1  → Erlang-k with ``k = ceil(1/SCV)`` and a matched rate
+  (moment-matching on the mean; the second moment is matched as closely
+  as an integer stage count permits, exactly when ``1/SCV`` is integral),
+- SCV  > 1  → two-branch hyperexponential with balanced means, matching
+  both moments exactly.
+
+The returned objects satisfy :class:`repro.workload.service.ServiceDistribution`
+and plug directly into the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._validation import check_positive
+from repro.exceptions import ConfigurationError
+from repro.workload.service import (
+    ErlangService,
+    ExponentialService,
+    HyperExponentialService,
+    ServiceDistribution,
+)
+
+_SCV_TOLERANCE = 1e-9
+
+
+def fit_two_moment(mean: float, scv: float) -> ServiceDistribution:
+    """Fit a phase-type distribution to a mean and squared coefficient of variation.
+
+    Args:
+        mean: target mean (> 0).
+        scv: target squared coefficient of variation (> 0).
+
+    Returns:
+        A :class:`ServiceDistribution` matching the mean exactly and the
+        SCV exactly for SCV >= 1 or SCV = 1/k; otherwise the closest
+        Erlang stage count is used.
+    """
+    mean = check_positive(mean, "mean")
+    scv = check_positive(scv, "scv")
+
+    if abs(scv - 1.0) <= _SCV_TOLERANCE:
+        return ExponentialService(rate=1.0 / mean)
+
+    if scv < 1.0:
+        stages = max(2, math.ceil(1.0 / scv - _SCV_TOLERANCE))
+        return ErlangService(stages=stages, stage_rate=stages / mean)
+
+    # SCV > 1: balanced-means H2 (Whitt's classical construction).
+    # p1 = (1 + sqrt((scv-1)/(scv+1))) / 2; rates chosen so each branch
+    # contributes half the mean.
+    ratio = math.sqrt((scv - 1.0) / (scv + 1.0))
+    p1 = 0.5 * (1.0 + ratio)
+    p2 = 1.0 - p1
+    rate1 = 2.0 * p1 / mean
+    rate2 = 2.0 * p2 / mean
+    if rate1 <= 0.0 or rate2 <= 0.0:  # pragma: no cover - defensive
+        raise ConfigurationError(f"H2 fit failed for mean={mean}, scv={scv}")
+    return HyperExponentialService(probabilities=[p1, p2], rates=[rate1, rate2])
+
+
+def fit_from_samples(samples) -> ServiceDistribution:
+    """Fit a two-moment phase-type distribution to empirical samples.
+
+    Args:
+        samples: a non-empty sequence of positive observations (e.g. VM
+            holding times extracted from a trace).
+    """
+    import numpy as np
+
+    data = np.asarray(list(samples), dtype=float)
+    if data.size < 2:
+        raise ConfigurationError("need at least two samples to estimate moments")
+    if data.min() <= 0.0:
+        raise ConfigurationError("samples must be strictly positive durations")
+    mean = float(data.mean())
+    variance = float(data.var(ddof=1))
+    scv = variance / (mean * mean)
+    if scv <= 0.0:
+        scv = _SCV_TOLERANCE
+    return fit_two_moment(mean, scv)

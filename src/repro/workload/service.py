@@ -1,0 +1,132 @@
+"""Service-time distributions.
+
+The simulator draws VM holding times through the small
+:class:`ServiceDistribution` protocol so the exponential base model and
+the Sect. VII phase-type extensions are interchangeable.  All
+distributions expose their first two moments, which the PH fitter and the
+tests use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro._validation import check_positive, check_probability, require
+from repro.exceptions import ConfigurationError
+
+
+@runtime_checkable
+class ServiceDistribution(Protocol):
+    """Protocol for service-time distributions used by the simulator."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one service time."""
+        ...
+
+    def mean(self) -> float:
+        """First moment."""
+        ...
+
+    def second_moment(self) -> float:
+        """Second raw moment ``E[X^2]``."""
+        ...
+
+
+class ExponentialService:
+    """Exponential service with rate ``mu`` (the paper's base model)."""
+
+    def __init__(self, rate: float):
+        self.rate = check_positive(rate, "rate")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one service time."""
+        return float(rng.exponential(1.0 / self.rate))
+
+    def mean(self) -> float:
+        """First moment."""
+        return 1.0 / self.rate
+
+    def second_moment(self) -> float:
+        """Second raw moment."""
+        return 2.0 / self.rate**2
+
+    def scv(self) -> float:
+        """Squared coefficient of variation (1 for exponential)."""
+        return 1.0
+
+
+class ErlangService:
+    """Erlang-k service: sum of ``k`` exponential stages of rate ``stage_rate``.
+
+    Models low-variability service (SCV = 1/k < 1).
+    """
+
+    def __init__(self, stages: int, stage_rate: float):
+        if stages < 1:
+            raise ConfigurationError(f"stages must be >= 1, got {stages}")
+        self.stages = int(stages)
+        self.stage_rate = check_positive(stage_rate, "stage_rate")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one service time."""
+        return float(rng.gamma(self.stages, 1.0 / self.stage_rate))
+
+    def mean(self) -> float:
+        """First moment."""
+        return self.stages / self.stage_rate
+
+    def second_moment(self) -> float:
+        """Second raw moment."""
+        m = self.mean()
+        variance = self.stages / self.stage_rate**2
+        return variance + m * m
+
+    def scv(self) -> float:
+        """Squared coefficient of variation, ``1/k``."""
+        return 1.0 / self.stages
+
+
+class HyperExponentialService:
+    """Hyperexponential (H2+) service: a probabilistic mix of exponentials.
+
+    Models high-variability service (SCV > 1).
+
+    Args:
+        probabilities: branch probabilities (sum to 1).
+        rates: per-branch exponential rates.
+    """
+
+    def __init__(self, probabilities: Sequence[float], rates: Sequence[float]):
+        probs = np.asarray(probabilities, dtype=float)
+        rates_arr = np.asarray(rates, dtype=float)
+        require(len(probs) == len(rates_arr), "probabilities and rates must align")
+        require(len(probs) >= 1, "need at least one branch")
+        for p in probs:
+            check_probability(float(p), "branch probability")
+        if abs(probs.sum() - 1.0) > 1e-9:
+            raise ConfigurationError("branch probabilities must sum to 1")
+        if rates_arr.min() <= 0.0:
+            raise ConfigurationError("branch rates must be > 0")
+        self.probabilities = probs
+        self.rates = rates_arr
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one service time."""
+        branch = int(rng.choice(len(self.rates), p=self.probabilities))
+        return float(rng.exponential(1.0 / self.rates[branch]))
+
+    def mean(self) -> float:
+        """First moment."""
+        return float(np.dot(self.probabilities, 1.0 / self.rates))
+
+    def second_moment(self) -> float:
+        """Second raw moment."""
+        return float(np.dot(self.probabilities, 2.0 / self.rates**2))
+
+    def scv(self) -> float:
+        """Squared coefficient of variation (>= 1 for hyperexponentials)."""
+        m = self.mean()
+        return self.second_moment() / (m * m) - 1.0

@@ -1,0 +1,46 @@
+"""Tests for Fig. 6 row error metrics (pure logic, no model runs)."""
+
+import pytest
+
+from repro.bench.fig6 import Fig6Row, _relative_error
+from repro.perf.params import PerformanceParams
+
+
+def params(lent, borrowed, forward=0.0, rho=0.5):
+    return PerformanceParams(
+        lent_mean=lent, borrowed_mean=borrowed, forward_rate=forward, utilization=rho
+    )
+
+
+def row(approx, exact):
+    return Fig6Row(
+        panel="test", target_share=1, target_rate=7.0, approx=approx, exact=exact
+    )
+
+
+class TestRelativeError:
+    def test_plain_relative_error(self):
+        assert _relative_error(1.1, 1.0) == pytest.approx(0.1)
+
+    def test_floor_guards_small_truths(self):
+        # Near-zero truths use the 0.05 floor instead of exploding.
+        assert _relative_error(0.01, 0.001) == pytest.approx(0.009 / 0.05)
+
+    def test_exact_match_is_zero(self):
+        assert _relative_error(2.5, 2.5) == 0.0
+
+
+class TestFig6Row:
+    def test_error_properties(self):
+        r = row(params(0.9, 2.1), params(1.0, 2.0))
+        assert r.lent_error == pytest.approx(0.1)
+        assert r.borrowed_error == pytest.approx(0.05)
+        # net: approx 1.2, exact 1.0, normalized by traffic I+O = 3.0.
+        assert r.net_error == pytest.approx(0.2 / 3.0)
+
+    def test_net_error_uses_difference_not_components(self):
+        # Biases in I and O can cancel in O - I (the paper's point about
+        # the cost-relevant difference staying accurate).
+        r = row(params(0.8, 1.8), params(1.0, 2.0))
+        assert r.lent_error == pytest.approx(0.2)
+        assert r.net_error == pytest.approx(0.0)

@@ -1,0 +1,83 @@
+"""Tests for the canonical paper scenarios."""
+
+import pytest
+
+from repro.bench.scenarios import (
+    FIG7_LOADS,
+    fig5_configurations,
+    fig6_2sc_scenario,
+    fig6_10sc_scenario,
+    fig6_100vm_scenario,
+    fig7_scenario,
+    fig8_game_scenario,
+    fig8_perf_scenario,
+)
+
+
+class TestFig5:
+    def test_four_curves(self):
+        configs = fig5_configurations()
+        assert len(configs) == 4
+        assert {c.vms for c in configs} == {10, 100}
+        assert {c.sla_bound for c in configs} == {0.2, 0.5}
+
+
+class TestFig6:
+    def test_2sc_matches_paper(self):
+        scenario = fig6_2sc_scenario(target_share=9, target_rate=6.0)
+        assert len(scenario) == 2
+        fixed, target = scenario
+        assert fixed.arrival_rate == 7.0
+        assert fixed.shared_vms == 5
+        assert target.shared_vms == 9
+        assert target.name == "target"
+
+    def test_10sc_matches_paper(self):
+        scenario = fig6_10sc_scenario(target_share=5, target_rate=7.0)
+        assert len(scenario) == 10
+        shares = [c.shared_vms for c in scenario][:9]
+        rates = [c.arrival_rate for c in scenario][:9]
+        assert shares == [3, 3, 3, 2, 2, 2, 1, 1, 1]
+        assert rates == [7.0, 7.0, 7.0, 8.0, 8.0, 8.0, 9.0, 9.0, 9.0]
+        assert scenario.shared_by_others(9) == 18
+
+    def test_100vm_matches_paper(self):
+        scenario = fig6_100vm_scenario(other_rate=80.0, target_rate=70.0)
+        assert all(c.vms == 100 for c in scenario)
+        assert all(c.shared_vms == 10 for c in scenario)
+
+
+class TestFig7:
+    @pytest.mark.parametrize("key", sorted(FIG7_LOADS))
+    def test_load_mixes(self, key):
+        scenario = fig7_scenario(key)
+        assert len(scenario) == 3
+        assert all(c.vms == 10 for c in scenario)
+        rates = tuple(c.arrival_rate for c in scenario)
+        assert rates == FIG7_LOADS[key]
+
+    def test_spread_is_the_paper_default(self):
+        rates = tuple(c.arrival_rate for c in fig7_scenario())
+        assert rates == (5.8, 7.3, 8.4)
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(KeyError):
+            fig7_scenario("bogus")
+
+
+class TestFig8:
+    def test_perf_scenario_sizes(self):
+        scenario = fig8_perf_scenario(6)
+        assert len(scenario) == 6
+        assert all(c.shared_vms == 2 for c in scenario)
+
+    def test_game_scenario_loads_staggered(self):
+        scenario = fig8_game_scenario(4, vms=20)
+        rates = [c.arrival_rate for c in scenario]
+        assert rates == sorted(rates)
+        assert rates[0] == pytest.approx(0.55 * 20)
+        assert rates[-1] == pytest.approx(0.90 * 20)
+
+    def test_game_scenario_paper_scale(self):
+        scenario = fig8_game_scenario(2, vms=100)
+        assert all(c.vms == 100 for c in scenario)

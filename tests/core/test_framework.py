@@ -1,0 +1,88 @@
+"""Tests for the SCShare orchestrator (the Fig. 2 feedback loop).
+
+These run against the fast analytic stub from tests/game/conftest.py so
+they exercise the loop, not the numerics (integration tests cover the
+real models).
+"""
+
+import pytest
+
+from repro.core.framework import SCShare
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.game.equilibrium import is_nash_equilibrium
+from tests.helpers import StubModel
+
+
+def scenario():
+    return FederationScenario((
+        SmallCloud(name="lo", vms=10, arrival_rate=6.0, federation_price=0.5),
+        SmallCloud(name="mid", vms=10, arrival_rate=8.5, federation_price=0.5),
+        SmallCloud(name="hi", vms=10, arrival_rate=9.5, federation_price=0.5),
+    ))
+
+
+@pytest.fixture
+def runner():
+    return SCShare(scenario(), model=StubModel(), gamma=0.0)
+
+
+class TestRun:
+    def test_outcome_is_equilibrium(self, runner):
+        outcome = runner.run(alpha=0.0)
+        assert outcome.game.converged
+        assert is_nash_equilibrium(
+            runner.evaluator, outcome.equilibrium, runner.strategy_spaces
+        )
+
+    def test_details_cover_every_sc(self, runner):
+        outcome = runner.run(alpha=0.0)
+        assert [d.name for d in outcome.details] == ["lo", "mid", "hi"]
+        for d, share in zip(outcome.details, outcome.equilibrium):
+            assert d.shared_vms == share
+
+    def test_efficiency_in_unit_interval(self, runner):
+        outcome = runner.run(alpha=0.0)
+        assert 0.0 <= outcome.efficiency <= 1.0
+
+    def test_welfare_never_exceeds_optimum(self, runner):
+        outcome = runner.run(alpha=0.0, optimum_method="brute")
+        assert outcome.welfare <= outcome.optimum_welfare + 1e-9
+
+    def test_restarts_keep_best_welfare(self, runner):
+        plain = runner.run(alpha=0.0)
+        restarted = runner.run(alpha=0.0, restarts=((5, 5, 5), (10, 10, 10)))
+        assert restarted.welfare >= plain.welfare - 1e-9
+
+    def test_details_expose_cost_reduction(self, runner):
+        outcome = runner.run(alpha=0.0)
+        for d in outcome.details:
+            assert d.cost_reduction == pytest.approx(d.baseline_cost - d.cost)
+            if d.shared_vms > 0:
+                assert d.participates
+
+
+class TestConfiguration:
+    def test_strategy_step_coarsens_search(self):
+        coarse = SCShare(scenario(), model=StubModel(), strategy_step=5)
+        assert coarse.strategy_spaces[0] == [0, 5, 10]
+
+    def test_tabu_mode(self):
+        runner = SCShare(scenario(), model=StubModel(), best_response="tabu")
+        outcome = runner.run(alpha=0.0)
+        assert outcome.game.iterations >= 1
+
+    def test_shared_params_cache(self):
+        cache = {}
+        SCShare(scenario(), model=StubModel(), params_cache=cache).run(alpha=0.0)
+        populated = len(cache)
+        assert populated > 0
+        # A second runner at another price reuses every entry.
+        repriced = scenario().with_price_ratio(0.9)
+        runner2 = SCShare(repriced, model=StubModel(), params_cache=cache)
+        runner2.run(alpha=0.0)
+        assert runner2.evaluator.evaluations <= len(cache) - populated + 5
+
+    def test_default_model_is_pooled(self):
+        from repro.perf.pooled import PooledModel
+
+        assert isinstance(SCShare(scenario()).model, PooledModel)

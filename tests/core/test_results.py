@@ -1,0 +1,39 @@
+"""Tests for the result containers."""
+
+import pytest
+
+from repro.core.results import SharingDecisionResult
+
+
+def result(**overrides):
+    defaults = dict(
+        name="sc",
+        shared_vms=3,
+        cost=0.4,
+        baseline_cost=0.9,
+        utility=0.25,
+        utilization=0.8,
+        baseline_utilization=0.7,
+        lent_mean=1.2,
+        borrowed_mean=0.8,
+        forward_rate=0.1,
+    )
+    defaults.update(overrides)
+    return SharingDecisionResult(**defaults)
+
+
+class TestSharingDecisionResult:
+    def test_cost_reduction(self):
+        assert result().cost_reduction == pytest.approx(0.5)
+
+    def test_negative_reduction_possible(self):
+        # A bad sharing decision can cost more than isolation.
+        assert result(cost=1.5).cost_reduction == pytest.approx(-0.6)
+
+    def test_participates(self):
+        assert result().participates
+        assert not result(shared_vms=0).participates
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            result().cost = 0.0

@@ -1,0 +1,83 @@
+"""Tests for scenario/outcome serialization."""
+
+import json
+
+import pytest
+
+from repro.core.serialization import (
+    cloud_from_dict,
+    cloud_to_dict,
+    load_scenario,
+    outcome_to_dict,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.exceptions import ConfigurationError
+
+
+def scenario():
+    return FederationScenario((
+        SmallCloud(name="a", vms=10, arrival_rate=7.0, shared_vms=3,
+                   public_price=2.0, federation_price=1.0),
+        SmallCloud(name="b", vms=8, arrival_rate=5.5, sla_bound=0.5),
+    ))
+
+
+class TestCloudRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        original = scenario()[0]
+        assert cloud_from_dict(cloud_to_dict(original)) == original
+
+    def test_unknown_fields_rejected(self):
+        data = cloud_to_dict(scenario()[0])
+        data["gpu_count"] = 4
+        with pytest.raises(ConfigurationError):
+            cloud_from_dict(data)
+
+    def test_missing_required_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cloud_from_dict({"name": "x"})
+
+    def test_invalid_values_still_validated(self):
+        data = cloud_to_dict(scenario()[0])
+        data["vms"] = -1
+        with pytest.raises(ConfigurationError):
+            cloud_from_dict(data)
+
+
+class TestScenarioRoundTrip:
+    def test_dict_roundtrip(self):
+        original = scenario()
+        assert scenario_from_dict(scenario_to_dict(original)) == original
+
+    def test_file_roundtrip(self, tmp_path):
+        original = scenario()
+        path = tmp_path / "scenario.json"
+        save_scenario(original, path)
+        assert load_scenario(path) == original
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        save_scenario(scenario(), path)
+        data = json.loads(path.read_text())
+        assert len(data["clouds"]) == 2
+
+    def test_missing_clouds_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario_from_dict({"nodes": []})
+
+
+class TestOutcomeSerialization:
+    def test_outcome_to_dict(self):
+        from repro.core.framework import SCShare
+        from tests.helpers import StubModel
+
+        runner = SCShare(scenario().with_price_ratio(0.5), model=StubModel())
+        outcome = runner.run(alpha=0.0, optimum_method="ascent")
+        data = outcome_to_dict(outcome)
+        assert data["equilibrium"] == list(outcome.equilibrium)
+        assert data["efficiency"] == outcome.efficiency
+        assert len(data["details"]) == 2
+        json.dumps(data)  # must be JSON-serializable end to end

@@ -1,0 +1,108 @@
+"""Tests for the SmallCloud / FederationScenario configuration types."""
+
+import pytest
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.exceptions import ConfigurationError
+
+
+def cloud(**overrides) -> SmallCloud:
+    defaults = dict(name="sc", vms=10, arrival_rate=7.0)
+    defaults.update(overrides)
+    return SmallCloud(**defaults)
+
+
+class TestSmallCloud:
+    def test_derived_quantities(self):
+        c = cloud(arrival_rate=8.0, service_rate=2.0)
+        assert c.offered_load == 4.0
+        assert c.nominal_utilization == 0.4
+
+    def test_with_shared(self):
+        c = cloud().with_shared(4)
+        assert c.shared_vms == 4
+        assert c.name == "sc"
+
+    def test_with_prices(self):
+        c = cloud().with_prices(public_price=2.0, federation_price=0.8)
+        assert c.public_price == 2.0
+        assert c.federation_price == 0.8
+
+    def test_share_above_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cloud(shared_vms=11)
+
+    def test_federation_price_above_public_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cloud(public_price=1.0, federation_price=1.5)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cloud(name="")
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cloud(arrival_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            cloud(service_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            cloud(vms=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            cloud().vms = 20
+
+
+class TestFederationScenario:
+    def scenario(self):
+        return FederationScenario((
+            cloud(name="a", shared_vms=2),
+            cloud(name="b", shared_vms=3),
+            cloud(name="c", shared_vms=5),
+        ))
+
+    def test_sequence_protocol(self):
+        s = self.scenario()
+        assert len(s) == 3
+        assert s[1].name == "b"
+        assert [c.name for c in s] == ["a", "b", "c"]
+        assert s.names == ("a", "b", "c")
+
+    def test_index_of(self):
+        assert self.scenario().index_of("c") == 2
+        with pytest.raises(ConfigurationError):
+            self.scenario().index_of("zzz")
+
+    def test_sharing_accounting(self):
+        s = self.scenario()
+        assert s.sharing_vector() == (2, 3, 5)
+        assert s.total_shared() == 10
+        assert s.shared_by_others(0) == 8
+        assert s.shared_by_others(2) == 5
+
+    def test_with_sharing(self):
+        s = self.scenario().with_sharing([1, 1, 1])
+        assert s.sharing_vector() == (1, 1, 1)
+        with pytest.raises(ConfigurationError):
+            self.scenario().with_sharing([1, 1])
+
+    def test_with_price_ratio(self):
+        s = self.scenario().with_price_ratio(0.4)
+        for c in s:
+            assert c.federation_price == pytest.approx(0.4 * c.public_price)
+        with pytest.raises(ConfigurationError):
+            self.scenario().with_price_ratio(1.5)
+
+    def test_rotated_to_target(self):
+        s = self.scenario().rotated_to_target(0)
+        assert s.names == ("b", "c", "a")
+        # Rotating the last SC is the identity.
+        assert self.scenario().rotated_to_target(2).names == ("a", "b", "c")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FederationScenario((cloud(name="x"), cloud(name="x")))
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FederationScenario(())

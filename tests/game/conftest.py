@@ -1,0 +1,22 @@
+"""Shared fixtures for game-layer tests (see tests/helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from tests.helpers import StubModel
+
+
+@pytest.fixture
+def stub_model() -> StubModel:
+    return StubModel()
+
+
+@pytest.fixture
+def three_sc_scenario() -> FederationScenario:
+    return FederationScenario((
+        SmallCloud(name="lo", vms=10, arrival_rate=6.0, public_price=1.0, federation_price=0.5),
+        SmallCloud(name="mid", vms=10, arrival_rate=8.5, public_price=1.0, federation_price=0.5),
+        SmallCloud(name="hi", vms=10, arrival_rate=9.5, public_price=1.0, federation_price=0.5),
+    ))

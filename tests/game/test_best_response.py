@@ -1,0 +1,85 @@
+"""Tests for best-response computation (exhaustive and Tabu)."""
+
+import pytest
+
+from repro.exceptions import GameError
+from repro.game.best_response import BestResponder
+from repro.game.strategy import full_strategy_spaces
+from repro.game.tabu import TabuSearch
+from repro.market.evaluator import UtilityEvaluator
+
+
+@pytest.fixture
+def evaluator(three_sc_scenario, stub_model):
+    return UtilityEvaluator(three_sc_scenario, stub_model, gamma=0.0)
+
+
+@pytest.fixture
+def spaces(three_sc_scenario):
+    return full_strategy_spaces(three_sc_scenario)
+
+
+class TestExhaustive:
+    def test_response_is_utility_maximizing(self, evaluator, spaces):
+        responder = BestResponder(evaluator, spaces, method="exhaustive")
+        profile = [0, 0, 0]
+        best, best_utility = responder.respond(profile, 0)
+        for candidate in spaces[0]:
+            trial = list(profile)
+            trial[0] = candidate
+            assert evaluator.utility(trial, 0) <= best_utility + 1e-12
+
+    def test_profile_not_mutated(self, evaluator, spaces):
+        responder = BestResponder(evaluator, spaces)
+        profile = [2, 3, 4]
+        responder.respond(profile, 1)
+        assert profile == [2, 3, 4]
+
+    def test_tie_broken_toward_incumbent(self, evaluator, spaces):
+        # The "hi" SC has only 0.5 idle VMs, so in the stub model every
+        # sharing level >= 1 produces identical supply and identical
+        # utility — a plateau.  The responder must keep the incumbent
+        # decision instead of jumping along the plateau.
+        responder = BestResponder(evaluator, spaces)
+        plateau = [
+            evaluator.utility([0, 0, s], 2) for s in (1, 3, 7)
+        ]
+        assert plateau[0] == pytest.approx(plateau[1]) == pytest.approx(plateau[2])
+        share, _utility_value = responder.respond([0, 0, 3], 2)
+        assert share == 3
+
+    def test_bad_method_rejected(self, evaluator, spaces):
+        with pytest.raises(GameError):
+            BestResponder(evaluator, spaces, method="gradient")
+
+    def test_space_count_mismatch_rejected(self, evaluator, spaces):
+        with pytest.raises(GameError):
+            BestResponder(evaluator, spaces[:2])
+
+
+class TestTabu:
+    def test_tabu_matches_exhaustive_on_small_space(self, evaluator, spaces):
+        exhaustive = BestResponder(evaluator, spaces, method="exhaustive")
+        tabu = BestResponder(
+            evaluator,
+            spaces,
+            method="tabu",
+            tabu=TabuSearch(distance=11, tenure=3, max_moves=60),
+        )
+        for profile in ([0, 0, 0], [5, 5, 5], [10, 2, 7]):
+            for i in range(3):
+                share_e, value_e = exhaustive.respond(profile, i)
+                share_t, value_t = tabu.respond(profile, i)
+                assert value_t == pytest.approx(value_e, abs=1e-9)
+
+    def test_tabu_uses_fewer_evaluations_than_space(self, evaluator, spaces):
+        responder = BestResponder(
+            evaluator,
+            spaces,
+            method="tabu",
+            tabu=TabuSearch(distance=2, tenure=3, max_moves=8),
+        )
+        before = evaluator.evaluations
+        responder.respond([0, 0, 0], 2)
+        used = evaluator.evaluations - before
+        assert used < len(spaces[2])

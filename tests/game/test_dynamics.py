@@ -1,0 +1,65 @@
+"""Tests for the sequential (Gauss–Seidel) best-response dynamic."""
+
+import pytest
+
+from repro.exceptions import GameError
+from repro.game.best_response import BestResponder
+from repro.game.dynamics import SequentialGame
+from repro.game.equilibrium import is_nash_equilibrium
+from repro.game.repeated_game import RepeatedGame
+from repro.game.strategy import full_strategy_spaces
+from repro.market.evaluator import UtilityEvaluator
+
+
+@pytest.fixture
+def components(three_sc_scenario, stub_model):
+    evaluator = UtilityEvaluator(three_sc_scenario, stub_model, gamma=0.0)
+    spaces = full_strategy_spaces(three_sc_scenario)
+    return evaluator, BestResponder(evaluator, spaces), spaces
+
+
+class TestSequentialGame:
+    def test_converges(self, components):
+        _evaluator, responder, _spaces = components
+        result = SequentialGame(responder).run()
+        assert result.converged
+        assert not result.cycled
+
+    def test_fixed_point_is_nash(self, components):
+        evaluator, responder, spaces = components
+        result = SequentialGame(responder).run()
+        assert is_nash_equilibrium(evaluator, result.equilibrium, spaces)
+
+    def test_history_records_sweeps(self, components):
+        _evaluator, responder, _spaces = components
+        result = SequentialGame(responder).run(initial=(1, 1, 1))
+        assert result.history[0] == (1, 1, 1)
+        assert result.history[-1] == result.equilibrium
+
+    def test_settles_where_simultaneous_does(self, components):
+        _evaluator, responder, _spaces = components
+        sequential = SequentialGame(responder).run()
+        simultaneous = RepeatedGame(responder).run()
+        # Same attractor for this scenario (both are Nash points either way).
+        assert sequential.equilibrium == simultaneous.equilibrium
+
+    def test_handles_oscillation_prone_games(self):
+        """Where simultaneous dynamics cycle, sequential settles."""
+        from repro.core.small_cloud import FederationScenario, SmallCloud
+        from tests.perf_stub_for_cycles import CyclingModel
+
+        scenario = FederationScenario((
+            SmallCloud(name="a", vms=1, arrival_rate=0.9),
+            SmallCloud(name="b", vms=1, arrival_rate=0.9),
+        ))
+        evaluator = UtilityEvaluator(scenario, CyclingModel(), gamma=0.0)
+        responder = BestResponder(evaluator, [[0, 1], [0, 1]])
+        result = SequentialGame(responder, max_rounds=30).run(initial=(0, 1))
+        # Sequential sweeps either converge or exhaust the budget without
+        # the two-profile flip-flop; they never report a cycle.
+        assert not result.cycled
+
+    def test_bad_initial_rejected(self, components):
+        _evaluator, responder, _spaces = components
+        with pytest.raises(GameError):
+            SequentialGame(responder).run(initial=(1,))

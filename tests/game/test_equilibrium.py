@@ -1,0 +1,58 @@
+"""Tests for Nash-equilibrium verification helpers."""
+
+import pytest
+
+from repro.game.best_response import BestResponder
+from repro.game.equilibrium import best_deviation, is_nash_equilibrium
+from repro.game.repeated_game import RepeatedGame
+from repro.game.strategy import full_strategy_spaces
+from repro.market.evaluator import UtilityEvaluator
+
+
+@pytest.fixture
+def evaluator(three_sc_scenario, stub_model):
+    return UtilityEvaluator(three_sc_scenario, stub_model, gamma=0.0)
+
+
+@pytest.fixture
+def spaces(three_sc_scenario):
+    return full_strategy_spaces(three_sc_scenario)
+
+
+class TestIsNash:
+    def test_game_equilibrium_verifies(self, evaluator, spaces):
+        runner = RepeatedGame(BestResponder(evaluator, spaces))
+        result = runner.run()
+        assert is_nash_equilibrium(evaluator, result.equilibrium, spaces)
+
+    def test_non_equilibrium_detected(self, evaluator, spaces):
+        # The all-zero profile is not an equilibrium here: the low-load SC
+        # profits by lending to the overloaded ones.
+        equilibrium = RepeatedGame(BestResponder(evaluator, spaces)).run().equilibrium
+        if equilibrium != (0, 0, 0):
+            assert not is_nash_equilibrium(evaluator, (0, 0, 0), spaces)
+
+    def test_profile_not_mutated(self, evaluator, spaces):
+        profile = [1, 2, 3]
+        is_nash_equilibrium(evaluator, profile, spaces)
+        assert profile == [1, 2, 3]
+
+
+class TestBestDeviation:
+    def test_none_at_equilibrium(self, evaluator, spaces):
+        equilibrium = RepeatedGame(BestResponder(evaluator, spaces)).run().equilibrium
+        assert best_deviation(evaluator, equilibrium, spaces) is None
+
+    def test_deviation_found_and_profitable(self, evaluator, spaces):
+        equilibrium = RepeatedGame(BestResponder(evaluator, spaces)).run().equilibrium
+        if equilibrium == (0, 0, 0):
+            pytest.skip("degenerate scenario: nothing to deviate from")
+        deviation = best_deviation(evaluator, (0, 0, 0), spaces)
+        assert deviation is not None
+        sc_index, new_share, gain = deviation
+        assert gain > 0
+        profile = [0, 0, 0]
+        before = evaluator.utility(profile, sc_index)
+        profile[sc_index] = new_share
+        after = evaluator.utility(profile, sc_index)
+        assert after - before == pytest.approx(gain)

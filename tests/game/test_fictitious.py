@@ -1,0 +1,50 @@
+"""Tests for the fictitious-play dynamic."""
+
+import pytest
+
+from repro.game.best_response import BestResponder
+from repro.game.equilibrium import is_nash_equilibrium
+from repro.game.fictitious import FictitiousPlay
+from repro.game.repeated_game import RepeatedGame
+from repro.game.strategy import full_strategy_spaces
+from repro.market.evaluator import UtilityEvaluator
+
+
+@pytest.fixture
+def components(three_sc_scenario, stub_model):
+    evaluator = UtilityEvaluator(three_sc_scenario, stub_model, gamma=0.0)
+    spaces = full_strategy_spaces(three_sc_scenario)
+    return evaluator, BestResponder(evaluator, spaces), spaces
+
+
+class TestFictitiousPlay:
+    def test_converges(self, components):
+        _evaluator, responder, _spaces = components
+        result = FictitiousPlay(responder).run()
+        assert result.converged
+
+    def test_settles_on_nash(self, components):
+        evaluator, responder, spaces = components
+        result = FictitiousPlay(responder).run()
+        assert is_nash_equilibrium(evaluator, result.equilibrium, spaces)
+
+    def test_agrees_with_best_response_dynamics(self, components):
+        _evaluator, responder, _spaces = components
+        fp = FictitiousPlay(responder).run()
+        br = RepeatedGame(responder).run()
+        # Both dynamics settle on pure equilibria; with this scenario's
+        # single attractor they coincide.
+        assert fp.equilibrium == br.equilibrium
+
+    def test_history_recorded(self, components):
+        _evaluator, responder, _spaces = components
+        result = FictitiousPlay(responder).run(initial=(1, 1, 1))
+        assert result.history[0] == (1, 1, 1)
+        assert len(result.history) >= 2
+
+    def test_bad_initial_rejected(self, components):
+        from repro.exceptions import GameError
+
+        _evaluator, responder, _spaces = components
+        with pytest.raises(GameError):
+            FictitiousPlay(responder).run(initial=(1,))

@@ -1,0 +1,73 @@
+"""Tests for Algorithm 1 (the repeated best-response game)."""
+
+import pytest
+
+from repro.exceptions import GameError
+from repro.game.best_response import BestResponder
+from repro.game.equilibrium import is_nash_equilibrium
+from repro.game.repeated_game import RepeatedGame
+from repro.game.strategy import full_strategy_spaces
+from repro.market.evaluator import UtilityEvaluator
+
+
+@pytest.fixture
+def game(three_sc_scenario, stub_model):
+    evaluator = UtilityEvaluator(three_sc_scenario, stub_model, gamma=0.0)
+    spaces = full_strategy_spaces(three_sc_scenario)
+    return RepeatedGame(BestResponder(evaluator, spaces)), evaluator, spaces
+
+
+class TestConvergence:
+    def test_converges_from_empty_profile(self, game):
+        runner, evaluator, spaces = game
+        result = runner.run()
+        assert result.converged
+        assert not result.cycled
+        assert result.iterations >= 1
+
+    def test_fixed_point_is_nash(self, game):
+        runner, evaluator, spaces = game
+        result = runner.run()
+        assert is_nash_equilibrium(evaluator, result.equilibrium, spaces)
+
+    def test_history_starts_at_initial_and_ends_at_equilibrium(self, game):
+        runner, _evaluator, _spaces = game
+        result = runner.run(initial=(2, 2, 2))
+        assert result.history[0] == (2, 2, 2)
+        assert result.history[-1] == result.equilibrium
+        # The last two entries coincide (that is the convergence check).
+        assert result.history[-2] == result.history[-1]
+
+    def test_utilities_reported_at_equilibrium(self, game):
+        runner, evaluator, _spaces = game
+        result = runner.run()
+        assert result.utilities == tuple(evaluator.utilities(result.equilibrium))
+
+    def test_model_evaluations_counted(self, game):
+        runner, _evaluator, _spaces = game
+        result = runner.run()
+        assert result.model_evaluations > 0
+
+    def test_bad_initial_length_rejected(self, game):
+        runner, _evaluator, _spaces = game
+        with pytest.raises(GameError):
+            runner.run(initial=(1, 2))
+
+
+class TestCycleDetection:
+    def test_cycles_are_detected_not_looped(self):
+        from repro.core.small_cloud import FederationScenario, SmallCloud
+        from tests.perf_stub_for_cycles import CyclingModel
+
+        scenario = FederationScenario((
+            SmallCloud(name="a", vms=1, arrival_rate=0.9),
+            SmallCloud(name="b", vms=1, arrival_rate=0.9),
+        ))
+        evaluator = UtilityEvaluator(scenario, CyclingModel(), gamma=0.0)
+        spaces = [[0, 1], [0, 1]]
+        runner = RepeatedGame(BestResponder(evaluator, spaces), max_rounds=50)
+        result = runner.run(initial=(0, 1))
+        assert result.cycled or result.converged
+        if result.cycled:
+            assert not result.converged
+            assert result.iterations < 50

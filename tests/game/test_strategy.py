@@ -1,0 +1,47 @@
+"""Tests for strategy-space construction."""
+
+import pytest
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.exceptions import ConfigurationError
+from repro.game.strategy import full_strategy_spaces, strategy_space
+
+
+def cloud(vms=10):
+    return SmallCloud(name="sc", vms=vms, arrival_rate=1.0)
+
+
+class TestStrategySpace:
+    def test_default_is_every_value(self):
+        assert strategy_space(cloud(5)) == [0, 1, 2, 3, 4, 5]
+
+    def test_step_coarsens(self):
+        assert strategy_space(cloud(10), step=3) == [0, 3, 6, 9, 10]
+
+    def test_upper_bound_always_included(self):
+        space = strategy_space(cloud(10), step=4)
+        assert space[-1] == 10
+
+    def test_zero_always_included(self):
+        assert 0 in strategy_space(cloud(7), step=2)
+
+    def test_max_share_caps(self):
+        assert strategy_space(cloud(10), max_share=4) == [0, 1, 2, 3, 4]
+
+    def test_max_share_above_vms_rejected(self):
+        with pytest.raises(ConfigurationError):
+            strategy_space(cloud(5), max_share=6)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            strategy_space(cloud(5), step=0)
+
+
+class TestFullStrategySpaces:
+    def test_one_space_per_cloud(self):
+        scenario = FederationScenario((
+            SmallCloud(name="a", vms=3, arrival_rate=1.0),
+            SmallCloud(name="b", vms=5, arrival_rate=1.0),
+        ))
+        spaces = full_strategy_spaces(scenario)
+        assert spaces == [[0, 1, 2, 3], [0, 1, 2, 3, 4, 5]]

@@ -1,0 +1,70 @@
+"""Tests for the Tabu-search best-response heuristic."""
+
+import pytest
+
+from repro.exceptions import GameError
+from repro.game.tabu import TabuSearch
+
+
+class TestTabuSearch:
+    def test_finds_global_optimum_of_unimodal(self):
+        search = TabuSearch(distance=2, tenure=3, max_moves=50)
+        best, value, _ = search.search(range(0, 21), lambda x: -((x - 13) ** 2))
+        assert best == 13
+        assert value == 0
+
+    def test_escapes_local_optimum_with_enough_distance(self):
+        # Two peaks: local at 2 (height 5), global at 8 (height 9),
+        # separated by a valley.
+        landscape = {0: 0, 1: 3, 2: 5, 3: 2, 4: 0, 5: 1, 6: 4, 7: 7, 8: 9, 9: 6, 10: 2}
+        search = TabuSearch(distance=3, tenure=4, max_moves=60)
+        best, value, _ = search.search(sorted(landscape), landscape.__getitem__, start=2)
+        assert best == 8
+        assert value == 9
+
+    def test_small_distance_may_stay_local(self):
+        landscape = {0: 0, 1: 5, 2: 0, 3: 0, 4: 0, 5: 0, 6: 0, 7: 0, 8: 9}
+        search = TabuSearch(distance=1, tenure=2, max_moves=4)
+        best, _value, _ = search.search(sorted(landscape), landscape.__getitem__, start=1)
+        # With radius 1 and a tiny move budget the far peak is unreachable.
+        assert best == 1
+
+    def test_start_snaps_to_nearest_candidate(self):
+        search = TabuSearch()
+        best, _value, _ = search.search([0, 10, 20], lambda x: -x, start=12)
+        assert best == 0  # searched from 10, slid down to 0
+
+    def test_caches_objective_evaluations(self):
+        calls = []
+
+        def objective(x):
+            calls.append(x)
+            return -abs(x - 3)
+
+        search = TabuSearch(distance=2, tenure=3, max_moves=30)
+        search.search(range(8), objective)
+        assert len(calls) == len(set(calls))  # never evaluated twice
+
+    def test_evaluation_count_reported(self):
+        search = TabuSearch(distance=2, tenure=3, max_moves=30)
+        _best, _value, evaluations = search.search(range(10), lambda x: float(x))
+        assert 1 <= evaluations <= 10
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(GameError):
+            TabuSearch().search([], lambda x: 0.0)
+
+    def test_single_candidate(self):
+        best, value, _ = TabuSearch().search([4], lambda x: 2.0)
+        assert best == 4
+        assert value == 2.0
+
+    def test_exhaustive_when_space_small(self):
+        # With distance >= space size, tabu search degenerates to
+        # exhaustive search and must match it.
+        space = range(6)
+        objective = lambda x: [3, 1, 4, 1, 5, 9][x]  # noqa: E731
+        search = TabuSearch(distance=6, tenure=2, max_moves=40)
+        best, value, _ = search.search(space, objective)
+        assert best == 5
+        assert value == 9

@@ -1,0 +1,57 @@
+"""Shared test helpers.
+
+:class:`StubModel` is an analytic toy performance model with the same
+qualitative structure as the real ones (lending earns revenue,
+over-lending squeezes own capacity and causes forwarding) but evaluated
+in microseconds — game- and framework-level tests use it to exercise
+dynamics without paying for chain solves.
+"""
+
+from __future__ import annotations
+
+from repro.core.small_cloud import FederationScenario
+from repro.perf.base import PerformanceModel
+from repro.perf.params import PerformanceParams
+
+
+class StubModel(PerformanceModel):
+    """Analytic toy federation with conservation and an interior optimum.
+
+    Per SC: external need is demand above 80% of capacity; supply is the
+    shared allowance capped by idle capacity.  Need is matched to supply
+    proportionally.  Lending shrinks the lender's own capacity, creating
+    self-inflicted forwarding — so best responses are interior rather
+    than "share everything".
+    """
+
+    def evaluate(self, scenario: FederationScenario) -> list[PerformanceParams]:
+        k = len(scenario)
+        need = [max(c.arrival_rate - 0.8 * c.vms, 0.0) for c in scenario]
+        idle = [max(c.vms - c.arrival_rate, 0.0) for c in scenario]
+        supply = [min(float(c.shared_vms), idle[i]) for i, c in enumerate(scenario)]
+        borrowed = []
+        for i in range(k):
+            pool = sum(supply[j] for j in range(k) if j != i)
+            borrowed.append(min(need[i], pool))
+        total_borrowed = sum(borrowed)
+        total_supply = sum(supply)
+        results = []
+        for i, cloud in enumerate(scenario):
+            if total_supply > 0.0:
+                lent = min(supply[i] * total_borrowed / total_supply, supply[i])
+            else:
+                lent = 0.0
+            own_capacity = cloud.vms - lent
+            self_inflicted = max(cloud.arrival_rate - own_capacity, 0.0)
+            forward = max(need[i] - borrowed[i], 0.0) * 0.5 + self_inflicted * 0.4
+            served = min(cloud.arrival_rate, own_capacity)
+            rho = min((served + lent) / cloud.vms, 1.0)
+            results.append(
+                PerformanceParams(
+                    lent_mean=lent,
+                    borrowed_mean=borrowed[i],
+                    forward_rate=forward,
+                    utilization=rho,
+                )
+            )
+        return results

@@ -1,0 +1,50 @@
+"""Integration: the market game driven by the paper-faithful approximate model.
+
+A deliberately tiny federation (the hierarchical model is expensive)
+exercises the full Fig. 2 loop with the Sect. III-C model in the inner
+position — the exact configuration the paper used for its market results.
+"""
+
+import pytest
+
+from repro.core.framework import SCShare
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.game.equilibrium import is_nash_equilibrium
+from repro.perf.approximate import ApproximateModel
+
+
+@pytest.fixture(scope="module")
+def runner():
+    scenario = FederationScenario((
+        SmallCloud(name="lo", vms=3, arrival_rate=1.6, federation_price=0.5),
+        SmallCloud(name="hi", vms=3, arrival_rate=2.6, federation_price=0.5),
+    ))
+    return SCShare(scenario, model=ApproximateModel(), gamma=0.0)
+
+
+@pytest.fixture(scope="module")
+def outcome(runner):
+    return runner.run(alpha=0.0, optimum_method="ascent")
+
+
+class TestApproximateModelGame:
+    def test_converges(self, outcome):
+        assert outcome.game.converged
+
+    def test_equilibrium_is_nash_under_the_model(self, runner, outcome):
+        assert is_nash_equilibrium(
+            runner.evaluator, outcome.equilibrium, runner.strategy_spaces
+        )
+
+    def test_federation_forms(self, outcome):
+        # At half price with an overloaded partner, sharing must happen.
+        assert any(s > 0 for s in outcome.equilibrium)
+
+    def test_cost_reductions_consistent(self, outcome):
+        for detail in outcome.details:
+            assert detail.utility >= 0.0
+            if detail.utility > 0.0:
+                assert detail.cost_reduction > 0.0
+
+    def test_efficiency_bounded(self, outcome):
+        assert 0.0 <= outcome.efficiency <= 1.0

@@ -1,0 +1,83 @@
+"""End-to-end market integration with the real (pooled) performance model.
+
+Verifies the paper's headline market behaviours on a real model: the
+federation forms at sane prices, equilibria verify as Nash, and the
+performance cache makes price sweeps cheap.
+"""
+
+import pytest
+
+from repro.core.framework import SCShare
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.game.equilibrium import is_nash_equilibrium
+from repro.perf.pooled import PooledModel
+
+
+@pytest.fixture(scope="module")
+def base_scenario():
+    return FederationScenario((
+        SmallCloud(name="lo", vms=5, arrival_rate=2.9),
+        SmallCloud(name="mid", vms=5, arrival_rate=3.7),
+        SmallCloud(name="hi", vms=5, arrival_rate=4.2),
+    ))
+
+
+@pytest.fixture(scope="module")
+def outcome(base_scenario):
+    runner = SCShare(
+        base_scenario.with_price_ratio(0.5), model=PooledModel(), gamma=0.0
+    )
+    return runner, runner.run(alpha=0.0, optimum_method="ascent")
+
+
+class TestEquilibrium:
+    def test_game_converges(self, outcome):
+        _runner, result = outcome
+        assert result.game.converged
+
+    def test_equilibrium_is_nash(self, outcome):
+        runner, result = outcome
+        assert is_nash_equilibrium(
+            runner.evaluator, result.equilibrium, runner.strategy_spaces
+        )
+
+    def test_federation_forms_at_half_price(self, outcome):
+        _runner, result = outcome
+        assert any(s > 0 for s in result.equilibrium)
+
+    def test_participants_do_not_lose(self, outcome):
+        # At equilibrium, sharing SCs weakly prefer their position to not
+        # sharing (utility >= utility of S_i = 0, which is 0).
+        _runner, result = outcome
+        for detail in result.details:
+            if detail.shared_vms > 0:
+                assert detail.utility >= 0.0
+
+
+class TestPriceSweepCache:
+    def test_sweep_reuses_performance_solutions(self, base_scenario):
+        cache = {}
+        evaluations = []
+        for ratio in (0.3, 0.6, 0.9):
+            runner = SCShare(
+                base_scenario.with_price_ratio(ratio),
+                model=PooledModel(),
+                gamma=0.0,
+                strategy_step=2,
+                params_cache=cache,
+            )
+            runner.run(alpha=0.0, optimum_method="ascent")
+            evaluations.append(runner.evaluator.evaluations)
+        # Later price points hit mostly cache: strictly fewer evaluations.
+        assert evaluations[2] < evaluations[0]
+
+    def test_zero_price_ratio_boundary(self, base_scenario):
+        # A free federation (C^G = 0) must still run end to end.
+        runner = SCShare(
+            base_scenario.with_price_ratio(0.0),
+            model=PooledModel(),
+            gamma=0.0,
+            strategy_step=2,
+        )
+        result = runner.run(alpha=0.0, optimum_method="ascent")
+        assert result.game.converged

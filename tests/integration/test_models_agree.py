@@ -1,0 +1,96 @@
+"""Cross-model integration: all four estimators agree on small federations.
+
+This is the repository's anchor test: the exact chain and the simulator
+are independent implementations of the same stochastic process, so their
+agreement validates both; the approximations must then land within their
+documented error bands.
+"""
+
+import pytest
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.perf.approximate import ApproximateModel
+from repro.perf.detailed import DetailedModel
+from repro.perf.pooled import PooledModel
+from repro.perf.simulation import SimulationModel
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return FederationScenario((
+        SmallCloud(name="a", vms=5, arrival_rate=3.5, shared_vms=2),
+        SmallCloud(name="b", vms=5, arrival_rate=4.2, shared_vms=2),
+    ))
+
+
+@pytest.fixture(scope="module")
+def exact(scenario):
+    return DetailedModel().evaluate(scenario)
+
+
+@pytest.fixture(scope="module")
+def simulated(scenario):
+    return SimulationModel(horizon=150_000.0, warmup=5_000.0, seed=17).evaluate(
+        scenario
+    )
+
+
+class TestExactVsSimulation:
+    """The two ground truths must agree tightly."""
+
+    def test_lent_and_borrowed(self, exact, simulated):
+        for e, s in zip(exact, simulated):
+            assert s.lent_mean == pytest.approx(e.lent_mean, rel=0.05)
+            assert s.borrowed_mean == pytest.approx(e.borrowed_mean, rel=0.05)
+
+    def test_forward_rate(self, exact, simulated):
+        for e, s in zip(exact, simulated):
+            assert s.forward_rate == pytest.approx(e.forward_rate, rel=0.10, abs=0.01)
+
+    def test_utilization(self, exact, simulated):
+        for e, s in zip(exact, simulated):
+            assert s.utilization == pytest.approx(e.utilization, abs=0.01)
+
+
+class TestApproximateVsExact:
+    """The hierarchical model must hit the paper's error bands."""
+
+    def test_net_borrowed_within_band(self, scenario, exact):
+        # The paper reports I underestimated / O overestimated at higher
+        # utilization; at this deliberately tiny scale (N=5) the absolute
+        # values are small, so the band is absolute rather than relative.
+        approx = ApproximateModel().evaluate(scenario)
+        for a, e in zip(approx, exact):
+            assert a.net_borrowed == pytest.approx(e.net_borrowed, abs=0.25)
+
+    def test_bias_direction_matches_paper(self, scenario, exact):
+        # Sect. V-A: the approximation underestimates Ibar and
+        # overestimates Obar as utilization grows.
+        approx = ApproximateModel().evaluate(scenario)
+        for a, e in zip(approx, exact):
+            assert a.lent_mean <= e.lent_mean + 0.05
+            assert a.borrowed_mean >= e.borrowed_mean - 0.05
+
+    def test_utilization_close(self, scenario, exact):
+        approx = ApproximateModel().evaluate(scenario)
+        for a, e in zip(approx, exact):
+            assert a.utilization == pytest.approx(e.utilization, abs=0.05)
+
+
+class TestPooledVsExact:
+    """The fast model is rougher; it must still track lent/borrowed."""
+
+    def test_lent_borrowed_ballpark(self, scenario, exact):
+        pooled = PooledModel().evaluate(scenario)
+        for p, e in zip(pooled, exact):
+            assert p.lent_mean == pytest.approx(
+                e.lent_mean, abs=max(0.5 * e.lent_mean, 0.2)
+            )
+            assert p.borrowed_mean == pytest.approx(
+                e.borrowed_mean, abs=max(0.5 * e.borrowed_mean, 0.2)
+            )
+
+    def test_utilization_ballpark(self, scenario, exact):
+        pooled = PooledModel().evaluate(scenario)
+        for p, e in zip(pooled, exact):
+            assert p.utilization == pytest.approx(e.utilization, abs=0.08)

@@ -1,0 +1,82 @@
+"""Tests for the Eq. (1) cost function and the no-sharing baseline."""
+
+import pytest
+
+from repro.core.small_cloud import SmallCloud
+from repro.market.cost import baseline_cost, baseline_metrics, operating_cost
+from repro.perf.params import PerformanceParams
+
+
+def cloud(**overrides) -> SmallCloud:
+    defaults = dict(
+        name="sc",
+        vms=10,
+        arrival_rate=7.0,
+        public_price=2.0,
+        federation_price=1.0,
+    )
+    defaults.update(overrides)
+    return SmallCloud(**defaults)
+
+
+def params(lent=0.0, borrowed=0.0, forward=0.0, rho=0.5) -> PerformanceParams:
+    return PerformanceParams(
+        lent_mean=lent,
+        borrowed_mean=borrowed,
+        forward_rate=forward,
+        utilization=rho,
+    )
+
+
+class TestOperatingCost:
+    def test_equation_one(self):
+        # C = Pbar C^P + (Obar - Ibar) C^G.
+        value = operating_cost(cloud(), params(lent=1.0, borrowed=2.5, forward=0.4))
+        assert value == pytest.approx(0.4 * 2.0 + (2.5 - 1.0) * 1.0)
+
+    def test_net_lender_earns_revenue(self):
+        value = operating_cost(cloud(), params(lent=3.0, borrowed=0.5, forward=0.0))
+        assert value == pytest.approx(-2.5)  # negative cost = profit
+
+    def test_isolated_sc_pays_only_forwarding(self):
+        value = operating_cost(cloud(), params(forward=0.7))
+        assert value == pytest.approx(1.4)
+
+    def test_cost_monotone_in_public_price(self):
+        p = params(forward=0.5, borrowed=1.0)
+        cheap = operating_cost(cloud(public_price=1.0, federation_price=0.5), p)
+        pricey = operating_cost(cloud(public_price=3.0, federation_price=0.5), p)
+        assert pricey > cheap
+
+    def test_borrower_cost_monotone_in_federation_price(self):
+        p = params(borrowed=2.0, forward=0.1)
+        cheap = operating_cost(cloud(federation_price=0.2), p)
+        pricey = operating_cost(cloud(federation_price=1.8), p)
+        assert pricey > cheap
+
+
+class TestBaseline:
+    def test_baseline_cost_is_forward_rate_times_price(self):
+        c = cloud()
+        metrics = baseline_metrics(c)
+        assert metrics.cost == pytest.approx(metrics.forward_rate * c.public_price)
+        assert baseline_cost(c) == pytest.approx(metrics.cost)
+
+    def test_baseline_matches_no_sharing_model(self):
+        from repro.queueing.forwarding import NoSharingModel
+
+        c = cloud()
+        model = NoSharingModel(c.vms, c.arrival_rate, c.service_rate, c.sla_bound)
+        metrics = baseline_metrics(c)
+        assert metrics.forward_rate == pytest.approx(model.forward_rate)
+        assert metrics.utilization == pytest.approx(model.utilization)
+
+    def test_baseline_grows_with_load(self):
+        low = baseline_cost(cloud(arrival_rate=5.0))
+        high = baseline_cost(cloud(arrival_rate=9.0))
+        assert high > low
+
+    def test_baseline_independent_of_federation_price(self):
+        a = baseline_cost(cloud(federation_price=0.1))
+        b = baseline_cost(cloud(federation_price=1.9))
+        assert a == b

@@ -1,0 +1,105 @@
+"""Tests for the social optimum search and federation efficiency."""
+
+import math
+
+import pytest
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.exceptions import GameError
+from repro.market.efficiency import federation_efficiency, social_optimum
+from repro.market.evaluator import UtilityEvaluator
+from repro.perf.base import PerformanceModel
+from repro.perf.params import PerformanceParams
+
+
+class PeakModel(PerformanceModel):
+    """Utilities peak when every SC shares exactly half its VMs."""
+
+    def evaluate(self, scenario):
+        results = []
+        for cloud in scenario:
+            target = cloud.vms // 2
+            closeness = 1.0 / (1.0 + abs(cloud.shared_vms - target))
+            results.append(
+                PerformanceParams(
+                    lent_mean=closeness,
+                    borrowed_mean=0.0,
+                    forward_rate=0.0,
+                    utilization=min(0.5 + 0.04 * cloud.shared_vms, 1.0),
+                )
+            )
+        return results
+
+
+@pytest.fixture
+def evaluator():
+    scenario = FederationScenario((
+        SmallCloud(name="a", vms=10, arrival_rate=7.0, federation_price=0.5),
+        SmallCloud(name="b", vms=10, arrival_rate=8.0, federation_price=0.5),
+    ))
+    return UtilityEvaluator(scenario, PeakModel())
+
+
+class TestSocialOptimum:
+    def test_brute_force_finds_peak(self, evaluator):
+        spaces = [list(range(11)), list(range(11))]
+        profile, value = social_optimum(evaluator, 0.0, spaces, method="brute")
+        assert profile == (5, 5)
+        assert value > 0
+
+    def test_ascent_matches_brute_force(self, evaluator):
+        spaces = [list(range(11)), list(range(11))]
+        brute = social_optimum(evaluator, 0.0, spaces, method="brute")
+        ascent = social_optimum(evaluator, 0.0, spaces, method="ascent")
+        assert ascent[1] == pytest.approx(brute[1])
+
+    def test_auto_dispatches_by_size(self, evaluator):
+        small = [list(range(3)), list(range(3))]
+        profile, _ = social_optimum(evaluator, 0.0, small, method="auto")
+        assert len(profile) == 2
+        big = [list(range(11)), list(range(11))]
+        profile, _ = social_optimum(
+            evaluator, 0.0, big, method="auto", brute_force_limit=10
+        )
+        assert len(profile) == 2  # went through ascent without error
+
+    def test_empty_space_rejected(self, evaluator):
+        with pytest.raises(GameError):
+            social_optimum(evaluator, 0.0, [[], [1]])
+
+    def test_unknown_method_rejected(self, evaluator):
+        with pytest.raises(GameError):
+            social_optimum(evaluator, 0.0, [[0], [0]], method="sorcery")
+
+    def test_works_for_max_min_alpha(self, evaluator):
+        # Under the participants-only convention, max-min may legitimately
+        # exclude the weakest SC (set its share to 0) to raise the minimum;
+        # the optimum therefore dominates the everyone-at-peak profile.
+        spaces = [list(range(11)), list(range(11))]
+        profile, value = social_optimum(evaluator, math.inf, spaces, method="brute")
+        assert value >= evaluator.welfare((5, 5), math.inf) - 1e-12
+        assert value == pytest.approx(
+            evaluator.welfare(profile, math.inf)
+        )
+
+
+class TestFederationEfficiency:
+    def test_ratio(self):
+        assert federation_efficiency(3.0, 4.0) == pytest.approx(0.75)
+
+    def test_perfect_efficiency(self):
+        assert federation_efficiency(4.0, 4.0) == 1.0
+
+    def test_no_participation_is_zero(self):
+        assert federation_efficiency(0.0, 4.0) == 0.0
+
+    def test_minus_infinity_welfare_is_zero(self):
+        assert federation_efficiency(-math.inf, 4.0) == 0.0
+
+    def test_degenerate_optimum_is_zero(self):
+        assert federation_efficiency(1.0, 0.0) == 0.0
+        assert federation_efficiency(1.0, -2.0) == 0.0
+
+    def test_clamped_at_one(self):
+        # An inexact (heuristic) optimum can be beaten; report 100%.
+        assert federation_efficiency(5.0, 4.0) == 1.0

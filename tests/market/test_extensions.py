@@ -1,0 +1,114 @@
+"""Tests for the Sect. VII cost-function extensions."""
+
+import pytest
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.market.cost import operating_cost
+from repro.market.extensions import (
+    ExtendedUtilityEvaluator,
+    PowerAwareCost,
+    TransferAwareCost,
+)
+from repro.perf.params import PerformanceParams
+from tests.helpers import StubModel
+
+
+def cloud(**overrides):
+    defaults = dict(name="sc", vms=10, arrival_rate=7.0, federation_price=0.5)
+    defaults.update(overrides)
+    return SmallCloud(**defaults)
+
+
+def params(lent=1.0, borrowed=0.5, forward=0.2, rho=0.7):
+    return PerformanceParams(
+        lent_mean=lent, borrowed_mean=borrowed, forward_rate=forward, utilization=rho
+    )
+
+
+class TestPowerAwareCost:
+    def test_adds_energy_for_busy_vms(self):
+        cost_fn = PowerAwareCost(energy_price=0.1)
+        c = cloud()
+        p = params(rho=0.7)
+        expected = operating_cost(c, p) + 0.1 * 0.7 * 10
+        assert cost_fn(c, p) == pytest.approx(expected)
+
+    def test_zero_energy_price_is_base_cost(self):
+        cost_fn = PowerAwareCost(energy_price=0.0)
+        c, p = cloud(), params()
+        assert cost_fn(c, p) == pytest.approx(operating_cost(c, p))
+
+    def test_negative_price_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PowerAwareCost(energy_price=-1.0)
+
+
+class TestTransferAwareCost:
+    def test_remote_work_is_taxed(self):
+        cost_fn = TransferAwareCost(transfer_price=0.2)
+        c = cloud()
+        p = params(borrowed=2.0, forward=0.5)
+        expected = operating_cost(c, p) + 0.2 * (2.0 + 0.5 / c.service_rate)
+        assert cost_fn(c, p) == pytest.approx(expected)
+
+    def test_local_work_untaxed(self):
+        cost_fn = TransferAwareCost(transfer_price=5.0)
+        c = cloud()
+        p = params(lent=3.0, borrowed=0.0, forward=0.0)
+        assert cost_fn(c, p) == pytest.approx(operating_cost(c, p))
+
+
+class TestExtendedEvaluator:
+    def scenario(self):
+        return FederationScenario((
+            cloud(name="lo", arrival_rate=6.0),
+            cloud(name="hi", arrival_rate=9.5),
+        ))
+
+    def test_plain_extension_matches_base_when_neutral(self):
+        from repro.market.evaluator import UtilityEvaluator
+
+        scenario = self.scenario()
+        base = UtilityEvaluator(scenario, StubModel(), gamma=0.0)
+        extended = ExtendedUtilityEvaluator(
+            scenario, StubModel(), cost_function=PowerAwareCost(0.0), gamma=0.0
+        )
+        sharing = (3, 2)
+        for i in range(2):
+            assert extended.cost(sharing, i) == pytest.approx(base.cost(sharing, i))
+            assert extended.utility(sharing, i) == pytest.approx(
+                base.utility(sharing, i)
+            )
+
+    def test_transfer_tax_discourages_borrowing(self):
+        scenario = self.scenario()
+        cheap = ExtendedUtilityEvaluator(
+            scenario, StubModel(), cost_function=TransferAwareCost(0.0), gamma=0.0
+        )
+        taxed = ExtendedUtilityEvaluator(
+            scenario, StubModel(), cost_function=TransferAwareCost(2.0), gamma=0.0
+        )
+        # The high-load SC borrows; taxing transfers raises its cost.
+        sharing = (4, 2)
+        assert taxed.cost(sharing, 1) > cheap.cost(sharing, 1)
+
+    def test_game_runs_with_extension(self):
+        from repro.game.best_response import BestResponder
+        from repro.game.repeated_game import RepeatedGame
+        from repro.game.strategy import full_strategy_spaces
+
+        scenario = self.scenario()
+        evaluator = ExtendedUtilityEvaluator(
+            scenario, StubModel(), cost_function=PowerAwareCost(0.05), gamma=0.0
+        )
+        spaces = full_strategy_spaces(scenario)
+        result = RepeatedGame(BestResponder(evaluator, spaces)).run()
+        assert result.converged
+
+    def test_zero_share_utility_remains_zero(self):
+        evaluator = ExtendedUtilityEvaluator(
+            self.scenario(), StubModel(), cost_function=PowerAwareCost(0.1), gamma=0.0
+        )
+        assert evaluator.utility((0, 3), 0) == 0.0

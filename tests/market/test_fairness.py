@@ -1,0 +1,93 @@
+"""Tests for the Eq. (3) alpha-fairness welfare."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.exceptions import ConfigurationError
+from repro.market.fairness import (
+    ALPHA_MAX_MIN,
+    ALPHA_PROPORTIONAL,
+    ALPHA_UTILITARIAN,
+    welfare,
+)
+
+
+class TestUtilitarian:
+    def test_weighted_sum(self):
+        # alpha=0: sum S_i U_i (the 1/(1-alpha) factor is 1).
+        value = welfare(ALPHA_UTILITARIAN, [2, 3], [1.0, 4.0])
+        assert value == pytest.approx(2 * 1.0 + 3 * 4.0)
+
+    def test_zero_share_contributes_nothing(self):
+        assert welfare(0.0, [0, 3], [100.0, 2.0]) == pytest.approx(6.0)
+
+    def test_nobody_participates_is_zero(self):
+        assert welfare(0.0, [0, 0], [5.0, 5.0]) == 0.0
+
+    def test_zero_utility_participant_contributes_zero(self):
+        assert welfare(0.0, [1, 1], [0.0, 2.0]) == pytest.approx(2.0)
+
+
+class TestProportional:
+    def test_weighted_log_sum(self):
+        value = welfare(ALPHA_PROPORTIONAL, [2, 1], [math.e, math.e**2])
+        assert value == pytest.approx(2 * 1.0 + 1 * 2.0)
+
+    def test_starved_participant_is_minus_infinity(self):
+        assert welfare(1.0, [1, 1], [0.0, 5.0]) == -math.inf
+
+    def test_zero_share_zero_utility_is_fine(self):
+        # 0 * log 0 := 0 by the weight-zero convention.
+        assert welfare(1.0, [0, 2], [0.0, 1.0]) == pytest.approx(0.0)
+
+
+class TestMaxMin:
+    def test_minimum_over_participants(self):
+        assert welfare(ALPHA_MAX_MIN, [1, 2, 3], [4.0, 1.5, 8.0]) == 1.5
+
+    def test_non_participants_excluded_from_min(self):
+        assert welfare(ALPHA_MAX_MIN, [0, 2], [0.0, 3.0]) == 3.0
+
+    def test_empty_federation(self):
+        assert welfare(ALPHA_MAX_MIN, [0, 0], [1.0, 1.0]) == 0.0
+
+
+class TestGeneralAlpha:
+    def test_formula_for_alpha_two(self):
+        # alpha=2: sum S U^{-1} / (-1) = -sum S / U.
+        value = welfare(2.0, [1, 1], [2.0, 4.0])
+        assert value == pytest.approx(-(1 / 2.0 + 1 / 4.0))
+
+    def test_alpha_half(self):
+        value = welfare(0.5, [1], [4.0])
+        assert value == pytest.approx(4.0**0.5 / 0.5)
+
+    def test_zero_utility_blows_up_only_above_one(self):
+        assert welfare(0.5, [1], [0.0]) == 0.0
+        assert welfare(2.0, [1], [0.0]) == -math.inf
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            welfare(-1.0, [1], [1.0])
+
+    def test_negative_utility_rejected(self):
+        with pytest.raises(ConfigurationError):
+            welfare(0.0, [1], [-1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            welfare(0.0, [1, 2], [1.0])
+
+    @given(
+        shares=hyp.lists(hyp.integers(min_value=0, max_value=10), min_size=1, max_size=5),
+        scale=hyp.floats(min_value=1.1, max_value=5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_utilities_up_never_hurts(self, shares, scale):
+        utilities = [float(s + 1) for s in shares]
+        scaled = [u * scale for u in utilities]
+        for alpha in (0.0, 0.5, 1.0, 2.0, ALPHA_MAX_MIN):
+            assert welfare(alpha, shares, scaled) >= welfare(alpha, shares, utilities) - 1e-12

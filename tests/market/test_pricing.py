@@ -1,0 +1,37 @@
+"""Tests for price-ratio grids."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.market.pricing import price_ratio_grid
+
+
+class TestPriceRatioGrid:
+    def test_default_grid(self):
+        grid = price_ratio_grid()
+        assert grid[0] == pytest.approx(0.1)
+        assert grid[-1] == 1.0
+        assert len(grid) == 10  # 11 points minus the excluded zero
+
+    def test_zero_included_on_request(self):
+        grid = price_ratio_grid(points=11, include_zero=True)
+        assert grid[0] == 0.0
+        assert len(grid) == 11
+
+    def test_custom_bounds(self):
+        grid = price_ratio_grid(points=3, low=0.4, high=0.8)
+        assert grid == pytest.approx([0.4, 0.6, 0.8])
+
+    def test_monotone(self):
+        grid = price_ratio_grid(points=20)
+        assert grid == sorted(grid)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            price_ratio_grid(points=1)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            price_ratio_grid(low=0.9, high=0.3)
+        with pytest.raises(ConfigurationError):
+            price_ratio_grid(high=1.5)

@@ -1,0 +1,83 @@
+"""Tests for the Eq. (2) utility function."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.exceptions import ConfigurationError
+from repro.market.utility import UF0, UF1, utility
+
+
+class TestUF0:
+    def test_squared_cost_reduction(self):
+        value = utility(
+            baseline_cost=1.0, cost=0.4, baseline_utilization=0.5,
+            utilization=0.6, gamma=UF0,
+        )
+        assert value == pytest.approx(0.36)
+
+    def test_no_reduction_gives_zero(self):
+        assert utility(1.0, 1.0, 0.5, 0.6, gamma=UF0) == 0.0
+
+    def test_cost_increase_clamped_to_zero(self):
+        assert utility(1.0, 1.5, 0.5, 0.6, gamma=UF0) == 0.0
+
+    def test_utilization_irrelevant(self):
+        a = utility(1.0, 0.5, 0.5, 0.51, gamma=UF0)
+        b = utility(1.0, 0.5, 0.5, 0.99, gamma=UF0)
+        assert a == b
+
+
+class TestUF1:
+    def test_divides_by_utilization_gain(self):
+        value = utility(1.0, 0.4, 0.5, 0.7, gamma=UF1)
+        assert value == pytest.approx(0.36 / 0.2)
+
+    def test_zero_gain_gives_zero(self):
+        assert utility(1.0, 0.4, 0.5, 0.5, gamma=UF1) == 0.0
+
+    def test_negative_gain_gives_zero(self):
+        assert utility(1.0, 0.4, 0.6, 0.5, gamma=UF1) == 0.0
+
+    def test_small_gain_amplifies_utility(self):
+        # gamma=1 gives the highest weight to utilization (paper: since
+        # 0 < delta rho <= 1, dividing amplifies).
+        tight = utility(1.0, 0.4, 0.5, 0.55, gamma=UF1)
+        loose = utility(1.0, 0.4, 0.5, 0.9, gamma=UF1)
+        assert tight > loose
+
+
+class TestGeneralGamma:
+    def test_interpolates_between_uf0_and_uf1(self):
+        args = dict(baseline_cost=1.0, cost=0.4, baseline_utilization=0.5, utilization=0.7)
+        low = utility(**args, gamma=0.0)
+        mid = utility(**args, gamma=0.5)
+        high = utility(**args, gamma=1.0)
+        assert low < mid < high  # gain < 1, so dividing by gain^gamma grows
+
+    def test_gamma_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            utility(1.0, 0.4, 0.5, 0.7, gamma=1.5)
+        with pytest.raises(ConfigurationError):
+            utility(1.0, 0.4, 0.5, 0.7, gamma=-0.1)
+
+    @given(
+        baseline=hyp.floats(min_value=0.0, max_value=10.0),
+        cost=hyp.floats(min_value=0.0, max_value=10.0),
+        rho0=hyp.floats(min_value=0.0, max_value=1.0),
+        rho=hyp.floats(min_value=0.0, max_value=1.0),
+        gamma=hyp.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_utility_never_negative(self, baseline, cost, rho0, rho, gamma):
+        assert utility(baseline, cost, rho0, rho, gamma) >= 0.0
+
+    @given(
+        reduction=hyp.floats(min_value=0.01, max_value=5.0),
+        gamma=hyp.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_cost_reduction(self, reduction, gamma):
+        small = utility(1.0 + reduction, 1.0, 0.5, 0.8, gamma)
+        big = utility(1.0 + 2 * reduction, 1.0, 0.5, 0.8, gamma)
+        assert big > small

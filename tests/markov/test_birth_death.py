@@ -1,0 +1,87 @@
+"""Tests for analytic birth–death chains against closed forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.exceptions import ConfigurationError
+from repro.markov.birth_death import BirthDeathChain, mmc_chain
+from repro.queueing.erlang import erlang_b
+
+
+class TestBirthDeathChain:
+    def test_mm1_geometric_solution(self):
+        rho = 0.6
+        chain = BirthDeathChain([rho] * 40, [1.0] * 40)
+        pi = chain.stationary()
+        expected = (1 - rho ** 41) and np.array([rho**k for k in range(41)])
+        expected = expected / expected.sum()
+        np.testing.assert_allclose(pi, expected, atol=1e-12)
+
+    def test_erlang_b_blocking_from_chain(self):
+        # M/M/c/c loss system: blocking probability is pi_c = Erlang-B.
+        offered = 5.0
+        servers = 7
+        chain = mmc_chain(offered, 1.0, servers, servers)
+        pi = chain.stationary()
+        assert pi[-1] == pytest.approx(erlang_b(offered, servers), rel=1e-10)
+
+    def test_zero_birth_rate_blocks_upper_levels(self):
+        chain = BirthDeathChain([1.0, 0.0, 1.0], [1.0, 1.0, 1.0])
+        pi = chain.stationary()
+        assert pi[2] == 0.0
+        assert pi[3] == 0.0
+        assert pi[:2].sum() == pytest.approx(1.0)
+
+    def test_mean_level_matches_distribution(self):
+        chain = mmc_chain(3.0, 1.0, 4, 60)
+        pi = chain.stationary()
+        assert chain.mean_level() == pytest.approx(np.dot(np.arange(61), pi))
+
+    def test_to_ctmc_agrees_with_analytic(self):
+        chain = mmc_chain(6.5, 1.0, 8, 80)
+        pi_analytic = chain.stationary()
+        pi_numeric = chain.to_ctmc().steady_state()
+        np.testing.assert_allclose(pi_numeric, pi_analytic, atol=1e-10)
+
+    def test_extreme_rate_ratios_stay_finite(self):
+        chain = BirthDeathChain([1e6] * 30, [1e-3] * 30)
+        pi = chain.stationary()
+        assert np.isfinite(pi).all()
+        assert pi.sum() == pytest.approx(1.0)
+
+    @given(
+        rho=hyp.floats(min_value=0.05, max_value=0.95),
+        levels=hyp.integers(min_value=2, max_value=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distribution_properties(self, rho, levels):
+        chain = BirthDeathChain([rho] * levels, [1.0] * levels)
+        pi = chain.stationary()
+        assert pi.min() >= 0.0
+        assert pi.sum() == pytest.approx(1.0)
+        # Geometric decay for rho < 1.
+        assert pi[0] == max(pi)
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BirthDeathChain([1.0, 1.0], [1.0])
+
+    def test_zero_death_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BirthDeathChain([1.0], [0.0])
+
+    def test_negative_birth_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BirthDeathChain([-1.0], [1.0])
+
+    def test_capacity_below_servers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mmc_chain(1.0, 1.0, 5, 3)
+
+    def test_infinite_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BirthDeathChain([float("inf")], [1.0])

@@ -1,0 +1,102 @@
+"""Tests for the CTMC container and its validation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigurationError, StateSpaceError
+from repro.markov.ctmc import CTMC
+from repro.markov.state_space import StateSpace
+
+
+def two_state_ctmc(up_rate=2.0, down_rate=3.0) -> CTMC:
+    space = StateSpace(["up", "down"])
+    return CTMC.from_transitions(
+        space, [("up", "down", down_rate), ("down", "up", up_rate)]
+    )
+
+
+class TestConstruction:
+    def test_from_transitions_builds_valid_generator(self):
+        ctmc = two_state_ctmc()
+        q = ctmc.generator.toarray()
+        np.testing.assert_allclose(q.sum(axis=1), [0.0, 0.0], atol=1e-12)
+        assert q[0, 1] == 3.0
+        assert q[1, 0] == 2.0
+
+    def test_parallel_transitions_are_summed(self):
+        space = StateSpace([0, 1])
+        ctmc = CTMC.from_transitions(space, [(0, 1, 1.0), (0, 1, 2.0), (1, 0, 1.0)])
+        assert ctmc.generator[0, 1] == 3.0
+
+    def test_self_loops_dropped(self):
+        space = StateSpace([0, 1])
+        ctmc = CTMC.from_transitions(space, [(0, 0, 9.0), (0, 1, 1.0), (1, 0, 1.0)])
+        assert ctmc.generator[0, 0] == -1.0
+
+    def test_non_positive_rates_dropped(self):
+        space = StateSpace([0, 1])
+        ctmc = CTMC.from_transitions(
+            space, [(0, 1, 1.0), (1, 0, 1.0), (1, 0, 0.0), (1, 0, -1.0)]
+        )
+        assert ctmc.generator[1, 0] == 1.0
+
+    def test_from_successor_function(self):
+        space = StateSpace([0, 1, 2])
+
+        def successors(state):
+            if state < 2:
+                yield state + 1, 1.0
+            if state > 0:
+                yield state - 1, 2.0
+
+        ctmc = CTMC.from_successor_function(space, successors)
+        assert ctmc.generator[1, 2] == 1.0
+        assert ctmc.generator[1, 0] == 2.0
+
+    def test_shape_mismatch_rejected(self):
+        space = StateSpace([0, 1])
+        with pytest.raises(ConfigurationError):
+            CTMC(space, sp.csr_matrix((3, 3)))
+
+    def test_bad_row_sums_rejected(self):
+        space = StateSpace([0, 1])
+        q = sp.csr_matrix(np.array([[1.0, 1.0], [0.0, 0.0]]))
+        with pytest.raises(ConfigurationError):
+            CTMC(space, q)
+
+    def test_negative_off_diagonal_rejected(self):
+        space = StateSpace([0, 1])
+        q = sp.csr_matrix(np.array([[1.0, -1.0], [1.0, -1.0]]))
+        with pytest.raises(ConfigurationError):
+            CTMC(space, q)
+
+
+class TestAnalysis:
+    def test_two_state_steady_state(self):
+        ctmc = two_state_ctmc(up_rate=2.0, down_rate=3.0)
+        pi = ctmc.steady_state()
+        # pi_up * 3 = pi_down * 2  =>  pi_up = 2/5, pi_down = 3/5.
+        np.testing.assert_allclose(pi, [0.4, 0.6], atol=1e-12)
+
+    def test_exit_rates(self):
+        ctmc = two_state_ctmc()
+        np.testing.assert_allclose(ctmc.exit_rates(), [3.0, 2.0])
+
+    def test_uniformization_rate_dominates(self):
+        ctmc = two_state_ctmc()
+        assert ctmc.uniformization_rate() >= 3.0
+
+    def test_expected_value(self):
+        ctmc = two_state_ctmc()
+        pi = ctmc.steady_state()
+        value = ctmc.expected(np.array([10.0, 0.0]), pi)
+        assert value == pytest.approx(4.0)
+
+    def test_expected_shape_mismatch(self):
+        ctmc = two_state_ctmc()
+        with pytest.raises(StateSpaceError):
+            ctmc.expected(np.zeros(5), np.zeros(5))
+
+    def test_n_states(self):
+        assert two_state_ctmc().n_states == 2

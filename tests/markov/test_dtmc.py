@@ -1,0 +1,66 @@
+"""Tests for the DTMC container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigurationError
+from repro.markov.dtmc import DTMC
+from repro.markov.state_space import StateSpace
+
+
+def two_state_dtmc(p=0.3, q=0.6) -> DTMC:
+    space = StateSpace(["a", "b"])
+    matrix = sp.csr_matrix(np.array([[1 - p, p], [q, 1 - q]]))
+    return DTMC(space, matrix)
+
+
+class TestValidation:
+    def test_valid_chain_accepted(self):
+        chain = two_state_dtmc()
+        assert chain.n_states == 2
+
+    def test_rows_must_sum_to_one(self):
+        space = StateSpace([0, 1])
+        bad = sp.csr_matrix(np.array([[0.5, 0.4], [0.0, 1.0]]))
+        with pytest.raises(ConfigurationError):
+            DTMC(space, bad)
+
+    def test_negative_probabilities_rejected(self):
+        space = StateSpace([0, 1])
+        bad = sp.csr_matrix(np.array([[1.5, -0.5], [0.5, 0.5]]))
+        with pytest.raises(ConfigurationError):
+            DTMC(space, bad)
+
+    def test_shape_mismatch_rejected(self):
+        space = StateSpace([0, 1, 2])
+        with pytest.raises(ConfigurationError):
+            DTMC(space, sp.eye(2, format="csr"))
+
+
+class TestDynamics:
+    def test_step(self):
+        chain = two_state_dtmc(p=0.3, q=0.6)
+        dist = chain.step(np.array([1.0, 0.0]))
+        np.testing.assert_allclose(dist, [0.7, 0.3])
+
+    def test_power_distribution(self):
+        chain = two_state_dtmc()
+        direct = chain.step(chain.step(np.array([1.0, 0.0])))
+        powered = chain.power_distribution(np.array([1.0, 0.0]), 2)
+        np.testing.assert_allclose(powered, direct)
+
+    def test_zero_steps_is_identity(self):
+        chain = two_state_dtmc()
+        start = np.array([0.25, 0.75])
+        np.testing.assert_allclose(chain.power_distribution(start, 0), start)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            two_state_dtmc().power_distribution(np.array([1.0, 0.0]), -1)
+
+    def test_stationary_matches_closed_form(self):
+        p, q = 0.3, 0.6
+        chain = two_state_dtmc(p=p, q=q)
+        pi = chain.stationary()
+        np.testing.assert_allclose(pi, [q / (p + q), p / (p + q)], atol=1e-10)

@@ -1,0 +1,90 @@
+"""Tests for Fox–Glynn Poisson truncation and the stable Poisson CDF."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.stats as st
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.exceptions import TruncationError
+from repro.markov.fox_glynn import FoxGlynnWeights, fox_glynn, poisson_cdf
+
+
+class TestFoxGlynn:
+    def test_zero_rate_is_point_mass(self):
+        fg = fox_glynn(0.0)
+        assert fg.left == 0
+        assert fg.right == 0
+        assert fg.weights[0] == 1.0
+
+    @pytest.mark.parametrize("rate", [0.1, 1.0, 4.7, 25.0, 400.0, 12_345.6])
+    def test_matches_scipy_pmf(self, rate):
+        fg = fox_glynn(rate, epsilon=1e-12)
+        ks = np.arange(fg.left, fg.right + 1)
+        reference = st.poisson.pmf(ks, rate)
+        np.testing.assert_allclose(fg.weights * fg.total, reference, atol=1e-13)
+
+    @pytest.mark.parametrize("rate", [0.5, 10.0, 1000.0])
+    def test_window_captures_requested_mass(self, rate):
+        epsilon = 1e-10
+        fg = fox_glynn(rate, epsilon=epsilon)
+        captured = st.poisson.cdf(fg.right, rate) - st.poisson.cdf(fg.left - 1, rate)
+        assert captured >= 1.0 - epsilon
+
+    def test_weights_are_normalized(self):
+        fg = fox_glynn(37.7)
+        assert math.isclose(fg.weights.sum(), 1.0, rel_tol=1e-12)
+
+    def test_window_contains_mode(self):
+        rate = 123.4
+        fg = fox_glynn(rate)
+        assert fg.left <= int(rate) <= fg.right
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(TruncationError):
+            fox_glynn(5.0, epsilon=0.0)
+
+    def test_negative_rate_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            fox_glynn(-1.0)
+
+    def test_mismatched_window_rejected(self):
+        with pytest.raises(TruncationError):
+            FoxGlynnWeights(left=3, right=2, weights=np.array([]), total=1.0)
+
+    @given(rate=hyp.floats(min_value=0.01, max_value=5_000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_mass_property(self, rate):
+        fg = fox_glynn(rate, epsilon=1e-9)
+        assert fg.total >= 1.0 - 1e-8
+        assert fg.total <= 1.0 + 1e-8
+        assert (fg.weights >= 0.0).all()
+
+
+class TestPoissonCdf:
+    @pytest.mark.parametrize(
+        "k,rate", [(0, 1.0), (3, 0.5), (10, 10.0), (25, 3.3), (100, 80.0)]
+    )
+    def test_matches_scipy(self, k, rate):
+        assert math.isclose(
+            poisson_cdf(k, rate), st.poisson.cdf(k, rate), rel_tol=1e-12
+        )
+
+    def test_negative_k_is_zero(self):
+        assert poisson_cdf(-1, 2.0) == 0.0
+
+    def test_zero_rate_is_one(self):
+        assert poisson_cdf(0, 0.0) == 1.0
+        assert poisson_cdf(5, 0.0) == 1.0
+
+    @given(
+        k=hyp.integers(min_value=0, max_value=60),
+        rate=hyp.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_k(self, k, rate):
+        assert poisson_cdf(k, rate) <= poisson_cdf(k + 1, rate) + 1e-15

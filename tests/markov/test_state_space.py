@@ -1,0 +1,94 @@
+"""Tests for the state-space bijection and reachability exploration."""
+
+import pytest
+
+from repro.exceptions import StateSpaceError
+from repro.markov.state_space import StateSpace, explore
+
+
+class TestStateSpace:
+    def test_index_roundtrip(self):
+        states = [(0, 0), (0, 1), (1, 0)]
+        space = StateSpace(states)
+        for i, state in enumerate(states):
+            assert space.index(state) == i
+            assert space[i] == state
+
+    def test_iteration_order_matches_index_order(self):
+        space = StateSpace(["c", "a", "b"])
+        assert list(space) == ["c", "a", "b"]
+
+    def test_contains(self):
+        space = StateSpace([1, 2, 3])
+        assert 2 in space
+        assert 7 not in space
+
+    def test_get_returns_none_for_missing(self):
+        space = StateSpace([1])
+        assert space.get(99) is None
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(StateSpaceError):
+            StateSpace([1, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(StateSpaceError):
+            StateSpace([])
+
+    def test_missing_state_lookup_raises(self):
+        space = StateSpace([1])
+        with pytest.raises(StateSpaceError):
+            space.index(42)
+
+    def test_subset_indices(self):
+        space = StateSpace(range(10))
+        assert space.subset_indices(lambda s: s % 3 == 0) == [0, 3, 6, 9]
+
+
+class TestExplore:
+    def test_simple_chain_reachability(self):
+        def successors(state):
+            if state < 5:
+                yield state + 1, 1.0
+
+        space = explore([0], successors)
+        assert len(space) == 6
+        assert list(space) == [0, 1, 2, 3, 4, 5]
+
+    def test_unreachable_states_excluded(self):
+        def successors(state):
+            if state == 0:
+                yield 2, 1.0
+
+        space = explore([0], successors)
+        assert 1 not in space
+        assert 2 in space
+
+    def test_multiple_seeds(self):
+        def successors(state):
+            return []
+
+        space = explore([("a",), ("b",)], successors)
+        assert len(space) == 2
+
+    def test_max_states_enforced(self):
+        def successors(state):
+            yield state + 1, 1.0
+
+        with pytest.raises(StateSpaceError):
+            explore([0], successors, max_states=100)
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(StateSpaceError):
+            explore([], lambda s: [])
+
+    def test_bfs_discovery_order(self):
+        def successors(state):
+            if state == 0:
+                yield 1, 1.0
+                yield 2, 1.0
+            if state == 1:
+                yield 3, 1.0
+
+        space = explore([0], successors)
+        assert list(space) == [0, 1, 2, 3]

@@ -1,0 +1,91 @@
+"""Tests for uniformization transient analysis against matrix exponentials."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.exceptions import ConfigurationError
+from repro.markov.birth_death import mmc_chain
+from repro.markov.ctmc import CTMC
+from repro.markov.state_space import StateSpace
+from repro.markov.uniformization import (
+    transient_distribution,
+    transient_matrix,
+    uniformize,
+)
+
+
+def small_ctmc() -> CTMC:
+    space = StateSpace([0, 1, 2])
+    return CTMC.from_transitions(
+        space, [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 0.5), (1, 0, 0.3)]
+    )
+
+
+class TestUniformize:
+    def test_result_is_stochastic(self):
+        dtmc, gamma = uniformize(small_ctmc())
+        rows = np.asarray(dtmc.matrix.sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, 1.0, atol=1e-12)
+        assert gamma >= 2.3
+
+    def test_explicit_gamma_respected(self):
+        dtmc, gamma = uniformize(small_ctmc(), gamma=10.0)
+        assert gamma == 10.0
+        # Self-loop probability grows with gamma.
+        assert dtmc.matrix[0, 0] == pytest.approx(1.0 - 1.0 / 10.0)
+
+    def test_too_small_gamma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniformize(small_ctmc(), gamma=0.1)
+
+
+class TestTransientDistribution:
+    @pytest.mark.parametrize("t", [0.01, 0.3, 1.0, 5.0])
+    def test_matches_matrix_exponential(self, t):
+        ctmc = small_ctmc()
+        p0 = np.array([1.0, 0.0, 0.0])
+        expected = p0 @ scipy.linalg.expm(ctmc.generator.toarray() * t)
+        actual = transient_distribution(ctmc, p0, t, epsilon=1e-13)
+        np.testing.assert_allclose(actual, expected, atol=1e-10)
+
+    def test_time_zero_returns_initial(self):
+        ctmc = small_ctmc()
+        p0 = np.array([0.2, 0.5, 0.3])
+        np.testing.assert_allclose(transient_distribution(ctmc, p0, 0.0), p0)
+
+    def test_long_horizon_reaches_steady_state(self):
+        chain = mmc_chain(3.0, 1.0, 5, 40)
+        ctmc = chain.to_ctmc()
+        p0 = np.zeros(41)
+        p0[0] = 1.0
+        result = transient_distribution(ctmc, p0, 500.0)
+        np.testing.assert_allclose(result, chain.stationary(), atol=1e-8)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            transient_distribution(small_ctmc(), np.array([1.0]), 1.0)
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ConfigurationError):
+            transient_distribution(small_ctmc(), np.array([1.0, -1.0, 1.0]), 1.0)
+
+    def test_result_is_distribution(self):
+        ctmc = small_ctmc()
+        p0 = np.array([0.0, 1.0, 0.0])
+        result = transient_distribution(ctmc, p0, 2.5)
+        assert result.min() >= 0.0
+        assert result.sum() == pytest.approx(1.0)
+
+
+class TestTransientMatrix:
+    @pytest.mark.parametrize("t", [0.1, 1.0, 3.0])
+    def test_matches_expm(self, t):
+        ctmc = small_ctmc()
+        expected = scipy.linalg.expm(ctmc.generator.toarray() * t)
+        actual = transient_matrix(ctmc, t, epsilon=1e-13)
+        np.testing.assert_allclose(actual, expected, atol=1e-10)
+
+    def test_time_zero_is_identity(self):
+        ctmc = small_ctmc()
+        np.testing.assert_allclose(transient_matrix(ctmc, 0.0), np.eye(3))

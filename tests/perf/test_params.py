@@ -1,0 +1,36 @@
+"""Tests for the performance-parameter container."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.perf.params import PerformanceParams
+
+
+class TestPerformanceParams:
+    def test_net_borrowed(self):
+        params = PerformanceParams(
+            lent_mean=1.5, borrowed_mean=2.0, forward_rate=0.1, utilization=0.7
+        )
+        assert params.net_borrowed == pytest.approx(0.5)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PerformanceParams(-1.0, 0.0, 0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            PerformanceParams(0.0, -1.0, 0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            PerformanceParams(0.0, 0.0, -1.0, 0.5)
+
+    def test_utilization_above_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PerformanceParams(0.0, 0.0, 0.0, 1.5)
+
+    def test_tiny_negative_tolerated(self):
+        # Numerical solvers can produce -1e-15; the container accepts it.
+        params = PerformanceParams(-1e-12, 0.0, 0.0, 0.5)
+        assert params.lent_mean == pytest.approx(0.0, abs=1e-11)
+
+    def test_frozen(self):
+        params = PerformanceParams(0.0, 0.0, 0.0, 0.5)
+        with pytest.raises(AttributeError):
+            params.lent_mean = 1.0

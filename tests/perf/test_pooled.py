@@ -1,0 +1,103 @@
+"""Tests for the pooled fixed-point model."""
+
+import pytest
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.perf.pooled import PooledModel, _fractional_prob_no_forward
+from repro.queueing.forwarding import NoSharingModel
+from repro.queueing.sla import prob_no_forward
+
+
+def scenario_3sc(shares=(3, 3, 3), rates=(5.8, 7.3, 8.4)):
+    return FederationScenario(
+        tuple(
+            SmallCloud(name=f"sc{i}", vms=10, arrival_rate=r, shared_vms=s)
+            for i, (r, s) in enumerate(zip(rates, shares))
+        )
+    )
+
+
+class TestFractionalPnf:
+    def test_matches_integer_arguments(self):
+        assert _fractional_prob_no_forward(3.0, 8.0, 1.0, 0.2) == pytest.approx(
+            prob_no_forward(3, 8, 1.0, 0.2)
+        )
+
+    def test_interpolates_busy(self):
+        lo = prob_no_forward(2, 5, 1.0, 0.2)
+        hi = prob_no_forward(2, 6, 1.0, 0.2)
+        mid = _fractional_prob_no_forward(2.0, 5.5, 1.0, 0.2)
+        assert lo <= mid <= hi
+
+    def test_interpolates_waiting(self):
+        lo = prob_no_forward(3, 8, 1.0, 0.2)
+        hi = prob_no_forward(2, 8, 1.0, 0.2)
+        mid = _fractional_prob_no_forward(2.5, 8.0, 1.0, 0.2)
+        assert lo <= mid <= hi
+
+    def test_continuity_near_integers(self):
+        eps = 1e-6
+        below = _fractional_prob_no_forward(2.0, 8.0 - eps, 1.0, 0.2)
+        above = _fractional_prob_no_forward(2.0, 8.0 + eps, 1.0, 0.2)
+        assert below == pytest.approx(above, abs=1e-4)
+
+    def test_edge_cases(self):
+        assert _fractional_prob_no_forward(-0.5, 5.0, 1.0, 0.2) == 1.0
+        assert _fractional_prob_no_forward(1.0, 0.0, 1.0, 0.2) == 0.0
+
+
+class TestDegenerateCases:
+    def test_no_sharing_matches_analytic(self):
+        scenario = scenario_3sc(shares=(0, 0, 0))
+        params = PooledModel().evaluate(scenario)
+        for p, cloud in zip(params, scenario):
+            reference = NoSharingModel(
+                cloud.vms, cloud.arrival_rate, cloud.service_rate, cloud.sla_bound
+            )
+            assert p.lent_mean == 0.0
+            assert p.borrowed_mean == 0.0
+            assert p.forward_rate == pytest.approx(reference.forward_rate, rel=1e-6)
+
+    def test_single_sc(self):
+        scenario = FederationScenario((
+            SmallCloud(name="solo", vms=10, arrival_rate=7.0, shared_vms=5),
+        ))
+        params = PooledModel().evaluate(scenario)[0]
+        assert params.lent_mean == 0.0
+        assert params.borrowed_mean == 0.0
+
+
+class TestFixedPoint:
+    def test_flow_conservation(self):
+        params = PooledModel().evaluate(scenario_3sc())
+        total_lent = sum(p.lent_mean for p in params)
+        total_borrowed = sum(p.borrowed_mean for p in params)
+        assert total_lent == pytest.approx(total_borrowed, rel=0.02)
+
+    def test_share_limits_respected(self):
+        scenario = scenario_3sc(shares=(1, 2, 3))
+        for p, cloud in zip(PooledModel().evaluate(scenario), scenario):
+            assert p.lent_mean <= cloud.shared_vms + 1e-6
+
+    def test_cool_sc_lends_hot_sc_borrows(self):
+        params = PooledModel().evaluate(scenario_3sc())
+        assert params[0].net_borrowed < params[2].net_borrowed
+        assert params[2].net_borrowed > 0.0
+
+    def test_known_cycling_vector_converges(self):
+        # (0, 3, 0)-style asymmetric vectors used to cycle; must converge.
+        scenario = scenario_3sc(shares=(0, 3, 0))
+        params = PooledModel().evaluate(scenario)
+        assert params[1].lent_mean > 0.0
+        assert params[1].borrowed_mean == pytest.approx(0.0, abs=1e-6)
+
+    def test_sharing_reduces_forwarding(self):
+        closed = PooledModel().evaluate(scenario_3sc(shares=(0, 0, 0)))
+        open_ = PooledModel().evaluate(scenario_3sc(shares=(5, 5, 5)))
+        assert sum(p.forward_rate for p in open_) < sum(
+            p.forward_rate for p in closed
+        )
+
+    def test_utilization_bounds(self):
+        for p in PooledModel().evaluate(scenario_3sc(shares=(10, 10, 10))):
+            assert 0.0 <= p.utilization <= 1.0

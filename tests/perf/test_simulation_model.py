@@ -1,0 +1,44 @@
+"""Tests for the simulation-backed performance model adapter."""
+
+import pytest
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.exceptions import ConfigurationError
+from repro.perf.simulation import SimulationModel
+
+
+def scenario():
+    return FederationScenario((
+        SmallCloud(name="a", vms=10, arrival_rate=7.0, shared_vms=3),
+        SmallCloud(name="b", vms=10, arrival_rate=8.0, shared_vms=3),
+    ))
+
+
+class TestSimulationModel:
+    def test_deterministic_for_fixed_seed(self):
+        model = SimulationModel(horizon=2_000.0, warmup=100.0, seed=5)
+        first = model.evaluate(scenario())
+        second = model.evaluate(scenario())
+        assert first == second
+
+    def test_params_well_formed(self):
+        model = SimulationModel(horizon=2_000.0, warmup=100.0, seed=5)
+        for p in model.evaluate(scenario()):
+            assert p.lent_mean >= 0.0
+            assert p.borrowed_mean >= 0.0
+            assert p.forward_rate >= 0.0
+            assert 0.0 <= p.utilization <= 1.0
+
+    def test_longer_horizon_converges_toward_exact(self):
+        from repro.perf.detailed import DetailedModel
+
+        exact = DetailedModel().evaluate(scenario())
+        short = SimulationModel(horizon=1_000.0, warmup=100.0, seed=5).evaluate(scenario())
+        long = SimulationModel(horizon=50_000.0, warmup=1_000.0, seed=5).evaluate(scenario())
+        err_short = abs(short[0].lent_mean - exact[0].lent_mean)
+        err_long = abs(long[0].lent_mean - exact[0].lent_mean)
+        assert err_long <= err_short + 0.02
+
+    def test_warmup_must_precede_horizon(self):
+        with pytest.raises(ConfigurationError):
+            SimulationModel(horizon=100.0, warmup=200.0)

@@ -1,0 +1,30 @@
+"""A pathological model whose simultaneous best responses cycle.
+
+Matching-pennies structure on two SCs with binary sharing levels: SC0
+wants to match SC1's participation, SC1 wants to mismatch.  Simultaneous
+best-response dynamics flip between two profiles forever; sequential
+dynamics do not exhibit the two-profile flip-flop.  Shared by the game
+tests.
+"""
+
+from __future__ import annotations
+
+from repro.perf.base import PerformanceModel
+from repro.perf.params import PerformanceParams
+
+
+class CyclingModel(PerformanceModel):
+    """See module docstring."""
+
+    def evaluate(self, scenario):
+        s0 = scenario[0].shared_vms
+        s1 = scenario[1].shared_vms
+        match = 1.0 if (s0 > 0) == (s1 > 0) else 0.0
+        return [
+            PerformanceParams(
+                0.0, 0.0, forward_rate=0.5 - 0.4 * match, utilization=0.9
+            ),
+            PerformanceParams(
+                0.0, 0.0, forward_rate=0.1 + 0.4 * match, utilization=0.9
+            ),
+        ]

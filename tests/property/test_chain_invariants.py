@@ -1,0 +1,64 @@
+"""Property-based tests: Markov-chain invariants over random models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.markov.birth_death import BirthDeathChain
+from repro.markov.ctmc import CTMC
+from repro.markov.state_space import StateSpace
+from repro.markov.uniformization import transient_distribution
+from repro.queueing.forwarding import NoSharingModel
+
+
+@given(
+    seed=hyp.integers(min_value=0, max_value=10_000),
+    n=hyp.integers(min_value=2, max_value=20),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_ctmc_steady_state_is_stationary(seed, n):
+    rng = np.random.default_rng(seed)
+    dense = rng.uniform(0.0, 1.0, size=(n, n))
+    np.fill_diagonal(dense, 0.0)
+    dense += 0.01  # ensure irreducibility
+    np.fill_diagonal(dense, 0.0)
+    dense -= np.diag(dense.sum(axis=1))
+    ctmc = CTMC(StateSpace(range(n)), __import__("scipy.sparse", fromlist=["csr_matrix"]).csr_matrix(dense))
+    pi = ctmc.steady_state()
+    assert pi.sum() == pytest.approx(1.0)
+    assert np.abs(pi @ ctmc.generator).max() < 1e-8
+    # Stationarity under the transient solver too.
+    later = transient_distribution(ctmc, pi, 3.7)
+    np.testing.assert_allclose(later, pi, atol=1e-8)
+
+
+@given(
+    levels=hyp.integers(min_value=1, max_value=40),
+    birth=hyp.floats(min_value=0.05, max_value=5.0),
+    death=hyp.floats(min_value=0.05, max_value=5.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_birth_death_detailed_balance(levels, birth, death):
+    """Birth-death chains satisfy detailed balance at stationarity."""
+    chain = BirthDeathChain([birth] * levels, [death] * levels)
+    pi = chain.stationary()
+    for k in range(levels):
+        flow_up = pi[k] * birth
+        flow_down = pi[k + 1] * death
+        assert flow_up == pytest.approx(flow_down, rel=1e-9, abs=1e-12)
+
+
+@given(
+    servers=hyp.integers(min_value=1, max_value=30),
+    utilization=hyp.floats(min_value=0.1, max_value=1.4),
+    sla=hyp.floats(min_value=0.01, max_value=2.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_no_sharing_model_flow_balance(servers, utilization, sla):
+    """Accepted flow equals served flow: lambda (1 - Pf) = rho N mu."""
+    arrival = utilization * servers
+    model = NoSharingModel(servers, arrival, 1.0, sla)
+    accepted = arrival * (1.0 - model.forward_probability)
+    served = model.utilization * servers * 1.0
+    assert accepted == pytest.approx(served, rel=1e-8)

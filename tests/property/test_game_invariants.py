@@ -1,0 +1,66 @@
+"""Property-based tests: game-dynamics invariants under the stub model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.game.best_response import BestResponder
+from repro.game.dynamics import SequentialGame
+from repro.game.equilibrium import is_nash_equilibrium
+from repro.game.repeated_game import RepeatedGame
+from repro.game.strategy import full_strategy_spaces
+from repro.market.evaluator import UtilityEvaluator
+from tests.helpers import StubModel
+
+
+def make_scenario(loads):
+    return FederationScenario(
+        tuple(
+            SmallCloud(
+                name=f"sc{i}",
+                vms=10,
+                arrival_rate=max(load * 10.0, 0.1),
+                federation_price=0.5,
+            )
+            for i, load in enumerate(loads)
+        )
+    )
+
+
+loads_strategy = hyp.lists(
+    hyp.floats(min_value=0.4, max_value=1.1), min_size=2, max_size=4
+)
+
+
+@given(loads=loads_strategy)
+@settings(max_examples=20, deadline=None)
+def test_converged_profiles_are_nash(loads):
+    scenario = make_scenario(loads)
+    evaluator = UtilityEvaluator(scenario, StubModel(), gamma=0.0)
+    spaces = full_strategy_spaces(scenario)
+    result = RepeatedGame(BestResponder(evaluator, spaces)).run()
+    if result.converged:
+        assert is_nash_equilibrium(evaluator, result.equilibrium, spaces)
+
+
+@given(loads=loads_strategy, start=hyp.integers(min_value=0, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_sequential_profiles_are_nash_from_any_start(loads, start):
+    scenario = make_scenario(loads)
+    evaluator = UtilityEvaluator(scenario, StubModel(), gamma=0.0)
+    spaces = full_strategy_spaces(scenario)
+    initial = [start] * len(scenario)
+    result = SequentialGame(BestResponder(evaluator, spaces)).run(initial)
+    if result.converged:
+        assert is_nash_equilibrium(evaluator, result.equilibrium, spaces)
+
+
+@given(loads=loads_strategy)
+@settings(max_examples=15, deadline=None)
+def test_equilibrium_utilities_nonnegative(loads):
+    scenario = make_scenario(loads)
+    evaluator = UtilityEvaluator(scenario, StubModel(), gamma=0.0)
+    spaces = full_strategy_spaces(scenario)
+    result = RepeatedGame(BestResponder(evaluator, spaces)).run()
+    assert all(u >= 0.0 for u in result.utilities)

@@ -1,0 +1,104 @@
+"""Property-based tests: market-layer invariants over random inputs."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.market.cost import operating_cost
+from repro.market.fairness import welfare
+from repro.market.utility import utility
+from repro.perf.params import PerformanceParams
+
+finite_nonneg = hyp.floats(min_value=0.0, max_value=100.0)
+
+
+@given(
+    forward=finite_nonneg,
+    lent=hyp.floats(min_value=0.0, max_value=10.0),
+    borrowed=hyp.floats(min_value=0.0, max_value=10.0),
+    public_price=hyp.floats(min_value=0.1, max_value=10.0),
+    ratio=hyp.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_cost_linear_in_prices(forward, lent, borrowed, public_price, ratio):
+    """Eq. (1) is linear: doubling both prices doubles the cost."""
+    params = PerformanceParams(
+        lent_mean=lent, borrowed_mean=borrowed, forward_rate=forward, utilization=0.5
+    )
+    cloud = SmallCloud(
+        name="x",
+        vms=10,
+        arrival_rate=1.0,
+        public_price=public_price,
+        federation_price=ratio * public_price,
+    )
+    doubled = cloud.with_prices(2 * public_price, 2 * ratio * public_price)
+    assert operating_cost(doubled, params) == pytest.approx(
+        2 * operating_cost(cloud, params), rel=1e-12, abs=1e-12
+    )
+
+
+@given(
+    baseline=hyp.floats(min_value=0.0, max_value=10.0),
+    cost=hyp.floats(min_value=0.0, max_value=10.0),
+    rho0=hyp.floats(min_value=0.0, max_value=0.99),
+    gain=hyp.floats(min_value=0.001, max_value=0.5),
+    gamma=hyp.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_utility_scaling_is_quadratic(baseline, cost, rho0, gain, gamma):
+    """Eq. (2)'s numerator is squared: scaling the cost gap by c scales
+    utility by c^2 (when the gap is positive)."""
+    if baseline <= cost:
+        return
+    rho = rho0 + gain
+    if rho > 1.0:
+        return
+    base_value = utility(baseline, cost, rho0, rho, gamma)
+    scaled = utility(2 * baseline - cost, cost, rho0, rho, gamma)
+    # gap doubles => utility quadruples
+    assert scaled == pytest.approx(4 * base_value, rel=1e-9)
+
+
+@given(
+    shares=hyp.lists(hyp.integers(min_value=0, max_value=10), min_size=1, max_size=6),
+    utilities=hyp.lists(
+        hyp.floats(min_value=0.001, max_value=50.0), min_size=1, max_size=6
+    ),
+    alpha=hyp.sampled_from([0.0, 0.5, 1.0, 2.0, math.inf]),
+)
+@settings(max_examples=120, deadline=None)
+def test_welfare_permutation_invariance(shares, utilities, alpha):
+    """Welfare only depends on the (share, utility) multiset."""
+    n = min(len(shares), len(utilities))
+    shares, utilities = shares[:n], utilities[:n]
+    forward = welfare(alpha, shares, utilities)
+    reversed_ = welfare(alpha, shares[::-1], utilities[::-1])
+    assert forward == pytest.approx(reversed_, rel=1e-12)
+
+
+@given(
+    shares=hyp.lists(hyp.integers(min_value=1, max_value=10), min_size=2, max_size=5),
+    utilities=hyp.lists(
+        hyp.floats(min_value=0.01, max_value=50.0), min_size=2, max_size=5
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_max_min_bounded_by_any_participant(shares, utilities):
+    n = min(len(shares), len(utilities))
+    shares, utilities = shares[:n], utilities[:n]
+    value = welfare(math.inf, shares, utilities)
+    assert all(value <= u + 1e-12 for u in utilities)
+    assert value in utilities
+
+
+@given(ratio=hyp.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_price_ratio_roundtrip(ratio):
+    scenario = FederationScenario((
+        SmallCloud(name="a", vms=5, arrival_rate=2.0, public_price=3.0),
+    )).with_price_ratio(ratio)
+    assert scenario[0].federation_price == pytest.approx(3.0 * ratio)

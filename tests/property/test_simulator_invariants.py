@@ -1,0 +1,86 @@
+"""Property-based tests: simulator invariants over random federations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.sim.federation import FederationSimulator
+
+cloud_strategy = hyp.builds(
+    lambda vms, load, share_fraction: (vms, load, share_fraction),
+    vms=hyp.integers(min_value=2, max_value=12),
+    load=hyp.floats(min_value=0.3, max_value=1.1),
+    share_fraction=hyp.floats(min_value=0.0, max_value=1.0),
+)
+
+
+def build_scenario(specs) -> FederationScenario:
+    clouds = []
+    for i, (vms, load, share_fraction) in enumerate(specs):
+        clouds.append(
+            SmallCloud(
+                name=f"sc{i}",
+                vms=vms,
+                arrival_rate=max(load * vms, 0.1),
+                shared_vms=int(share_fraction * vms),
+            )
+        )
+    return FederationScenario(tuple(clouds))
+
+
+@given(
+    specs=hyp.lists(cloud_strategy, min_size=1, max_size=4),
+    seed=hyp.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_conservation_and_bounds(specs, seed):
+    """Every random federation satisfies the global conservation laws."""
+    scenario = build_scenario(specs)
+    simulator = FederationSimulator(scenario, seed=seed)
+    metrics = simulator.run(horizon=400.0, warmup=50.0)
+
+    total_lent = sum(m.lent_mean for m in metrics)
+    total_borrowed = sum(m.borrowed_mean for m in metrics)
+    assert total_lent == pytest.approx(total_borrowed, abs=1e-9)
+
+    for m, cloud in zip(metrics, scenario):
+        assert 0.0 <= m.utilization <= 1.0 + 1e-9
+        assert m.lent_mean <= cloud.shared_vms + 1e-9
+        assert m.borrowed_mean <= scenario.shared_by_others(
+            scenario.index_of(cloud.name)
+        ) + 1e-9
+        assert m.forwarded <= m.arrivals
+        assert m.mean_queue_length >= 0.0
+
+
+@given(seed=hyp.integers(min_value=0, max_value=2**31))
+@settings(max_examples=10, deadline=None)
+def test_internal_consistency_checks_pass(seed):
+    """The simulator's own conservation assertions never fire."""
+    scenario = build_scenario([(8, 0.9, 0.5), (8, 0.6, 0.5), (8, 1.05, 0.25)])
+    simulator = FederationSimulator(scenario, seed=seed)
+    simulator.run(horizon=300.0)  # raises SimulationError on violation
+
+
+@given(
+    seed=hyp.integers(min_value=0, max_value=2**31),
+    share=hyp.integers(min_value=0, max_value=8),
+)
+@settings(max_examples=10, deadline=None)
+def test_monotone_sharing_never_increases_total_forwarding_much(seed, share):
+    """More sharing capacity cannot make the federation much worse.
+
+    (Statistical, not exact: a tolerance absorbs sample noise.)
+    """
+    closed = build_scenario([(8, 0.95, 0.0), (8, 0.6, 0.0)])
+    opened = closed.with_sharing((share, share))
+    closed_fwd = sum(
+        m.forward_rate
+        for m in FederationSimulator(closed, seed=seed).run(horizon=2_000.0, warmup=100.0)
+    )
+    opened_fwd = sum(
+        m.forward_rate
+        for m in FederationSimulator(opened, seed=seed).run(horizon=2_000.0, warmup=100.0)
+    )
+    assert opened_fwd <= closed_fwd + 0.15

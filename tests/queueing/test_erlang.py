@@ -1,0 +1,76 @@
+"""Tests for Erlang-B/C against closed forms and known anchors."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.exceptions import ConfigurationError
+from repro.queueing.erlang import erlang_b, erlang_c
+
+
+def erlang_b_direct(a: float, c: int) -> float:
+    """Textbook ratio formula (unstable for large c; fine as oracle here)."""
+    numerator = a**c / math.factorial(c)
+    denominator = sum(a**k / math.factorial(k) for k in range(c + 1))
+    return numerator / denominator
+
+
+class TestErlangB:
+    @pytest.mark.parametrize(
+        "a,c", [(1.0, 1), (2.0, 3), (5.0, 5), (10.0, 12), (20.0, 30)]
+    )
+    def test_matches_direct_formula(self, a, c):
+        assert erlang_b(a, c) == pytest.approx(erlang_b_direct(a, c), rel=1e-12)
+
+    def test_one_server(self):
+        # B(a, 1) = a / (1 + a).
+        assert erlang_b(3.0, 1) == pytest.approx(0.75)
+
+    def test_large_system_stable(self):
+        # The recurrence must not overflow where factorials would.
+        value = erlang_b(480.0, 500)
+        assert 0.0 < value < 1.0
+
+    @given(
+        a=hyp.floats(min_value=0.1, max_value=50.0),
+        c=hyp.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_decreasing_in_servers(self, a, c):
+        assert erlang_b(a, c + 1) <= erlang_b(a, c) + 1e-15
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            erlang_b(0.0, 3)
+
+    def test_invalid_servers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            erlang_b(1.0, 0)
+
+
+class TestErlangC:
+    def test_known_anchor(self):
+        # Classic value: a=2, c=3 -> C = B*c/(c-a(1-B)); B = 4/19.
+        b = erlang_b_direct(2.0, 3)
+        expected = 3 * b / (3 - 2 * (1 - b))
+        assert erlang_c(2.0, 3) == pytest.approx(expected, rel=1e-12)
+
+    def test_wait_probability_exceeds_blocking(self):
+        # Queueing makes waiting more likely than losing in the loss system.
+        assert erlang_c(5.0, 8) > erlang_b(5.0, 8)
+
+    def test_unstable_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            erlang_c(5.0, 5)
+
+    @given(
+        c=hyp.integers(min_value=2, max_value=40),
+        utilization=hyp.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, c, utilization):
+        a = utilization * c
+        value = erlang_c(a, c)
+        assert 0.0 < value < 1.0

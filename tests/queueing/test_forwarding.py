@@ -1,0 +1,102 @@
+"""Tests for the Sect. III-A no-sharing model.
+
+The key external validation — agreement with the discrete-event
+simulator — lives in tests/integration/test_models_agree.py; these tests
+cover the model's internal structure and limiting behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.queueing.forwarding import NoSharingModel, queue_truncation_level
+from repro.queueing.mmc import MMCQueue
+
+
+class TestTruncationLevel:
+    def test_zero_sla_truncates_immediately(self):
+        assert queue_truncation_level(10, 1.0, 0.0) == 11
+
+    def test_larger_sla_needs_longer_queue(self):
+        small = queue_truncation_level(10, 1.0, 0.1)
+        large = queue_truncation_level(10, 1.0, 1.0)
+        assert large > small
+
+    def test_truncation_point_has_negligible_tail(self):
+        from repro.queueing.sla import prob_no_forward
+
+        servers = 10
+        level = queue_truncation_level(servers, 1.0, 0.2, epsilon=1e-12)
+        waiting = level - servers
+        assert prob_no_forward(waiting, servers, 1.0, 0.2) < 1e-12
+
+
+class TestNoSharingModel:
+    def test_zero_sla_is_loss_system(self):
+        # Q=0: every blocked request is forwarded -> Erlang-B blocking.
+        from repro.queueing.erlang import erlang_b
+
+        model = NoSharingModel(servers=10, arrival_rate=7.0, service_rate=1.0, sla_bound=0.0)
+        assert model.forward_probability == pytest.approx(
+            erlang_b(7.0, 10), rel=1e-9
+        )
+
+    def test_huge_sla_forwards_nothing(self):
+        # A very lax SLA turns the system into plain M/M/c (no forwarding).
+        model = NoSharingModel(servers=10, arrival_rate=7.0, service_rate=1.0, sla_bound=50.0)
+        assert model.forward_probability < 1e-6
+        mmc = MMCQueue(arrival_rate=7.0, service_rate=1.0, servers=10)
+        assert model.utilization == pytest.approx(mmc.utilization, rel=1e-3)
+
+    def test_forward_rate_is_lambda_times_probability(self):
+        model = NoSharingModel(servers=10, arrival_rate=7.0, service_rate=1.0, sla_bound=0.2)
+        assert model.forward_rate == pytest.approx(
+            7.0 * model.forward_probability
+        )
+
+    def test_utilization_accounts_for_forwarding(self):
+        # Served load = lambda (1 - Pf), so rho = lambda (1 - Pf) / (N mu).
+        model = NoSharingModel(servers=10, arrival_rate=8.0, service_rate=1.0, sla_bound=0.2)
+        expected = 8.0 * (1.0 - model.forward_probability) / 10.0
+        assert model.utilization == pytest.approx(expected, rel=1e-9)
+
+    def test_forwarding_increases_with_load(self):
+        probs = [
+            NoSharingModel(10, lam, 1.0, 0.2).forward_probability
+            for lam in (5.0, 7.0, 9.0, 9.9)
+        ]
+        assert probs == sorted(probs)
+
+    def test_forwarding_decreases_with_sla(self):
+        probs = [
+            NoSharingModel(10, 8.0, 1.0, q).forward_probability
+            for q in (0.05, 0.2, 0.5, 1.0)
+        ]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_smaller_cloud_forwards_more_at_equal_utilization(self):
+        # The paper's Fig. 5 observation.
+        small = NoSharingModel(10, 8.0, 1.0, 0.2)
+        big = NoSharingModel(100, 80.0, 1.0, 0.2)
+        assert small.forward_probability > big.forward_probability
+
+    def test_distribution_is_proper(self):
+        model = NoSharingModel(10, 7.0, 1.0, 0.2)
+        pi = model.result.distribution
+        assert pi.min() >= 0.0
+        assert pi.sum() == pytest.approx(1.0)
+        assert len(pi) == model.q_max + 1
+
+    def test_overloaded_system_solves(self):
+        # lambda > N mu is fine: the SLA sheds the excess to the cloud.
+        model = NoSharingModel(10, 15.0, 1.0, 0.2)
+        assert model.forward_probability > 0.3
+        assert model.utilization <= 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoSharingModel(0, 1.0, 1.0, 0.2)
+        with pytest.raises(ConfigurationError):
+            NoSharingModel(10, -1.0, 1.0, 0.2)
+        with pytest.raises(ConfigurationError):
+            NoSharingModel(10, 1.0, 1.0, -0.2)

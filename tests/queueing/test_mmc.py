@@ -1,0 +1,56 @@
+"""Tests for M/M/c analytic metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.exceptions import ConfigurationError
+from repro.queueing.mmc import MMCQueue
+
+
+class TestMMCQueue:
+    def test_mm1_closed_forms(self):
+        # M/M/1: L = rho/(1-rho), Wq = rho/(mu-lambda).
+        q = MMCQueue(arrival_rate=0.5, service_rate=1.0, servers=1)
+        rho = 0.5
+        assert q.mean_in_system() == pytest.approx(rho / (1 - rho))
+        assert q.mean_wait() == pytest.approx(rho / (1.0 - 0.5))
+        assert q.wait_probability() == pytest.approx(rho)
+
+    def test_littles_law_consistency(self):
+        q = MMCQueue(arrival_rate=7.0, service_rate=1.0, servers=10)
+        assert q.mean_queue_length() == pytest.approx(
+            q.arrival_rate * q.mean_wait()
+        )
+        assert q.mean_in_system() == pytest.approx(
+            q.mean_queue_length() + q.offered_load
+        )
+
+    def test_wait_tail_at_zero_is_delay_probability(self):
+        q = MMCQueue(arrival_rate=4.0, service_rate=1.0, servers=6)
+        assert q.wait_exceeds(0.0) == pytest.approx(q.wait_probability())
+
+    def test_wait_tail_decays(self):
+        q = MMCQueue(arrival_rate=4.0, service_rate=1.0, servers=6)
+        assert q.wait_exceeds(1.0) < q.wait_exceeds(0.5) < q.wait_exceeds(0.1)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MMCQueue(arrival_rate=10.0, service_rate=1.0, servers=10)
+
+    def test_negative_threshold_rejected(self):
+        q = MMCQueue(arrival_rate=1.0, service_rate=1.0, servers=2)
+        with pytest.raises(ConfigurationError):
+            q.wait_exceeds(-1.0)
+
+    @given(
+        servers=hyp.integers(min_value=1, max_value=50),
+        utilization=hyp.floats(min_value=0.05, max_value=0.9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_utilization_definition(self, servers, utilization):
+        q = MMCQueue(
+            arrival_rate=utilization * servers, service_rate=1.0, servers=servers
+        )
+        assert q.utilization == pytest.approx(utilization)
+        assert q.mean_wait() >= 0.0

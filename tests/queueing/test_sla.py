@@ -1,0 +1,79 @@
+"""Tests for the SLA no-forward probability P^NF."""
+
+import math
+
+import pytest
+import scipy.stats as st
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.exceptions import ConfigurationError
+from repro.queueing.sla import prob_forward, prob_no_forward, prob_no_forward_total
+
+
+class TestProbNoForward:
+    def test_free_server_always_queues(self):
+        assert prob_no_forward(-1, 5, 1.0, 0.2) == 1.0
+
+    def test_matches_poisson_tail(self):
+        # P^NF = P[Poisson(c mu Q) >= w + 1].
+        w, c, mu, q = 3, 10, 1.0, 0.2
+        expected = 1.0 - st.poisson.cdf(w, c * mu * q)
+        assert prob_no_forward(w, c, mu, q) == pytest.approx(expected, rel=1e-12)
+
+    def test_paper_formula_example(self):
+        # Explicit sum from the paper for w=1, rate 2.0.
+        rate = 2.0
+        expected = 1.0 - math.exp(-rate) * (1.0 + rate)
+        assert prob_no_forward(1, 10, 1.0, 0.2) == pytest.approx(expected)
+
+    def test_no_busy_servers_never_queues(self):
+        assert prob_no_forward(3, 0, 1.0, 0.2) == 0.0
+
+    def test_zero_sla_never_queues_when_waiting(self):
+        assert prob_no_forward(0, 10, 1.0, 0.0) == 0.0
+
+    def test_complement(self):
+        value = prob_no_forward(2, 8, 1.0, 0.5)
+        assert prob_forward(2, 8, 1.0, 0.5) == pytest.approx(1.0 - value)
+
+    @given(
+        w=hyp.integers(min_value=0, max_value=40),
+        c=hyp.integers(min_value=1, max_value=120),
+        q=hyp.floats(min_value=0.01, max_value=5.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bounds_and_monotonicity(self, w, c, q):
+        value = prob_no_forward(w, c, 1.0, q)
+        assert 0.0 <= value <= 1.0
+        # More waiting ahead makes queueing less likely.
+        assert prob_no_forward(w + 1, c, 1.0, q) <= value + 1e-12
+        # More busy servers (faster departures) makes queueing more likely.
+        assert prob_no_forward(w, c + 1, 1.0, q) >= value - 1e-12
+
+    def test_monotone_in_sla_bound(self):
+        values = [prob_no_forward(2, 10, 1.0, q) for q in (0.1, 0.2, 0.5, 1.0)]
+        assert values == sorted(values)
+
+    def test_invalid_service_rate(self):
+        with pytest.raises(ConfigurationError):
+            prob_no_forward(0, 1, 0.0, 0.2)
+
+    def test_negative_sla_rejected(self):
+        with pytest.raises(ConfigurationError):
+            prob_no_forward(0, 1, 1.0, -0.1)
+
+
+class TestPaperNotationWrapper:
+    def test_below_capacity_is_one(self):
+        assert prob_no_forward_total(4, 10, 1.0, 0.2) == 1.0
+
+    def test_at_capacity_matches_w_zero(self):
+        assert prob_no_forward_total(10, 10, 1.0, 0.2) == pytest.approx(
+            prob_no_forward(0, 10, 1.0, 0.2)
+        )
+
+    def test_above_capacity_matches_waiting_count(self):
+        assert prob_no_forward_total(14, 10, 1.0, 0.2) == pytest.approx(
+            prob_no_forward(4, 10, 1.0, 0.2)
+        )

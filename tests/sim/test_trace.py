@@ -1,0 +1,61 @@
+"""Tests for the trace recorder."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_events_in_order(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "arrive", sc=0)
+        trace.record(2.0, "depart", sc=1)
+        assert len(trace) == 2
+        assert trace.events[0].kind == "arrive"
+        assert trace.events[1].time == 2.0
+
+    def test_fields_preserved(self):
+        trace = TraceRecorder()
+        trace.record(0.5, "lend", host=1, borrower=2)
+        event = trace.events[0]
+        assert event.as_dict() == {
+            "time": 0.5,
+            "kind": "lend",
+            "borrower": 2,
+            "host": 1,
+        }
+
+    def test_cap_and_truncation_flag(self):
+        trace = TraceRecorder(max_events=3)
+        for i in range(5):
+            trace.record(float(i), "tick")
+        assert len(trace) == 3
+        assert trace.truncated
+
+    def test_not_truncated_below_cap(self):
+        trace = TraceRecorder(max_events=10)
+        trace.record(0.0, "tick")
+        assert not trace.truncated
+
+    def test_of_kind_filters(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "a")
+        trace.record(1.0, "b")
+        trace.record(2.0, "a")
+        assert [e.time for e in trace.of_kind("a")] == [0.0, 2.0]
+
+    def test_counts(self):
+        trace = TraceRecorder()
+        for kind in ("x", "y", "x", "x"):
+            trace.record(0.0, kind)
+        assert trace.counts() == {"x": 3, "y": 1}
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(max_events=0)
+
+    def test_events_are_frozen(self):
+        event = TraceEvent(time=0.0, kind="k", fields=())
+        with pytest.raises(AttributeError):
+            event.kind = "other"

@@ -1,0 +1,96 @@
+"""Tests for the Sect. VII workload extensions inside the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.exceptions import SimulationError
+from repro.sim.federation import FederationSimulator
+from repro.workload.arrivals import MMPPProcess, PoissonProcess
+from repro.workload.phase_type import fit_two_moment
+
+
+def scenario():
+    return FederationScenario((
+        SmallCloud(name="a", vms=10, arrival_rate=7.0, shared_vms=3),
+        SmallCloud(name="b", vms=10, arrival_rate=8.0, shared_vms=3),
+    ))
+
+
+def mmpp(rate_factor, mean_rate, seed):
+    """A two-phase MMPP with the given mean rate and burstiness factor."""
+    low = mean_rate / rate_factor
+    high = mean_rate * (2.0 - 1.0 / rate_factor)
+    return MMPPProcess(
+        rates=[low, high],
+        generator=[[-0.05, 0.05], [0.05, -0.05]],
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestMMPPArrivals:
+    def test_simulator_accepts_mmpp(self):
+        processes = [mmpp(3.0, 7.0, 1), mmpp(3.0, 8.0, 2)]
+        sim = FederationSimulator(scenario(), seed=0, arrival_processes=processes)
+        metrics = sim.run(horizon=3_000.0, warmup=200.0)
+        assert all(m.arrivals > 0 for m in metrics)
+
+    def test_wrong_process_count_rejected(self):
+        with pytest.raises(SimulationError):
+            FederationSimulator(
+                scenario(), arrival_processes=[mmpp(2.0, 7.0, 1)]
+            )
+
+    def test_poisson_process_object_matches_default(self):
+        # Feeding explicit PoissonProcess objects must give statistics
+        # close to the built-in exponential path (not identical draws —
+        # different streams — but the same law).
+        rngs = [np.random.default_rng(10), np.random.default_rng(11)]
+        processes = [PoissonProcess(7.0, rngs[0]), PoissonProcess(8.0, rngs[1])]
+        explicit = FederationSimulator(
+            scenario(), seed=5, arrival_processes=processes
+        ).run(horizon=20_000.0, warmup=1_000.0)
+        default = FederationSimulator(scenario(), seed=5).run(
+            horizon=20_000.0, warmup=1_000.0
+        )
+        for e, d in zip(explicit, default):
+            assert e.utilization == pytest.approx(d.utilization, abs=0.03)
+
+    def test_burstiness_increases_forwarding(self):
+        """The extension's point: bursty demand stresses SLAs harder."""
+        smooth = FederationSimulator(scenario(), seed=2).run(
+            horizon=30_000.0, warmup=1_000.0
+        )
+        bursty_processes = [mmpp(5.0, 7.0, 3), mmpp(5.0, 8.0, 4)]
+        bursty = FederationSimulator(
+            scenario(), seed=2, arrival_processes=bursty_processes
+        ).run(horizon=30_000.0, warmup=1_000.0)
+        assert sum(m.forward_rate for m in bursty) > sum(
+            m.forward_rate for m in smooth
+        )
+
+
+class TestPhaseTypeService:
+    def test_high_variance_service_increases_queueing(self):
+        exponential = FederationSimulator(scenario(), seed=6).run(
+            horizon=30_000.0, warmup=1_000.0
+        )
+        heavy = fit_two_moment(mean=1.0, scv=8.0)
+        bursty = FederationSimulator(
+            scenario(), seed=6, service_distributions=[heavy, heavy]
+        ).run(horizon=30_000.0, warmup=1_000.0)
+        assert sum(m.mean_queue_length for m in bursty) > sum(
+            m.mean_queue_length for m in exponential
+        )
+
+    def test_low_variance_service_reduces_waits(self):
+        exponential = FederationSimulator(scenario(), seed=7).run(
+            horizon=30_000.0, warmup=1_000.0
+        )
+        smooth = fit_two_moment(mean=1.0, scv=0.25)
+        erlang = FederationSimulator(
+            scenario(), seed=7, service_distributions=[smooth, smooth]
+        ).run(horizon=30_000.0, warmup=1_000.0)
+        assert sum(m.mean_wait for m in erlang) <= sum(
+            m.mean_wait for m in exponential
+        ) + 0.01

@@ -1,0 +1,72 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.core.serialization import save_scenario
+from repro.core.small_cloud import FederationScenario, SmallCloud
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    scenario = FederationScenario((
+        SmallCloud(name="a", vms=5, arrival_rate=2.9, federation_price=0.5),
+        SmallCloud(name="b", vms=5, arrival_rate=4.2, federation_price=0.5),
+    ))
+    path = tmp_path / "scenario.json"
+    save_scenario(scenario, path)
+    return str(path)
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for command in ("solve", "sweep", "simulate"):
+            args = parser.parse_args([command, "file.json"])
+            assert args.command == command
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "f.json", "--model", "oracle"])
+
+
+class TestSimulateCommand:
+    def test_prints_metrics_json(self, scenario_file, capsys):
+        code = main(["simulate", scenario_file, "--horizon", "2000", "--seed", "3"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in data] == ["a", "b"]
+        for entry in data:
+            assert 0.0 <= entry["utilization"] <= 1.0
+
+
+class TestSolveCommand:
+    def test_solves_and_prints_outcome(self, scenario_file, capsys):
+        code = main([
+            "solve", scenario_file, "--strategy-step", "2", "--price-ratio", "0.5",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["equilibrium"]) == 2
+        assert data["converged"] is True
+        assert 0.0 <= data["efficiency"] <= 1.0
+
+
+class TestSweepCommand:
+    def test_recommends_regions(self, scenario_file, capsys):
+        code = main([
+            "sweep", scenario_file, "--points", "3", "--strategy-step", "5",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        objectives = {r["objective"] for r in data["regions"]}
+        assert objectives == {"utilitarian", "proportional", "max-min"}
+        for region in data["regions"]:
+            low, high = region["range"]
+            assert low <= region["best_ratio"] <= high

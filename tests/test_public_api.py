@@ -1,0 +1,45 @@
+"""Tests for the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_lazy_exports_resolve(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing
+
+    def test_quickstart_types_importable_directly(self):
+        from repro import FederationScenario, SCShare, SmallCloud
+
+        scenario = FederationScenario((
+            SmallCloud(name="x", vms=4, arrival_rate=2.0),
+        ))
+        assert SCShare(scenario).scenario is scenario
+
+    def test_lazy_model_exports_are_the_real_classes(self):
+        from repro.perf.approximate import ApproximateModel
+
+        assert repro.ApproximateModel is ApproximateModel
+
+    def test_core_lazy_exports(self):
+        from repro.core import SCShare as core_scshare
+        from repro.core.framework import SCShare
+
+        assert core_scshare is SCShare
+
+    def test_core_unknown_attribute(self):
+        import repro.core
+
+        with pytest.raises(AttributeError):
+            repro.core.nope

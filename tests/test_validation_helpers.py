@@ -1,0 +1,102 @@
+"""Tests for the shared validation helpers and the exception hierarchy."""
+
+import math
+
+import pytest
+
+from repro import _validation as v
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    GameError,
+    SCShareError,
+    SimulationError,
+    SolverError,
+    StateSpaceError,
+    TruncationError,
+)
+
+
+class TestNumericChecks:
+    def test_check_positive(self):
+        assert v.check_positive(1.5, "x") == 1.5
+        for bad in (0.0, -1.0, math.nan, math.inf):
+            with pytest.raises(ConfigurationError):
+                v.check_positive(bad, "x")
+
+    def test_check_non_negative(self):
+        assert v.check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ConfigurationError):
+            v.check_non_negative(-0.1, "x")
+
+    def test_check_finite_coerces_to_float(self):
+        assert v.check_finite(3, "x") == 3.0
+        with pytest.raises(ConfigurationError):
+            v.check_finite("abc", "x")
+        with pytest.raises(ConfigurationError):
+            v.check_finite(math.inf, "x")
+
+    def test_check_probability(self):
+        assert v.check_probability(0.5, "p") == 0.5
+        for bad in (-0.01, 1.01):
+            with pytest.raises(ConfigurationError):
+                v.check_probability(bad, "p")
+
+    def test_check_in_range(self):
+        assert v.check_in_range(2.0, "x", 1.0, 3.0) == 2.0
+        with pytest.raises(ConfigurationError):
+            v.check_in_range(4.0, "x", 1.0, 3.0)
+
+
+class TestIntegerChecks:
+    def test_check_int_accepts_integral_floats_via_numpy(self):
+        import numpy as np
+
+        assert v.check_int(np.int64(4), "n") == 4
+
+    def test_check_int_rejects_fractional(self):
+        with pytest.raises(ConfigurationError):
+            v.check_int(1.5, "n")
+
+    def test_check_positive_int(self):
+        assert v.check_positive_int(3, "n") == 3
+        with pytest.raises(ConfigurationError):
+            v.check_positive_int(0, "n")
+
+    def test_check_non_negative_int(self):
+        assert v.check_non_negative_int(0, "n") == 0
+        with pytest.raises(ConfigurationError):
+            v.check_non_negative_int(-1, "n")
+
+
+class TestStructuralChecks:
+    def test_require(self):
+        v.require(True, "fine")
+        with pytest.raises(ConfigurationError, match="broken"):
+            v.require(False, "broken")
+
+    def test_check_sequence_length(self):
+        assert v.check_sequence_length([1, 2], "seq", 2) == [1, 2]
+        with pytest.raises(ConfigurationError):
+            v.check_sequence_length([1], "seq", 2)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_base(self):
+        for exc in (
+            ConfigurationError,
+            ConvergenceError,
+            GameError,
+            SimulationError,
+            SolverError,
+            StateSpaceError,
+            TruncationError,
+        ):
+            assert issubclass(exc, SCShareError)
+
+    def test_configuration_error_is_value_error(self):
+        # Callers using plain ValueError handling still catch config bugs.
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_convergence_is_solver_error(self):
+        assert issubclass(ConvergenceError, SolverError)

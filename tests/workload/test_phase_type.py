@@ -1,0 +1,93 @@
+"""Tests for two-moment phase-type fitting (the Sect. VII extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.exceptions import ConfigurationError
+from repro.workload.phase_type import fit_from_samples, fit_two_moment
+from repro.workload.service import (
+    ErlangService,
+    ExponentialService,
+    HyperExponentialService,
+)
+
+
+class TestFitTwoMoment:
+    def test_scv_one_gives_exponential(self):
+        dist = fit_two_moment(mean=2.0, scv=1.0)
+        assert isinstance(dist, ExponentialService)
+        assert dist.mean() == pytest.approx(2.0)
+
+    def test_low_scv_gives_erlang(self):
+        dist = fit_two_moment(mean=1.0, scv=0.25)
+        assert isinstance(dist, ErlangService)
+        assert dist.stages == 4
+        assert dist.mean() == pytest.approx(1.0)
+        assert dist.scv() == pytest.approx(0.25)
+
+    def test_high_scv_gives_h2_with_exact_moments(self):
+        target_mean, target_scv = 3.0, 4.0
+        dist = fit_two_moment(target_mean, target_scv)
+        assert isinstance(dist, HyperExponentialService)
+        assert dist.mean() == pytest.approx(target_mean, rel=1e-9)
+        assert dist.scv() == pytest.approx(target_scv, rel=1e-9)
+
+    def test_non_reciprocal_scv_uses_ceiling_stage_count(self):
+        dist = fit_two_moment(mean=1.0, scv=0.3)
+        assert isinstance(dist, ErlangService)
+        assert dist.stages == 4  # ceil(1 / 0.3)
+        assert dist.mean() == pytest.approx(1.0)
+
+    @given(
+        mean=hyp.floats(min_value=0.1, max_value=50.0),
+        scv=hyp.floats(min_value=1.0, max_value=25.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_high_variability_fits_exactly(self, mean, scv):
+        dist = fit_two_moment(mean, scv)
+        assert dist.mean() == pytest.approx(mean, rel=1e-9)
+        empirical_scv = dist.second_moment() / dist.mean() ** 2 - 1.0
+        assert empirical_scv == pytest.approx(scv, rel=1e-6)
+
+    @given(
+        mean=hyp.floats(min_value=0.1, max_value=50.0),
+        scv=hyp.floats(min_value=0.02, max_value=0.99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_low_variability_mean_exact_scv_close(self, mean, scv):
+        dist = fit_two_moment(mean, scv)
+        assert dist.mean() == pytest.approx(mean, rel=1e-9)
+        # The integer stage count bounds achievable SCV from below.
+        assert dist.scv() <= scv + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            fit_two_moment(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            fit_two_moment(1.0, 0.0)
+
+
+class TestFitFromSamples:
+    def test_recovers_exponential_trace(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(2.0, size=50_000)
+        dist = fit_from_samples(samples)
+        assert dist.mean() == pytest.approx(2.0, rel=0.05)
+
+    def test_recovers_bursty_trace(self):
+        rng = np.random.default_rng(1)
+        source = HyperExponentialService([0.8, 0.2], [4.0, 0.25])
+        samples = [source.sample(rng) for _ in range(50_000)]
+        dist = fit_from_samples(samples)
+        assert isinstance(dist, HyperExponentialService)
+        assert dist.mean() == pytest.approx(source.mean(), rel=0.1)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_from_samples([1.0])
+
+    def test_non_positive_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_from_samples([1.0, -2.0, 3.0])

@@ -1,0 +1,109 @@
+"""Tests for service-time distributions and their moments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.exceptions import ConfigurationError
+from repro.workload.service import (
+    ErlangService,
+    ExponentialService,
+    HyperExponentialService,
+    ServiceDistribution,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def empirical_moments(dist, n=40_000, seed=0):
+    generator = rng(seed)
+    samples = np.array([dist.sample(generator) for _ in range(n)])
+    return samples.mean(), (samples**2).mean()
+
+
+class TestExponential:
+    def test_moments(self):
+        dist = ExponentialService(rate=2.0)
+        assert dist.mean() == 0.5
+        assert dist.second_moment() == 0.5
+        assert dist.scv() == 1.0
+
+    def test_samples_match_moments(self):
+        dist = ExponentialService(rate=2.0)
+        mean, second = empirical_moments(dist)
+        assert mean == pytest.approx(dist.mean(), rel=0.05)
+        assert second == pytest.approx(dist.second_moment(), rel=0.1)
+
+    def test_protocol_conformance(self):
+        assert isinstance(ExponentialService(1.0), ServiceDistribution)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialService(0.0)
+
+
+class TestErlang:
+    def test_moments(self):
+        dist = ErlangService(stages=4, stage_rate=2.0)
+        assert dist.mean() == 2.0
+        assert dist.scv() == 0.25
+        assert dist.second_moment() == pytest.approx(4.0 + 1.0)
+
+    def test_samples_match_moments(self):
+        dist = ErlangService(stages=3, stage_rate=3.0)
+        mean, second = empirical_moments(dist, seed=1)
+        assert mean == pytest.approx(dist.mean(), rel=0.05)
+        assert second == pytest.approx(dist.second_moment(), rel=0.1)
+
+    def test_low_variability(self):
+        assert ErlangService(stages=10, stage_rate=10.0).scv() < 1.0
+
+    def test_invalid_stages(self):
+        with pytest.raises(ConfigurationError):
+            ErlangService(stages=0, stage_rate=1.0)
+
+
+class TestHyperExponential:
+    def test_moments(self):
+        dist = HyperExponentialService([0.3, 0.7], [1.0, 4.0])
+        expected_mean = 0.3 / 1.0 + 0.7 / 4.0
+        expected_second = 0.3 * 2.0 / 1.0 + 0.7 * 2.0 / 16.0
+        assert dist.mean() == pytest.approx(expected_mean)
+        assert dist.second_moment() == pytest.approx(expected_second)
+
+    def test_high_variability(self):
+        dist = HyperExponentialService([0.9, 0.1], [10.0, 0.1])
+        assert dist.scv() > 1.0
+
+    def test_samples_match_moments(self):
+        dist = HyperExponentialService([0.5, 0.5], [1.0, 5.0])
+        mean, second = empirical_moments(dist, seed=2)
+        assert mean == pytest.approx(dist.mean(), rel=0.05)
+        assert second == pytest.approx(dist.second_moment(), rel=0.15)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            HyperExponentialService([0.5, 0.4], [1.0, 2.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            HyperExponentialService([1.0], [1.0, 2.0])
+
+    def test_non_positive_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HyperExponentialService([0.5, 0.5], [1.0, 0.0])
+
+    @given(
+        p=hyp.floats(min_value=0.05, max_value=0.95),
+        r1=hyp.floats(min_value=0.1, max_value=10.0),
+        r2=hyp.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scv_at_least_one_minus_epsilon(self, p, r1, r2):
+        # Hyperexponential mixtures are always at least as variable as
+        # an exponential.
+        dist = HyperExponentialService([p, 1.0 - p], [r1, r2])
+        assert dist.scv() >= 1.0 - 1e-9
