@@ -10,7 +10,10 @@ Commands:
 - ``simulate SCENARIO.json`` — run the discrete-event simulator and print
   per-SC performance metrics.
 
-All commands accept ``--model {pooled,approximate}`` where applicable.
+All commands accept ``--model {pooled,approximate}`` where applicable;
+``solve`` and ``sweep`` also accept ``--workers N`` (parallel evaluation)
+and ``--cache-dir PATH`` (persistent model-solution cache) — neither
+changes any printed number, only how fast it appears.
 """
 
 from __future__ import annotations
@@ -22,7 +25,15 @@ import sys
 from repro.core.serialization import load_scenario, outcome_to_dict
 
 
-def _build_model(name: str):
+def _build_executor(args: argparse.Namespace):
+    from repro.runtime.executor import make_executor
+
+    return make_executor(
+        getattr(args, "workers", 1), kind=getattr(args, "parallel_backend", "auto")
+    )
+
+
+def _build_model(name: str, executor=None):
     if name == "pooled":
         from repro.perf.pooled import PooledModel
 
@@ -30,8 +41,16 @@ def _build_model(name: str):
     if name == "approximate":
         from repro.perf.approximate import ApproximateModel
 
-        return ApproximateModel()
+        return ApproximateModel(executor=executor)
     raise SystemExit(f"unknown model {name!r}")
+
+
+def _build_params_cache(args: argparse.Namespace, scenario, model):
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.runtime.cache import DiskParamsCache
+
+    return DiskParamsCache(args.cache_dir, scenario, model)
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -40,11 +59,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     scenario = load_scenario(args.scenario)
     if args.price_ratio is not None:
         scenario = scenario.with_price_ratio(args.price_ratio)
+    executor = _build_executor(args)
+    model = _build_model(args.model, executor=executor)
     runner = SCShare(
         scenario,
-        model=_build_model(args.model),
+        model=model,
         gamma=args.gamma,
         strategy_step=args.strategy_step,
+        params_cache=_build_params_cache(args, scenario, model),
+        executor=executor,
     )
     outcome = runner.run(alpha=args.alpha, optimum_method="ascent")
     print(json.dumps(outcome_to_dict(outcome), indent=2))
@@ -58,15 +81,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.bench.fig7 import ALPHAS, Fig7Row
 
     scenario = load_scenario(args.scenario)
-    cache: dict = {}
+    executor = _build_executor(args)
+    model = _build_model(args.model, executor=executor)
+    cache = _build_params_cache(args, scenario, model)
+    if cache is None:
+        cache = {}
     rows = []
     for ratio in price_ratio_grid(points=args.points):
         runner = SCShare(
             scenario.with_price_ratio(ratio),
-            model=_build_model(args.model),
+            model=model,
             gamma=args.gamma,
             strategy_step=args.strategy_step,
             params_cache=cache,
+            executor=executor,
         )
         efficiency = {}
         welfare = {}
@@ -128,6 +156,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_runtime_arguments(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel width for model/game evaluation (1 = serial)",
+    )
+    command.add_argument(
+        "--parallel-backend",
+        choices=["auto", "thread", "process"],
+        default="auto",
+        help="executor kind behind --workers (auto = process pools)",
+    )
+    command.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the persistent model-solution cache",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI parser (exposed for testing)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -140,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--alpha", type=float, default=0.0)
     solve.add_argument("--price-ratio", type=float, default=None)
     solve.add_argument("--strategy-step", type=int, default=1)
+    _add_runtime_arguments(solve)
     solve.set_defaults(func=_cmd_solve)
 
     sweep = sub.add_parser("sweep", help="sweep C^G/C^P and recommend regions")
@@ -148,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--gamma", type=float, default=0.0)
     sweep.add_argument("--points", type=int, default=6)
     sweep.add_argument("--strategy-step", type=int, default=2)
+    _add_runtime_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     simulate = sub.add_parser("simulate", help="run the discrete-event simulator")

@@ -12,10 +12,13 @@ more.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-import numpy as np
 
 from repro.bench.scenarios import Fig5Config, fig5_configurations
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import Executor
 from repro.bench.tables import render_table
 from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.queueing.forwarding import NoSharingModel
@@ -56,11 +59,18 @@ def simulate_forward_probability(
     return metrics[0].forward_probability
 
 
+def _simulate_point(task: tuple[Fig5Config, float, float, int]) -> float:
+    """Process-pool-friendly wrapper around one simulated data point."""
+    config, arrival_rate, horizon, seed = task
+    return simulate_forward_probability(config, arrival_rate, horizon, seed)
+
+
 def run_fig5(
     utilizations: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95),
     horizon: float = 20_000.0,
     seed: int = 5,
     with_simulation: bool = True,
+    executor: "Executor | None" = None,
 ) -> list[Fig5Row]:
     """Produce all Fig. 5 data points.
 
@@ -69,31 +79,40 @@ def run_fig5(
         horizon: simulated time per point.
         seed: simulation seed.
         with_simulation: skip the simulator (model only) when False.
+        executor: optional executor running the independent simulation
+            points in parallel (each point re-seeds identically, so the
+            table matches a serial run exactly).
     """
+    grid = [
+        (config, target * config.vms)
+        for config in fig5_configurations()
+        for target in utilizations
+    ]
+    if with_simulation:
+        tasks = [(config, rate, horizon, seed) for config, rate in grid]
+        if executor is not None and executor.workers > 1 and len(tasks) > 1:
+            simulated_points = executor.map(_simulate_point, tasks)
+        else:
+            simulated_points = [_simulate_point(task) for task in tasks]
+    else:
+        simulated_points = [float("nan")] * len(grid)
     rows = []
-    for config in fig5_configurations():
-        for target in utilizations:
-            arrival_rate = target * config.vms
-            model = NoSharingModel(
-                servers=config.vms,
+    for (config, arrival_rate), simulated in zip(grid, simulated_points):
+        model = NoSharingModel(
+            servers=config.vms,
+            arrival_rate=arrival_rate,
+            service_rate=1.0,
+            sla_bound=config.sla_bound,
+        )
+        rows.append(
+            Fig5Row(
+                config=config,
                 arrival_rate=arrival_rate,
-                service_rate=1.0,
-                sla_bound=config.sla_bound,
+                utilization=model.utilization,
+                model_forward_probability=model.forward_probability,
+                simulated_forward_probability=simulated,
             )
-            simulated = (
-                simulate_forward_probability(config, arrival_rate, horizon, seed)
-                if with_simulation
-                else float("nan")
-            )
-            rows.append(
-                Fig5Row(
-                    config=config,
-                    arrival_rate=arrival_rate,
-                    utilization=model.utilization,
-                    model_forward_probability=model.forward_probability,
-                    simulated_forward_probability=simulated,
-                )
-            )
+        )
     return rows
 
 

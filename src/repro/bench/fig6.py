@@ -20,7 +20,8 @@ is about this difference).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Callable
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.bench.scenarios import (
     fig6_2sc_scenario,
@@ -30,9 +31,13 @@ from repro.bench.scenarios import (
 from repro.bench.tables import render_table
 from repro.core.small_cloud import FederationScenario
 from repro.perf.approximate import ApproximateModel
+from repro.perf.base import PerformanceModel
 from repro.perf.detailed import DetailedModel
 from repro.perf.params import PerformanceParams
 from repro.perf.simulation import SimulationModel
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import Executor
 
 
 @dataclass(frozen=True)
@@ -73,38 +78,71 @@ def _relative_error(estimate: float, truth: float) -> float:
     return abs(estimate - truth) / scale
 
 
-def _evaluate_target(
-    scenario: FederationScenario,
-    exact_model: Callable[[FederationScenario], PerformanceParams],
-) -> tuple[PerformanceParams, PerformanceParams]:
-    approx = ApproximateModel().evaluate_target(scenario)
-    exact = exact_model(scenario)
-    return approx, exact
+@dataclass(frozen=True)
+class _RowTask:
+    """One validation point as a picklable work unit.
+
+    Rows are independent of each other, so a ``--workers N`` run ships
+    them to a process pool; each worker solves its approximate chain and
+    its ground-truth model, optionally through a shared on-disk cache.
+    """
+
+    panel: str
+    target_share: int
+    target_rate: float
+    scenario: FederationScenario
+    approx: PerformanceModel
+    exact: PerformanceModel
+
+
+def _evaluate_row(task: _RowTask) -> Fig6Row:
+    return Fig6Row(
+        panel=task.panel,
+        target_share=task.target_share,
+        target_rate=task.target_rate,
+        approx=task.approx.evaluate_target(task.scenario),
+        exact=task.exact.evaluate(task.scenario)[-1],
+    )
+
+
+def _run_rows(
+    tasks: list[_RowTask], executor: "Executor | None"
+) -> list[Fig6Row]:
+    if executor is not None and executor.workers > 1 and len(tasks) > 1:
+        return executor.map(_evaluate_row, tasks)
+    return [_evaluate_row(task) for task in tasks]
+
+
+def _cached(model: PerformanceModel, cache_dir: str | Path | None) -> PerformanceModel:
+    if cache_dir is None:
+        return model
+    from repro.runtime.cache import CachedModel
+
+    return CachedModel(model, cache_dir)
 
 
 def run_fig6_2sc(
     target_shares: tuple[int, ...] = (1, 9),
     target_rates: tuple[float, ...] = (5.0, 6.0, 7.0, 8.0),
+    executor: "Executor | None" = None,
+    cache_dir: str | Path | None = None,
 ) -> list[Fig6Row]:
     """Panels 6a/6b: 2 SCs, exact CTMC as ground truth."""
-    detailed = DetailedModel()
-    rows = []
-    for share in target_shares:
-        for rate in target_rates:
-            scenario = fig6_2sc_scenario(target_share=share, target_rate=rate)
-            approx, exact = _evaluate_target(
-                scenario, lambda s: detailed.evaluate(s)[-1]
-            )
-            rows.append(
-                Fig6Row(
-                    panel="2sc",
-                    target_share=share,
-                    target_rate=rate,
-                    approx=approx,
-                    exact=exact,
-                )
-            )
-    return rows
+    approx = _cached(ApproximateModel(), cache_dir)
+    detailed = _cached(DetailedModel(), cache_dir)
+    tasks = [
+        _RowTask(
+            panel="2sc",
+            target_share=share,
+            target_rate=rate,
+            scenario=fig6_2sc_scenario(target_share=share, target_rate=rate),
+            approx=approx,
+            exact=detailed,
+        )
+        for share in target_shares
+        for rate in target_rates
+    ]
+    return _run_rows(tasks, executor)
 
 
 def run_fig6_10sc(
@@ -112,26 +150,27 @@ def run_fig6_10sc(
     target_rates: tuple[float, ...] = (5.0, 6.0, 7.0, 8.0),
     horizon: float = 100_000.0,
     seed: int = 6,
+    executor: "Executor | None" = None,
+    cache_dir: str | Path | None = None,
 ) -> list[Fig6Row]:
     """Panels 6c/6d: 10 SCs, simulation as ground truth."""
-    simulation = SimulationModel(horizon=horizon, warmup=horizon * 0.05, seed=seed)
-    rows = []
-    for share in target_shares:
-        for rate in target_rates:
-            scenario = fig6_10sc_scenario(target_share=share, target_rate=rate)
-            approx, exact = _evaluate_target(
-                scenario, lambda s: simulation.evaluate(s)[-1]
-            )
-            rows.append(
-                Fig6Row(
-                    panel="10sc",
-                    target_share=share,
-                    target_rate=rate,
-                    approx=approx,
-                    exact=exact,
-                )
-            )
-    return rows
+    simulation = _cached(
+        SimulationModel(horizon=horizon, warmup=horizon * 0.05, seed=seed), cache_dir
+    )
+    approx = _cached(ApproximateModel(), cache_dir)
+    tasks = [
+        _RowTask(
+            panel="10sc",
+            target_share=share,
+            target_rate=rate,
+            scenario=fig6_10sc_scenario(target_share=share, target_rate=rate),
+            approx=approx,
+            exact=simulation,
+        )
+        for share in target_shares
+        for rate in target_rates
+    ]
+    return _run_rows(tasks, executor)
 
 
 def run_fig6_100vm(
@@ -139,28 +178,29 @@ def run_fig6_100vm(
     target_rates: tuple[float, ...] = (60.0, 70.0, 80.0, 90.0),
     horizon: float = 20_000.0,
     seed: int = 66,
+    executor: "Executor | None" = None,
+    cache_dir: str | Path | None = None,
 ) -> list[Fig6Row]:
     """Panels 6e/6f: two 100-VM SCs, simulation as ground truth."""
-    simulation = SimulationModel(horizon=horizon, warmup=horizon * 0.05, seed=seed)
-    rows = []
-    for other_util in other_utilizations:
-        for rate in target_rates:
-            scenario = fig6_100vm_scenario(
+    simulation = _cached(
+        SimulationModel(horizon=horizon, warmup=horizon * 0.05, seed=seed), cache_dir
+    )
+    approx = _cached(ApproximateModel(), cache_dir)
+    tasks = [
+        _RowTask(
+            panel=f"100vm(rho={other_util})",
+            target_share=10,
+            target_rate=rate,
+            scenario=fig6_100vm_scenario(
                 other_rate=other_util * 100.0, target_rate=rate
-            )
-            approx, exact = _evaluate_target(
-                scenario, lambda s: simulation.evaluate(s)[-1]
-            )
-            rows.append(
-                Fig6Row(
-                    panel=f"100vm(rho={other_util})",
-                    target_share=10,
-                    target_rate=rate,
-                    approx=approx,
-                    exact=exact,
-                )
-            )
-    return rows
+            ),
+            approx=approx,
+            exact=simulation,
+        )
+        for other_util in other_utilizations
+        for rate in target_rates
+    ]
+    return _run_rows(tasks, executor)
 
 
 def render(rows: list[Fig6Row]) -> str:

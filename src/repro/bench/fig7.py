@@ -15,16 +15,20 @@ sweep since they do not depend on prices.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.bench.scenarios import fig7_scenario
 from repro.bench.tables import render_table
 from repro.core.framework import SCShare
-from repro.core.small_cloud import FederationScenario
 from repro.market.fairness import ALPHA_MAX_MIN, ALPHA_PROPORTIONAL, ALPHA_UTILITARIAN
 from repro.market.pricing import price_ratio_grid
 from repro.perf.base import PerformanceModel
+from repro.perf.pooled import PooledModel
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import Executor
 
 #: The three fairness curves of each Fig. 7 panel.
 ALPHAS = {
@@ -59,6 +63,8 @@ def run_fig7(
     model: PerformanceModel | None = None,
     strategy_step: int = 1,
     restarts: tuple[tuple[int, ...], ...] = (),
+    executor: "Executor | None" = None,
+    cache_dir: str | Path | None = None,
 ) -> list[Fig7Row]:
     """Sweep the price ratio for one Fig. 7 panel.
 
@@ -74,13 +80,24 @@ def run_fig7(
             full-sharing starts — without them, best-response dynamics
             from the no-sharing profile can stall in the coordination
             trap where nobody shares because nobody else does.
+        executor: optional executor for the game's parallel sections.
+        cache_dir: optional directory for a persistent parameter cache;
+            performance parameters are price-independent, so one
+            populated cache serves the entire sweep (and later re-runs)
+            without a single fresh model solve.
     """
     from repro.market.efficiency import federation_efficiency, social_optimum
 
     base = fig7_scenario(loads)
     if ratios is None:
         ratios = price_ratio_grid(points=11)
-    params_cache: dict = {}
+    model = model if model is not None else PooledModel()
+    if cache_dir is None:
+        params_cache: dict = {}
+    else:
+        from repro.runtime.cache import DiskParamsCache
+
+        params_cache = DiskParamsCache(cache_dir, base, model)
     rows = []
     for ratio in ratios:
         scenario = base.with_price_ratio(ratio)
@@ -90,6 +107,7 @@ def run_fig7(
             gamma=gamma,
             strategy_step=strategy_step,
             params_cache=params_cache,
+            executor=executor,
         )
         if not restarts:
             restarts = (
@@ -148,7 +166,7 @@ def render(rows: list[Fig7Row]) -> str:
             for r in rows
         ],
         title=(
-            f"Fig. 7 — federation efficiency vs price ratio "
+            "Fig. 7 — federation efficiency vs price ratio "
             f"(loads={rows[0].loads}, gamma={rows[0].gamma})"
         ),
     )

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.bench.scenarios import fig8_game_scenario, fig8_perf_scenario
 from repro.bench.tables import render_table
@@ -25,6 +27,10 @@ from repro.core.framework import SCShare
 from repro.game.tabu import TabuSearch
 from repro.perf.approximate import ApproximateModel
 from repro.perf.base import PerformanceModel
+from repro.perf.pooled import PooledModel
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import Executor
 
 
 @dataclass(frozen=True)
@@ -69,11 +75,26 @@ def run_fig8b(
     price_ratio: float = 0.5,
     vms: int = 20,
     model: PerformanceModel | None = None,
+    executor: "Executor | None" = None,
+    cache_dir: str | Path | None = None,
 ) -> list[Fig8bRow]:
-    """Measure game rounds to equilibrium per federation size."""
+    """Measure game rounds to equilibrium per federation size.
+
+    The search-distance runs at one federation size share a parameter
+    cache (and, with ``cache_dir``, a persistent one): Tabu variants
+    visit overlapping sharing vectors, and the solved parameters do not
+    depend on the search configuration.
+    """
+    model = model if model is not None else PooledModel()
     rows = []
     for k in sizes:
         scenario = fig8_game_scenario(k, vms=vms).with_price_ratio(price_ratio)
+        if cache_dir is None:
+            params_cache: dict = {}
+        else:
+            from repro.runtime.cache import DiskParamsCache
+
+            params_cache = DiskParamsCache(cache_dir, scenario, model)
         for distance in tabu_distances:
             runner = SCShare(
                 scenario,
@@ -81,6 +102,8 @@ def run_fig8b(
                 gamma=gamma,
                 best_response="tabu",
                 tabu=TabuSearch(distance=distance),
+                params_cache=params_cache,
+                executor=executor,
             )
             result = runner.game.run()
             rows.append(

@@ -3,22 +3,31 @@
 Runs one figure's harness with its default parameters and prints the
 table.  The pytest-benchmark drivers in ``benchmarks/`` use the same
 functions; this entry point is for quick interactive regeneration.
+
+``--workers N`` fans the independent work units (model rotations,
+simulation points, game sections) out over N processes; ``--cache-dir``
+persists every model solve so a repeated run (or a CI smoke job with a
+warm cache) skips them entirely.  Both knobs change wall-clock only —
+tables are byte-identical to a serial, uncached run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.bench import fig5, fig6, fig7, fig8
+from repro.runtime.executor import Executor, make_executor
 
 _QUICK_RATIOS = [0.1, 0.3, 0.5, 0.7, 0.9]
 
 
-def _run_fig5(quick: bool) -> str:
+def _run_fig5(quick: bool, executor: Executor, cache_dir: str | None) -> str:
     rows = fig5.run_fig5(
         utilizations=(0.6, 0.8, 0.9) if quick else (0.5, 0.6, 0.7, 0.8, 0.9, 0.95),
         horizon=5_000.0 if quick else 20_000.0,
+        executor=executor,
     )
     problems = fig5.check_shape(rows)
     output = fig5.render(rows)
@@ -27,16 +36,28 @@ def _run_fig5(quick: bool) -> str:
     return output
 
 
-def _run_fig6(quick: bool) -> str:
+def _run_fig6(quick: bool, executor: Executor, cache_dir: str | None) -> str:
     rates = (6.0, 8.0) if quick else (5.0, 6.0, 7.0, 8.0)
-    parts = [fig6.render(fig6.run_fig6_2sc(target_rates=rates))]
+    parts = [
+        fig6.render(
+            fig6.run_fig6_2sc(target_rates=rates, executor=executor, cache_dir=cache_dir)
+        )
+    ]
     if not quick:
-        parts.append(fig6.render(fig6.run_fig6_10sc(target_rates=rates)))
-        parts.append(fig6.render(fig6.run_fig6_100vm()))
+        parts.append(
+            fig6.render(
+                fig6.run_fig6_10sc(
+                    target_rates=rates, executor=executor, cache_dir=cache_dir
+                )
+            )
+        )
+        parts.append(
+            fig6.render(fig6.run_fig6_100vm(executor=executor, cache_dir=cache_dir))
+        )
     return "\n\n".join(parts)
 
 
-def _run_fig7(quick: bool) -> str:
+def _run_fig7(quick: bool, executor: Executor, cache_dir: str | None) -> str:
     parts = []
     panels = [("spread", 0.0)] if quick else [
         ("spread", 0.0),
@@ -50,6 +71,8 @@ def _run_fig7(quick: bool) -> str:
             gamma=gamma,
             ratios=_QUICK_RATIOS if quick else None,
             strategy_step=2 if quick else 1,
+            executor=executor,
+            cache_dir=cache_dir,
         )
         parts.append(fig7.render(rows))
         problems = fig7.check_shape(rows)
@@ -58,12 +81,15 @@ def _run_fig7(quick: bool) -> str:
     return "\n\n".join(parts)
 
 
-def _run_fig8(quick: bool) -> str:
+def _run_fig8(quick: bool, executor: Executor, cache_dir: str | None) -> str:
     sizes_a = (2, 3, 4) if quick else (2, 3, 4, 6, 8, 10)
     sizes_b = (2, 3, 4) if quick else (2, 3, 4, 6, 8)
     parts = [
+        # 8a times chain construction, so it always runs serial and uncached.
         fig8.render_8a(fig8.run_fig8a(sizes=sizes_a)),
-        fig8.render_8b(fig8.run_fig8b(sizes=sizes_b)),
+        fig8.render_8b(
+            fig8.run_fig8b(sizes=sizes_b, executor=executor, cache_dir=cache_dir)
+        ),
     ]
     return "\n\n".join(parts)
 
@@ -87,11 +113,41 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="smaller grids / shorter simulations for a fast smoke run",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel width for independent work units (1 = serial)",
+    )
+    parser.add_argument(
+        "--parallel-backend",
+        choices=["auto", "thread", "process"],
+        default="auto",
+        help="executor kind behind --workers (auto = process pools)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the persistent model-solution cache",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="also write each figure's table to DIR/<figure>.txt",
+    )
     args = parser.parse_args(argv)
+    executor = make_executor(args.workers, kind=args.parallel_backend)
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    output_dir = Path(args.output) if args.output else None
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
-        print(FIGURES[name](args.quick))
+        table = FIGURES[name](args.quick, executor, args.cache_dir)
+        print(table)
         print()
+        if output_dir is not None:
+            (output_dir / f"{name}.txt").write_text(table + "\n")
     return 0
 
 

@@ -13,11 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro._validation import check_in_range
 from repro.core.results import SharingDecisionResult
 from repro.core.small_cloud import FederationScenario
-from repro.exceptions import GameError
 from repro.game.best_response import BestResponder
 from repro.game.repeated_game import GameResult, RepeatedGame
 from repro.game.strategy import full_strategy_spaces
@@ -27,6 +27,9 @@ from repro.market.efficiency import federation_efficiency, social_optimum
 from repro.market.evaluator import ParamsCache, UtilityEvaluator
 from repro.perf.base import PerformanceModel
 from repro.perf.pooled import PooledModel
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import Executor
 
 
 @dataclass(frozen=True)
@@ -72,7 +75,17 @@ class SCShare:
         tabu: optional Tabu-search configuration.
         max_rounds: game round budget.
         params_cache: optional shared performance cache (reused across
-            price points of a sweep).
+            price points of a sweep); a
+            :class:`repro.runtime.cache.DiskParamsCache` makes it
+            persistent across runs.
+        executor: optional :class:`repro.runtime.executor.Executor`
+            driving the game's parallel sections — per-round best
+            responses across SCs and per-SC candidate scoring.  Thread
+            executors exploit the shared parameter cache; process
+            executors fall back to serial in these sections (game state
+            is shared memory) but still accelerate an
+            :class:`~repro.perf.approximate.ApproximateModel` configured
+            with its own executor.
     """
 
     def __init__(
@@ -85,6 +98,7 @@ class SCShare:
         tabu: TabuSearch | None = None,
         max_rounds: int = 200,
         params_cache: ParamsCache | None = None,
+        executor: "Executor | None" = None,
     ):
         self.scenario = scenario
         self.model = model if model is not None else PooledModel()
@@ -94,9 +108,13 @@ class SCShare:
         )
         self.strategy_spaces = full_strategy_spaces(scenario, step=strategy_step)
         self.responder = BestResponder(
-            self.evaluator, self.strategy_spaces, method=best_response, tabu=tabu
+            self.evaluator,
+            self.strategy_spaces,
+            method=best_response,
+            tabu=tabu,
+            executor=executor,
         )
-        self.game = RepeatedGame(self.responder, max_rounds=max_rounds)
+        self.game = RepeatedGame(self.responder, max_rounds=max_rounds, executor=executor)
 
     def run(
         self,

@@ -13,6 +13,7 @@ from pathlib import Path
 
 from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.exceptions import ConfigurationError
+from repro.perf.params import PerformanceParams
 
 _CLOUD_FIELDS = (
     "name",
@@ -65,6 +66,25 @@ def save_scenario(scenario: FederationScenario, path: str | Path) -> None:
 def load_scenario(path: str | Path) -> FederationScenario:
     """Read a scenario from a JSON file."""
     return scenario_from_dict(json.loads(Path(path).read_text()))
+
+
+_PARAMS_FIELDS = ("lent_mean", "borrowed_mean", "forward_rate", "utilization")
+
+
+def params_to_dict(params: PerformanceParams) -> dict:
+    """Serialize one :class:`PerformanceParams` to a plain dictionary."""
+    return {field: getattr(params, field) for field in _PARAMS_FIELDS}
+
+
+def params_from_dict(data: dict) -> PerformanceParams:
+    """Deserialize one :class:`PerformanceParams`; unknown keys are rejected."""
+    unknown = set(data) - set(_PARAMS_FIELDS)
+    if unknown:
+        raise ConfigurationError(f"unknown performance-params fields: {sorted(unknown)}")
+    missing = set(_PARAMS_FIELDS) - set(data)
+    if missing:
+        raise ConfigurationError(f"missing performance-params fields: {sorted(missing)}")
+    return PerformanceParams(**{field: float(data[field]) for field in _PARAMS_FIELDS})
 
 
 def outcome_to_dict(outcome) -> dict:

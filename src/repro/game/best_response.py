@@ -17,10 +17,14 @@ toward sharing less.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.exceptions import GameError
 from repro.game.tabu import TabuSearch
 from repro.market.evaluator import UtilityEvaluator
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import Executor
 
 _TIE_TOLERANCE = 1e-12
 
@@ -34,6 +38,12 @@ class BestResponder:
         method: ``'exhaustive'`` or ``'tabu'``.
         tabu: optional configured :class:`TabuSearch` (defaults match the
             paper's small search distance).
+        executor: optional executor used to score candidate sharing
+            values concurrently (the exhaustive scan scores its whole
+            space at once; Tabu scores each neighborhood).  The objective
+            is thread-safe — it builds a private trial profile and the
+            evaluator serializes duplicate model solves — so results are
+            identical to a serial scan.
     """
 
     def __init__(
@@ -42,6 +52,7 @@ class BestResponder:
         strategy_spaces: Sequence[Sequence[int]],
         method: str = "exhaustive",
         tabu: TabuSearch | None = None,
+        executor: "Executor | None" = None,
     ):
         if method not in ("exhaustive", "tabu"):
             raise GameError(f"unknown best-response method {method!r}")
@@ -51,6 +62,7 @@ class BestResponder:
         self.strategy_spaces = [list(space) for space in strategy_spaces]
         self.method = method
         self.tabu = tabu if tabu is not None else TabuSearch()
+        self.executor = executor
 
     def respond(self, sharing: Sequence[int], index: int) -> tuple[int, float]:
         """Best sharing value for SC ``index`` given the profile ``sharing``.
@@ -62,16 +74,17 @@ class BestResponder:
         current = profile[index]
 
         def objective(candidate: int) -> float:
-            profile[index] = candidate
-            try:
-                return self.evaluator.utility(profile, index)
-            finally:
-                profile[index] = current
+            trial = list(profile)
+            trial[index] = candidate
+            return self.evaluator.utility(trial, index)
 
         if self.method == "exhaustive":
             return self._exhaustive(objective, index, current)
         best, best_obj, _evals = self.tabu.search(
-            self.strategy_spaces[index], objective, start=current
+            self.strategy_spaces[index],
+            objective,
+            start=current,
+            executor=self.executor,
         )
         # Tie-break toward the incumbent: keep the current decision if it
         # is as good as the search result.
@@ -81,10 +94,14 @@ class BestResponder:
         return best, best_obj
 
     def _exhaustive(self, objective, index: int, current: int) -> tuple[int, float]:
+        candidates = self.strategy_spaces[index]
+        if self.executor is not None and self.executor.workers > 1 and len(candidates) > 1:
+            values = self.executor.map(objective, candidates)
+        else:
+            values = [objective(candidate) for candidate in candidates]
         best_share: int | None = None
         best_utility = -1.0
-        for candidate in self.strategy_spaces[index]:
-            value = objective(candidate)
+        for candidate, value in zip(candidates, values):
             if value > best_utility + _TIE_TOLERANCE:
                 best_utility = value
                 best_share = candidate

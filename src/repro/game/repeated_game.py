@@ -14,10 +14,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro._validation import check_positive_int
 from repro.exceptions import GameError
 from repro.game.best_response import BestResponder
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import Executor
 
 
 @dataclass(frozen=True)
@@ -49,11 +53,24 @@ class RepeatedGame:
     Args:
         responder: the per-SC best-response engine.
         max_rounds: round budget before giving up.
+        executor: optional executor that computes the round's K best
+            responses concurrently.  Algorithm 1 updates simultaneously —
+            every SC responds to the *previous* round's profile — so the
+            responses are independent by construction and the parallel
+            round is identical to the serial one.  (Process executors
+            degrade to serial here: best responses share the evaluator's
+            in-memory state, which cannot cross process boundaries.)
     """
 
-    def __init__(self, responder: BestResponder, max_rounds: int = 200):
+    def __init__(
+        self,
+        responder: BestResponder,
+        max_rounds: int = 200,
+        executor: "Executor | None" = None,
+    ):
         self.responder = responder
         self.max_rounds = check_positive_int(max_rounds, "max_rounds")
+        self.executor = executor
 
     def run(self, initial: Sequence[int] | None = None) -> GameResult:
         """Play until convergence from ``initial`` (default: share nothing).
@@ -76,9 +93,16 @@ class RepeatedGame:
         seen: dict[tuple[int, ...], int] = {profile: 0}
 
         for round_number in range(1, self.max_rounds + 1):
-            next_profile = tuple(
-                self.responder.respond(profile, i)[0] for i in range(k)
-            )
+            if self.executor is not None and self.executor.workers > 1 and k > 1:
+                current = profile
+                responses = self.executor.map(
+                    lambda i: self.responder.respond(current, i)[0], range(k)
+                )
+                next_profile = tuple(responses)
+            else:
+                next_profile = tuple(
+                    self.responder.respond(profile, i)[0] for i in range(k)
+                )
             history.append(next_profile)
             if next_profile == profile:
                 return GameResult(

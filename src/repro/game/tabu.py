@@ -13,9 +13,13 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 from repro._validation import check_positive_int
 from repro.exceptions import GameError
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import Executor
 
 
 class TabuSearch:
@@ -38,6 +42,7 @@ class TabuSearch:
         candidates: Sequence[int],
         objective: Callable[[int], float],
         start: int | None = None,
+        executor: "Executor | None" = None,
     ) -> tuple[int, float, int]:
         """Maximize ``objective`` over ``candidates``.
 
@@ -45,6 +50,14 @@ class TabuSearch:
             candidates: the (sorted or unsorted) strategy values.
             objective: maps a value to its utility.
             start: starting value (defaults to the first candidate).
+            executor: optional executor used to score the not-yet-cached
+                part of each neighborhood concurrently.  The serial path
+                scores the whole neighborhood anyway, so concurrent
+                scoring changes neither the trajectory nor the
+                evaluation count — ``objective`` must simply be safe to
+                call from the executor's workers (thread executors need a
+                thread-safe objective; process executors fall back to
+                serial for non-picklable closures).
 
         Returns:
             ``(best_value, best_objective, evaluations)``.
@@ -75,6 +88,21 @@ class TabuSearch:
                 evaluations += 1
             return value_cache[value]
 
+        def prefetch(indices: list[int]) -> None:
+            # Score the uncached slice of a neighborhood in parallel; the
+            # results land in the cache, so the serial scoring loop below
+            # finds every value already computed.
+            nonlocal evaluations
+            missing = sorted(
+                {ordered[idx] for idx in indices if ordered[idx] not in value_cache}
+            )
+            if executor is None or executor.workers <= 1 or len(missing) <= 1:
+                return
+            for value, result in zip(missing, executor.map(objective, missing)):
+                if value not in value_cache:
+                    value_cache[value] = result
+                    evaluations += 1
+
         best_idx = current_idx
         best_obj = evaluate(current_idx)
         tabu: deque[int] = deque(maxlen=self.tenure)
@@ -91,6 +119,7 @@ class TabuSearch:
             ]
             if not neighborhood:
                 break
+            prefetch(neighborhood)
             scored = [(evaluate(idx), idx) for idx in neighborhood]
             scored.sort(key=lambda pair: (-pair[0], pair[1]))
             moved = False

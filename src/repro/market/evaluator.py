@@ -11,6 +11,7 @@ prices) reuses one set of model solutions.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import MutableMapping, Sequence
 
 from repro._validation import check_in_range
@@ -22,6 +23,8 @@ from repro.perf.base import PerformanceModel
 from repro.perf.params import PerformanceParams
 
 #: Cache type mapping sharing vectors to per-SC performance parameters.
+#: Plain dictionaries work; :class:`repro.runtime.cache.DiskParamsCache`
+#: is a persistent drop-in that survives process restarts.
 ParamsCache = MutableMapping[tuple[int, ...], list[PerformanceParams]]
 
 
@@ -54,18 +57,50 @@ class UtilityEvaluator:
             baseline_metrics(cloud) for cloud in scenario
         ]
         self.evaluations = 0  # number of *model* evaluations performed
+        # Concurrent callers (thread executors scoring candidates) must
+        # solve each sharing vector exactly once, both to avoid wasted
+        # work and to keep `evaluations` equal to a serial run's count.
+        # The lock guards the cache and the pending table; the expensive
+        # model solve itself runs outside it.
+        self._lock = threading.Lock()
+        self._pending: dict[tuple[int, ...], threading.Event] = {}
 
     def baseline(self, index: int) -> BaselineMetrics:
         """The no-sharing reference of SC ``index``."""
         return self._baselines[index]
 
     def params(self, sharing: Sequence[int]) -> list[PerformanceParams]:
-        """Performance parameters for every SC under ``sharing`` (cached)."""
+        """Performance parameters for every SC under ``sharing`` (cached).
+
+        Safe to call from multiple threads: the first caller of an
+        uncached vector solves it, later callers of the same vector wait
+        for that solve instead of duplicating it.
+        """
         key = tuple(int(s) for s in sharing)
-        if key not in self._cache:
-            self._cache[key] = self.model.evaluate(self.scenario.with_sharing(key))
-            self.evaluations += 1
-        return self._cache[key]
+        while True:
+            with self._lock:
+                if key in self._cache:
+                    return self._cache[key]
+                event = self._pending.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._pending[key] = event
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                event.wait()
+                continue  # the owner has published (or failed); re-check
+            try:
+                params = self.model.evaluate(self.scenario.with_sharing(key))
+                with self._lock:
+                    self._cache[key] = params
+                    self.evaluations += 1
+                return params
+            finally:
+                with self._lock:
+                    self._pending.pop(key, None)
+                event.set()
 
     def cost(self, sharing: Sequence[int], index: int) -> float:
         """``C_i^{S_i}`` (Eq. 1) for SC ``index`` under ``sharing``."""

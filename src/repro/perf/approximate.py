@@ -25,9 +25,13 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import Executor
 
 from repro._validation import check_positive
 from repro.core.small_cloud import FederationScenario, SmallCloud
@@ -43,6 +47,14 @@ from repro.perf.interaction import (
 from repro.perf.params import PerformanceParams
 from repro.queueing.forwarding import queue_truncation_level
 from repro.queueing.sla import prob_no_forward
+
+
+def _evaluate_target_task(
+    task: "tuple[ApproximateModel, FederationScenario, int]",
+) -> PerformanceParams:
+    """Process-pool-friendly wrapper around one target rotation."""
+    model, scenario, target = task
+    return model.evaluate_target(scenario, target=target)
 
 
 class _StateIndexer:
@@ -105,6 +117,11 @@ class ApproximateModel(PerformanceModel):
             state, which keeps the largest paper scenarios (10-SC pools,
             full sharing) within laptop memory; the discarded mass is
             below 1% in all benchmarked settings.
+        executor: optional :class:`repro.runtime.executor.Executor` used
+            by :meth:`evaluate` to rotate the K independent per-target
+            chains in parallel.  Each rotation is a pure function of the
+            scenario, so any executor (including process pools) returns
+            results bit-identical to a serial run.
     """
 
     def __init__(
@@ -113,11 +130,13 @@ class ApproximateModel(PerformanceModel):
         transient_epsilon: float = 1e-8,
         outcome_threshold: float = 1e-7,
         max_outcomes: int = 48,
+        executor: "Executor | None" = None,
     ):
         self.tail_epsilon = check_positive(tail_epsilon, "tail_epsilon")
         self.transient_epsilon = check_positive(transient_epsilon, "transient_epsilon")
         self.outcome_threshold = check_positive(outcome_threshold, "outcome_threshold")
         self.max_outcomes = int(max_outcomes)
+        self.executor = executor
 
     # ------------------------------------------------------------------ #
     # public interface
@@ -136,10 +155,25 @@ class ApproximateModel(PerformanceModel):
         return self._params_from_level(level)
 
     def evaluate(self, scenario: FederationScenario) -> list[PerformanceParams]:
-        """Evaluate every SC by rotating each into the target slot."""
-        return [
-            self.evaluate_target(scenario, target=i) for i in range(len(scenario))
-        ]
+        """Evaluate every SC by rotating each into the target slot.
+
+        The K rotations are independent chains; with an executor they run
+        in parallel (process pools ship a copy of the model configured
+        without an executor, so workers never nest pools).
+        """
+        k = len(scenario)
+        executor = self.executor
+        if executor is None or executor.workers <= 1 or k == 1:
+            return [self.evaluate_target(scenario, target=i) for i in range(k)]
+        worker = ApproximateModel(
+            tail_epsilon=self.tail_epsilon,
+            transient_epsilon=self.transient_epsilon,
+            outcome_threshold=self.outcome_threshold,
+            max_outcomes=self.max_outcomes,
+        )
+        return executor.map(
+            _evaluate_target_task, [(worker, scenario, i) for i in range(k)]
+        )
 
     # ------------------------------------------------------------------ #
     # chain construction

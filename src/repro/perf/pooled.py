@@ -30,7 +30,6 @@ import numpy as np
 from repro._validation import check_in_range, check_positive, check_positive_int
 from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.exceptions import ConvergenceError
-from repro.markov.ctmc import CTMC
 from repro.markov.state_space import StateSpace
 from repro.perf.base import PerformanceModel
 from repro.perf.params import PerformanceParams

@@ -1,0 +1,55 @@
+"""Parallel evaluation runtime and persistent model cache.
+
+The hot loops of the reproduction — approximate-model target rotation,
+Tabu neighborhood scoring, best-response rounds, simulation replications
+— are all embarrassingly parallel over independent deterministic tasks.
+This package supplies the shared machinery:
+
+- :mod:`repro.runtime.executor` — ``SerialExecutor`` / ``ThreadExecutor``
+  / ``ProcessExecutor`` behind one ``map`` / ``map_unordered`` interface
+  with chunking and graceful serial fallback;
+- :mod:`repro.runtime.seeding` — deterministic per-task seed derivation
+  built on the same ``SeedSequence`` discipline as :mod:`repro.sim.rng`;
+- :mod:`repro.runtime.cache` — a persistent on-disk parameter cache
+  (content-hash keys over the performance-relevant scenario fields) that
+  extends the in-memory ``ParamsCache`` of :mod:`repro.market.evaluator`
+  and wraps any :class:`~repro.perf.base.PerformanceModel`.
+
+Everything is engineered so that parallel and cached runs are
+*bit-identical* to serial uncached runs: executors preserve input order,
+tasks derive independent seeds deterministically, and caches store the
+exact float values a fresh solve would produce.
+"""
+
+from repro.runtime.cache import (
+    CachedModel,
+    DiskCache,
+    DiskParamsCache,
+    model_fingerprint,
+    scenario_fingerprint,
+)
+from repro.runtime.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.runtime.seeding import derive_seed, derive_seeds, derive_streams, replication_seeds
+
+__all__ = [
+    "CachedModel",
+    "DiskCache",
+    "DiskParamsCache",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "derive_seed",
+    "derive_seeds",
+    "derive_streams",
+    "make_executor",
+    "model_fingerprint",
+    "replication_seeds",
+    "scenario_fingerprint",
+]

@@ -1,0 +1,187 @@
+"""Executor abstraction: serial, thread, and process map with one interface.
+
+All executors satisfy the same small contract:
+
+- ``map(fn, items)`` returns ``[fn(x) for x in items]`` *in input order*,
+  so a parallel run is result-identical to a serial one;
+- ``map_unordered(fn, items)`` yields ``(index, result)`` pairs as they
+  complete (in input order for the serial executor);
+- ``workers`` reports the parallel width (1 for serial).
+
+Pools are created per call rather than held on the executor.  That keeps
+executor objects trivially picklable (they can ride inside task payloads
+or model configs), and makes nested parallelism safe: an inner ``map``
+issued from a worker gets a fresh pool instead of deadlocking on the
+outer one.
+
+:class:`ProcessExecutor` degrades gracefully: when the function or the
+items cannot be pickled (closures over live caches, objects holding
+locks), it runs the batch serially in the parent process — which is
+exactly what shared-state callers need for correctness — instead of
+crashing the pool.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterator, Sequence
+from typing import TypeVar
+
+from repro._validation import check_positive_int
+from repro.exceptions import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """A sensible parallel width for this machine (``os.cpu_count()``)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+class Executor(ABC):
+    """Common interface of all executors."""
+
+    #: Parallel width; 1 means the executor runs tasks inline.
+    workers: int = 1
+
+    @abstractmethod
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item, returning results in input order."""
+
+    @abstractmethod
+    def map_unordered(
+        self, fn: Callable[[T], R], items: Sequence[T]
+    ) -> Iterator[tuple[int, R]]:
+        """Yield ``(index, fn(items[index]))`` pairs as tasks complete."""
+
+    def chunksize(self, n_items: int) -> int:
+        """Chunk size used when shipping ``n_items`` tasks to a pool.
+
+        Four chunks per worker amortizes dispatch overhead while keeping
+        the pool load-balanced when task durations vary.
+        """
+        return max(1, n_items // (self.workers * 4))
+
+
+class SerialExecutor(Executor):
+    """Runs every task inline, in order.  The reference semantics."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+    def map_unordered(
+        self, fn: Callable[[T], R], items: Sequence[T]
+    ) -> Iterator[tuple[int, R]]:
+        for index, item in enumerate(items):
+            yield index, fn(item)
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool executor.
+
+    Threads share memory, so callables may close over live state (the
+    evaluator's parameter cache, a Tabu value table) — callers are
+    responsible for the thread safety of that state.  Best suited to
+    workloads that release the GIL (scipy solves, simulation inner loops)
+    or that mix I/O with compute.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = check_positive_int(
+            workers if workers is not None else default_workers(), "workers"
+        )
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with concurrent.futures.ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, items))
+
+    def map_unordered(
+        self, fn: Callable[[T], R], items: Sequence[T]
+    ) -> Iterator[tuple[int, R]]:
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            for index, item in enumerate(items):
+                yield index, fn(item)
+            return
+        with concurrent.futures.ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
+            for future in concurrent.futures.as_completed(futures):
+                yield futures[future], future.result()
+
+
+class ProcessExecutor(Executor):
+    """Process-pool executor with serial fallback.
+
+    Processes sidestep the GIL, so this is the right executor for pure
+    CPU-bound tasks built from picklable pieces (model + scenario
+    payloads, simulator replications).  Results flow back by value; any
+    in-memory cache a worker fills stays in the worker, so shared-state
+    workloads gain nothing — and since those are exactly the workloads
+    whose closures fail to pickle, they fall back to correct serial
+    execution automatically.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = check_positive_int(
+            workers if workers is not None else default_workers(), "workers"
+        )
+
+    def _picklable(self, fn: Callable, items: Sequence) -> bool:
+        try:
+            pickle.dumps(fn)
+            if items:
+                pickle.dumps(items[0])
+        except Exception:
+            return False
+        return True
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1 or not self._picklable(fn, items):
+            return [fn(item) for item in items]
+        with concurrent.futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, items, chunksize=self.chunksize(len(items))))
+
+    def map_unordered(
+        self, fn: Callable[[T], R], items: Sequence[T]
+    ) -> Iterator[tuple[int, R]]:
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1 or not self._picklable(fn, items):
+            for index, item in enumerate(items):
+                yield index, fn(item)
+            return
+        with concurrent.futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
+            for future in concurrent.futures.as_completed(futures):
+                yield futures[future], future.result()
+
+
+def make_executor(workers: int | None, kind: str = "auto") -> Executor:
+    """Build an executor from a ``--workers`` style setting.
+
+    Args:
+        workers: parallel width; ``None``, 0 or 1 yields the serial
+            executor (``None`` with an explicit parallel ``kind`` uses
+            all cores).
+        kind: ``'serial'``, ``'thread'``, ``'process'``, or ``'auto'``
+            (process-based — the safe general-purpose choice, since
+            shared-state call sites degrade to serial on their own).
+    """
+    if kind not in ("auto", "serial", "thread", "process"):
+        raise ConfigurationError(f"unknown executor kind {kind!r}")
+    if workers is not None and workers <= 1:
+        return SerialExecutor()
+    if kind == "serial" or (workers is None and kind == "auto"):
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(workers)
+    return ProcessExecutor(workers)

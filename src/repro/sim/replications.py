@@ -11,11 +11,15 @@ are i.i.d. by construction, so the normality assumption is clean).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro._validation import check_positive_int
 from repro.core.small_cloud import FederationScenario
 from repro.sim.federation import FederationSimulator
 from repro.sim.stats import BatchMeans, ConfidenceInterval
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import Executor
 
 #: Metric fields reduced across replications.
 _METRICS = (
@@ -46,12 +50,20 @@ class ReplicatedMetrics:
     mean_queue_length: ConfidenceInterval
 
 
+def _run_replication(task: tuple[FederationScenario, int, float, float]) -> list:
+    """One replication as a pure, process-pool-friendly function."""
+    scenario, seed, horizon, warmup = task
+    return FederationSimulator(scenario, seed=seed).run(horizon=horizon, warmup=warmup)
+
+
 def replicate(
     scenario: FederationScenario,
     replications: int = 10,
     horizon: float = 20_000.0,
     warmup: float = 1_000.0,
     base_seed: int = 0,
+    executor: "Executor | None" = None,
+    seed_scheme: str = "offset",
 ) -> list[ReplicatedMetrics]:
     """Run independent replications and reduce to confidence intervals.
 
@@ -61,19 +73,32 @@ def replicate(
             meaningful intervals).
         horizon: simulated time per replication.
         warmup: warmup per replication.
-        base_seed: replication r uses seed ``base_seed + r``.
+        base_seed: master seed; per-replication seeds derive from it
+            under ``seed_scheme``.
+        executor: optional executor running the replications in parallel
+            (each replication's seed is fixed up front, so parallel runs
+            reduce to exactly the serial estimates).
+        seed_scheme: ``'offset'`` (historical ``base_seed + r``) or
+            ``'spawn'`` (independent derived seeds) — see
+            :func:`repro.runtime.seeding.replication_seeds`.
 
     Returns:
         One :class:`ReplicatedMetrics` per SC, in scenario order.
     """
+    from repro.runtime.seeding import replication_seeds
+
     replications = check_positive_int(replications, "replications")
     k = len(scenario)
     accumulators = [
         {metric: BatchMeans(min_batches=2) for metric in _METRICS} for _ in range(k)
     ]
-    for r in range(replications):
-        simulator = FederationSimulator(scenario, seed=base_seed + r)
-        results = simulator.run(horizon=horizon, warmup=warmup)
+    seeds = replication_seeds(base_seed, replications, scheme=seed_scheme)
+    tasks = [(scenario, seed, horizon, warmup) for seed in seeds]
+    if executor is not None and executor.workers > 1 and replications > 1:
+        all_results = executor.map(_run_replication, tasks)
+    else:
+        all_results = [_run_replication(task) for task in tasks]
+    for results in all_results:
         for i, metrics in enumerate(results):
             for metric in _METRICS:
                 accumulators[i][metric].add_batch(getattr(metrics, metric))

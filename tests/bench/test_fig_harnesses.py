@@ -4,6 +4,8 @@ import pytest
 
 from repro.bench import fig5, fig7, fig8
 
+pytestmark = pytest.mark.slow
+
 
 class TestFig5Harness:
     @pytest.fixture(scope="class")

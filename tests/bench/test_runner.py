@@ -4,6 +4,8 @@ import pytest
 
 from repro.bench import runner
 
+pytestmark = pytest.mark.slow
+
 
 class TestRunnerCli:
     def test_figures_registered(self):

@@ -12,6 +12,8 @@ from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.game.equilibrium import is_nash_equilibrium
 from repro.perf.pooled import PooledModel
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def base_scenario():

@@ -14,6 +14,8 @@ from repro.perf.detailed import DetailedModel
 from repro.perf.pooled import PooledModel
 from repro.perf.simulation import SimulationModel
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def scenario():

@@ -16,7 +16,6 @@ class CountingModel(PerformanceModel):
 
     def evaluate(self, scenario):
         self.calls += 1
-        k = len(scenario)
         return [
             PerformanceParams(
                 lent_mean=float(c.shared_vms) * 0.1,

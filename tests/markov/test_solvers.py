@@ -11,7 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as hyp
 
 from repro.exceptions import SolverError
-from repro.markov.birth_death import BirthDeathChain, mmc_chain
+from repro.markov.birth_death import mmc_chain
 from repro.markov.solvers import (
     steady_state,
     steady_state_direct,

@@ -6,6 +6,8 @@ from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.exceptions import ConfigurationError
 from repro.perf.simulation import SimulationModel
 
+pytestmark = pytest.mark.slow
+
 
 def scenario():
     return FederationScenario((

@@ -1,6 +1,5 @@
 """Property-based tests: game-dynamics invariants under the stub model."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as hyp
 

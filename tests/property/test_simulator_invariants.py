@@ -7,6 +7,8 @@ from hypothesis import strategies as hyp
 from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.sim.federation import FederationSimulator
 
+pytestmark = pytest.mark.slow
+
 cloud_strategy = hyp.builds(
     lambda vms, load, share_fraction: (vms, load, share_fraction),
     vms=hyp.integers(min_value=2, max_value=12),

@@ -5,7 +5,6 @@ simulator — lives in tests/integration/test_models_agree.py; these tests
 cover the model's internal structure and limiting behaviour.
 """
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError

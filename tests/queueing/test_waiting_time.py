@@ -10,6 +10,8 @@ from repro.queueing.waiting_time import (
 )
 from repro.sim.federation import FederationSimulator
 
+pytestmark = pytest.mark.slow
+
 
 class TestWaitCdf:
     def test_erlang_one_is_exponential(self):

@@ -1,0 +1,91 @@
+"""Tests for the executor abstraction."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+ALL_EXECUTORS = [SerialExecutor(), ThreadExecutor(2), ProcessExecutor(2)]
+
+
+class TestMapContract:
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: type(e).__name__)
+    def test_map_preserves_input_order(self, executor):
+        items = list(range(20))
+        assert executor.map(_square, items) == [x * x for x in items]
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: type(e).__name__)
+    def test_map_empty(self, executor):
+        assert executor.map(_square, []) == []
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: type(e).__name__)
+    def test_map_unordered_covers_every_index(self, executor):
+        items = [3, 1, 4, 1, 5]
+        pairs = sorted(executor.map_unordered(_square, items))
+        assert pairs == [(i, x * x) for i, x in enumerate(items)]
+
+    def test_executors_agree(self):
+        items = list(range(7))
+        serial = SerialExecutor().map(_square, items)
+        assert ThreadExecutor(3).map(_square, items) == serial
+        assert ProcessExecutor(3).map(_square, items) == serial
+
+
+class TestFallbacks:
+    def test_process_executor_falls_back_on_closures(self):
+        captured = []
+
+        def closure(x):
+            captured.append(x)
+            return -x
+
+        result = ProcessExecutor(2).map(closure, [1, 2, 3])
+        assert result == [-1, -2, -3]
+        # Serial in-parent fallback: the closure's side effects are visible.
+        assert captured == [1, 2, 3]
+
+    def test_process_executor_falls_back_on_unpicklable_items(self):
+        lock_like = [lambda: None]
+        result = ProcessExecutor(2).map(lambda f: 1, lock_like)
+        assert result == [1]
+
+    def test_single_item_runs_inline(self):
+        assert ProcessExecutor(4).map(_square, [7]) == [49]
+        assert ThreadExecutor(4).map(_square, [7]) == [49]
+
+
+class TestMakeExecutor:
+    def test_one_worker_is_serial(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(0), SerialExecutor)
+        assert isinstance(make_executor(None), SerialExecutor)
+
+    def test_kinds(self):
+        assert isinstance(make_executor(4, "thread"), ThreadExecutor)
+        assert isinstance(make_executor(4, "process"), ProcessExecutor)
+        assert isinstance(make_executor(4, "auto"), ProcessExecutor)
+        assert isinstance(make_executor(4, "serial"), SerialExecutor)
+
+    def test_workers_recorded(self):
+        assert make_executor(4, "thread").workers == 4
+        assert make_executor(None, "thread").workers >= 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_executor(4, "fiber")
+
+    def test_chunksize_positive(self):
+        executor = ThreadExecutor(4)
+        assert executor.chunksize(0) == 1
+        assert executor.chunksize(1) == 1
+        assert executor.chunksize(1000) >= 1

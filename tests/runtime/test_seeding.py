@@ -1,0 +1,71 @@
+"""Tests for deterministic per-task seed derivation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.seeding import (
+    derive_seed,
+    derive_seeds,
+    derive_streams,
+    replication_seeds,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, 3) == derive_seed(42, 3)
+        assert derive_seed(42, "panel-a") == derive_seed(42, "panel-a")
+
+    def test_distinct_tasks_distinct_seeds(self):
+        seeds = {derive_seed(0, i) for i in range(200)}
+        assert len(seeds) == 200
+
+    def test_distinct_masters_distinct_seeds(self):
+        assert derive_seed(0, 5) != derive_seed(1, 5)
+
+    def test_string_and_int_tokens_independent(self):
+        # "3" must not collide with 3.
+        assert derive_seed(7, 3) != derive_seed(7, "3")
+
+    def test_range(self):
+        for i in range(50):
+            seed = derive_seed(123, i)
+            assert 0 <= seed < 2**63
+
+    def test_rejects_bad_tokens(self):
+        with pytest.raises(ConfigurationError):
+            derive_seed(0, 1.5)
+        with pytest.raises(ConfigurationError):
+            derive_seed(0, True)
+        with pytest.raises(Exception):
+            derive_seed(0, -1)
+
+    def test_derive_seeds_matches_elementwise(self):
+        assert derive_seeds(9, 4) == [derive_seed(9, i) for i in range(4)]
+
+
+class TestDeriveStreams:
+    def test_streams_are_independent(self):
+        streams = derive_streams(11, 3)
+        draws = [s.stream("arrival").random() for s in streams]
+        assert len(set(draws)) == 3
+
+    def test_streams_reproducible(self):
+        first = derive_streams(11, 2)
+        second = derive_streams(11, 2)
+        for a, b in zip(first, second):
+            assert a.stream("arrival").random() == b.stream("arrival").random()
+
+
+class TestReplicationSeeds:
+    def test_offset_matches_historical_convention(self):
+        assert replication_seeds(100, 5) == [100, 101, 102, 103, 104]
+
+    def test_spawn_scheme_derives(self):
+        spawned = replication_seeds(100, 5, scheme="spawn")
+        assert spawned == derive_seeds(100, 5)
+        assert len(set(spawned)) == 5
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replication_seeds(0, 2, scheme="sequential")

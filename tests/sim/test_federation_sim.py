@@ -8,6 +8,8 @@ from repro.sim.federation import FederationSimulator
 from repro.sim.trace import TraceRecorder
 from repro.workload.service import ErlangService
 
+pytestmark = pytest.mark.slow
+
 
 def scenario_2sc(share_a=5, share_b=3, rate_a=7.0, rate_b=8.0):
     return FederationScenario((

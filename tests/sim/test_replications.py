@@ -5,6 +5,8 @@ import pytest
 from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.sim.replications import replicate
 
+pytestmark = pytest.mark.slow
+
 
 def scenario():
     return FederationScenario((

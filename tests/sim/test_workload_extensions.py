@@ -9,6 +9,8 @@ from repro.sim.federation import FederationSimulator
 from repro.workload.arrivals import MMPPProcess, PoissonProcess
 from repro.workload.phase_type import fit_two_moment
 
+pytestmark = pytest.mark.slow
+
 
 def scenario():
     return FederationScenario((
