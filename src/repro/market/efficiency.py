@@ -12,14 +12,14 @@ from __future__ import annotations
 
 import itertools
 import math
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 from repro._validation import check_positive_int
 from repro.exceptions import GameError
 from repro.market.evaluator import UtilityEvaluator
 
 
-def _profiles(spaces: Sequence[Sequence[int]]) -> itertools.product:
+def _profiles(spaces: Sequence[Sequence[int]]) -> Iterator[tuple[int, ...]]:
     return itertools.product(*spaces)
 
 

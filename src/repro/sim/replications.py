@@ -20,6 +20,7 @@ from repro.sim.stats import BatchMeans, ConfidenceInterval
 
 if TYPE_CHECKING:
     from repro.runtime.executor import Executor
+    from repro.sim.federation import SimulatedMetrics
 
 #: Metric fields reduced across replications.
 _METRICS = (
@@ -50,7 +51,9 @@ class ReplicatedMetrics:
     mean_queue_length: ConfidenceInterval
 
 
-def _run_replication(task: tuple[FederationScenario, int, float, float]) -> list:
+def _run_replication(
+    task: tuple[FederationScenario, int, float, float]
+) -> list[SimulatedMetrics]:
     """One replication as a pure, process-pool-friendly function."""
     scenario, seed, horizon, warmup = task
     return FederationSimulator(scenario, seed=seed).run(horizon=horizon, warmup=warmup)
