@@ -28,17 +28,23 @@ Package map (details in DESIGN.md):
   substrates.
 """
 
+from typing import Any
+
 from repro.core.small_cloud import FederationScenario, SmallCloud
 
 __version__ = "1.0.0"
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     # Heavier stacks load lazily so `import repro` stays cheap.
     if name in {"SCShare", "SCShareOutcome"}:
         from repro.core import framework
 
         return getattr(framework, name)
+    if name in {"InvariantViolation", "sanitize_enable", "sanitize_enabled"}:
+        import repro.analysis as analysis
+
+        return getattr(analysis, name)
     if name in {
         "ApproximateModel",
         "DetailedModel",
@@ -61,6 +67,7 @@ __all__ = [
     "DetailedModel",
     "FederationScenario",
     "FederationSimulator",
+    "InvariantViolation",
     "PerformanceParams",
     "PooledModel",
     "SCShare",
@@ -68,4 +75,6 @@ __all__ = [
     "SimulationModel",
     "SmallCloud",
     "__version__",
+    "sanitize_enable",
+    "sanitize_enabled",
 ]

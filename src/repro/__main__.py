@@ -22,10 +22,19 @@ import argparse
 import json
 import sys
 
+from typing import TYPE_CHECKING
+
+from repro.analysis.sanitize import sanitize_enable
 from repro.core.serialization import load_scenario, outcome_to_dict
 
+if TYPE_CHECKING:
+    from repro.core.small_cloud import FederationScenario
+    from repro.perf.base import PerformanceModel
+    from repro.runtime.cache import DiskParamsCache
+    from repro.runtime.executor import Executor
 
-def _build_executor(args: argparse.Namespace):
+
+def _build_executor(args: argparse.Namespace) -> "Executor | None":
     from repro.runtime.executor import make_executor
 
     return make_executor(
@@ -33,7 +42,7 @@ def _build_executor(args: argparse.Namespace):
     )
 
 
-def _build_model(name: str, executor=None):
+def _build_model(name: str, executor: "Executor | None" = None) -> "PerformanceModel":
     if name == "pooled":
         from repro.perf.pooled import PooledModel
 
@@ -45,7 +54,11 @@ def _build_model(name: str, executor=None):
     raise SystemExit(f"unknown model {name!r}")
 
 
-def _build_params_cache(args: argparse.Namespace, scenario, model):
+def _build_params_cache(
+    args: argparse.Namespace,
+    scenario: "FederationScenario",
+    model: "PerformanceModel",
+) -> "DiskParamsCache | None":
     if getattr(args, "cache_dir", None) is None:
         return None
     from repro.runtime.cache import DiskParamsCache
@@ -174,6 +187,12 @@ def _add_runtime_arguments(command: argparse.ArgumentParser) -> None:
         default=None,
         help="directory for the persistent model-solution cache",
     )
+    command.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime stochastic sanitizer "
+        "(equivalent to REPRO_SANITIZE=1)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -204,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("scenario")
     simulate.add_argument("--horizon", type=float, default=20_000.0)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime stochastic sanitizer "
+        "(equivalent to REPRO_SANITIZE=1)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
     return parser
 
@@ -212,6 +237,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "sanitize", False):
+        sanitize_enable()
     return args.func(args)
 
 

@@ -17,6 +17,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.analysis.sanitize import sanitize_enable
 from repro.bench import fig5, fig6, fig7, fig8
 from repro.runtime.executor import Executor, make_executor
 
@@ -136,7 +137,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write each figure's table to DIR/<figure>.txt",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime stochastic sanitizer "
+        "(equivalent to REPRO_SANITIZE=1)",
+    )
     args = parser.parse_args(argv)
+    if args.sanitize:
+        sanitize_enable()
     executor = make_executor(args.workers, kind=args.parallel_backend)
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     output_dir = Path(args.output) if args.output else None

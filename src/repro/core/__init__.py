@@ -8,11 +8,13 @@
   model and the market game.
 """
 
+from typing import Any
+
 from repro.core.results import SharingDecisionResult
 from repro.core.small_cloud import FederationScenario, SmallCloud
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     # SCShare pulls in the game/market stack; import it lazily so the
     # lightweight configuration types stay import-cheap for the simulator
     # and the performance models.

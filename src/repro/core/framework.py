@@ -16,6 +16,7 @@ from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
 from repro._validation import check_in_range
+from repro.analysis import sanitize
 from repro.core.results import SharingDecisionResult
 from repro.core.small_cloud import FederationScenario
 from repro.game.best_response import BestResponder
@@ -99,7 +100,7 @@ class SCShare:
         max_rounds: int = 200,
         params_cache: ParamsCache | None = None,
         executor: "Executor | None" = None,
-    ):
+    ) -> None:
         self.scenario = scenario
         self.model = model if model is not None else PooledModel()
         self.gamma = check_in_range(gamma, "gamma", 0.0, 1.0)
@@ -143,9 +144,11 @@ class SCShare:
             converged, key=lambda r: self.evaluator.welfare(r.equilibrium, alpha)
         )
         achieved = self.evaluator.welfare(best.equilibrium, alpha)
+        sanitize.check_finite(achieved, label="equilibrium welfare")
         optimum_profile, optimum_welfare = social_optimum(
             self.evaluator, alpha, self.strategy_spaces, method=optimum_method
         )
+        sanitize.check_finite(optimum_welfare, label="optimum welfare")
         details = self._details(best.equilibrium)
         return SCShareOutcome(
             equilibrium=best.equilibrium,

@@ -10,10 +10,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.exceptions import ConfigurationError
 from repro.perf.params import PerformanceParams
+
+if TYPE_CHECKING:
+    from repro.core.framework import SCShareOutcome
 
 _CLOUD_FIELDS = (
     "name",
@@ -27,7 +31,7 @@ _CLOUD_FIELDS = (
 )
 
 
-def cloud_to_dict(cloud: SmallCloud) -> dict:
+def cloud_to_dict(cloud: SmallCloud) -> dict[str, Any]:
     """Serialize one SC to a plain dictionary."""
     return {field: getattr(cloud, field) for field in _CLOUD_FIELDS}
 
@@ -44,7 +48,7 @@ def cloud_from_dict(data: dict) -> SmallCloud:
     return SmallCloud(**data)
 
 
-def scenario_to_dict(scenario: FederationScenario) -> dict:
+def scenario_to_dict(scenario: FederationScenario) -> dict[str, Any]:
     """Serialize a federation scenario."""
     return {"clouds": [cloud_to_dict(c) for c in scenario]}
 
@@ -71,7 +75,7 @@ def load_scenario(path: str | Path) -> FederationScenario:
 _PARAMS_FIELDS = ("lent_mean", "borrowed_mean", "forward_rate", "utilization")
 
 
-def params_to_dict(params: PerformanceParams) -> dict:
+def params_to_dict(params: PerformanceParams) -> dict[str, Any]:
     """Serialize one :class:`PerformanceParams` to a plain dictionary."""
     return {field: getattr(params, field) for field in _PARAMS_FIELDS}
 
@@ -87,7 +91,7 @@ def params_from_dict(data: dict) -> PerformanceParams:
     return PerformanceParams(**{field: float(data[field]) for field in _PARAMS_FIELDS})
 
 
-def outcome_to_dict(outcome) -> dict:
+def outcome_to_dict(outcome: "SCShareOutcome") -> dict[str, Any]:
     """Serialize an :class:`~repro.core.framework.SCShareOutcome` for logging."""
     return {
         "equilibrium": list(outcome.equilibrium),

@@ -16,7 +16,7 @@ toward sharing less.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from typing import TYPE_CHECKING
 
 from repro.exceptions import GameError
@@ -53,7 +53,7 @@ class BestResponder:
         method: str = "exhaustive",
         tabu: TabuSearch | None = None,
         executor: "Executor | None" = None,
-    ):
+    ) -> None:
         if method not in ("exhaustive", "tabu"):
             raise GameError(f"unknown best-response method {method!r}")
         if len(strategy_spaces) != len(evaluator.scenario):
@@ -93,7 +93,9 @@ class BestResponder:
                 return current, objective(current)
         return best, best_obj
 
-    def _exhaustive(self, objective, index: int, current: int) -> tuple[int, float]:
+    def _exhaustive(
+        self, objective: Callable[[int], float], index: int, current: int
+    ) -> tuple[int, float]:
         candidates = self.strategy_spaces[index]
         if self.executor is not None and self.executor.workers > 1 and len(candidates) > 1:
             values = self.executor.map(objective, candidates)

@@ -27,7 +27,7 @@ class SequentialGame:
         max_rounds: full sweeps over all SCs before giving up.
     """
 
-    def __init__(self, responder: BestResponder, max_rounds: int = 200):
+    def __init__(self, responder: BestResponder, max_rounds: int = 200) -> None:
         self.responder = responder
         self.max_rounds = check_positive_int(max_rounds, "max_rounds")
 

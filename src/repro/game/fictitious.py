@@ -37,7 +37,7 @@ class FictitiousPlay:
         responder: BestResponder,
         max_rounds: int = 300,
         settle_rounds: int = 3,
-    ):
+    ) -> None:
         self.responder = responder
         self.max_rounds = check_positive_int(max_rounds, "max_rounds")
         self.settle_rounds = check_positive_int(settle_rounds, "settle_rounds")

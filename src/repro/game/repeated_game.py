@@ -67,7 +67,7 @@ class RepeatedGame:
         responder: BestResponder,
         max_rounds: int = 200,
         executor: "Executor | None" = None,
-    ):
+    ) -> None:
         self.responder = responder
         self.max_rounds = check_positive_int(max_rounds, "max_rounds")
         self.executor = executor

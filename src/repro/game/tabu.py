@@ -32,7 +32,7 @@ class TabuSearch:
         max_moves: iteration budget per :meth:`search` call.
     """
 
-    def __init__(self, distance: int = 2, tenure: int = 5, max_moves: int = 100):
+    def __init__(self, distance: int = 2, tenure: int = 5, max_moves: int = 100) -> None:
         self.distance = check_positive_int(distance, "distance")
         self.tenure = check_positive_int(tenure, "tenure")
         self.max_moves = check_positive_int(max_moves, "max_moves")

@@ -15,6 +15,7 @@ import threading
 from collections.abc import MutableMapping, Sequence
 
 from repro._validation import check_in_range
+from repro.analysis import sanitize
 from repro.core.small_cloud import FederationScenario
 from repro.market.cost import BaselineMetrics, baseline_metrics, operating_cost
 from repro.market.fairness import welfare
@@ -48,7 +49,7 @@ class UtilityEvaluator:
         model: PerformanceModel,
         gamma: float = 0.0,
         params_cache: ParamsCache | None = None,
-    ):
+    ) -> None:
         self.scenario = scenario
         self.model = model
         self.gamma = check_in_range(gamma, "gamma", 0.0, 1.0)
@@ -93,6 +94,9 @@ class UtilityEvaluator:
                 continue  # the owner has published (or failed); re-check
             try:
                 params = self.model.evaluate(self.scenario.with_sharing(key))
+                if sanitize.sanitize_enabled():
+                    for i, entry in enumerate(params):
+                        sanitize.check_params(entry, label=f"params[{key}][{i}]")
                 with self._lock:
                     self._cache[key] = params
                     self.evaluations += 1
@@ -124,7 +128,9 @@ class UtilityEvaluator:
 
     def utilities(self, sharing: Sequence[int]) -> list[float]:
         """All SCs' utilities under ``sharing``."""
-        return [self.utility(sharing, i) for i in range(len(self.scenario))]
+        values = [self.utility(sharing, i) for i in range(len(self.scenario))]
+        sanitize.check_utilities(values, label=f"utilities[{tuple(sharing)}]")
+        return values
 
     def welfare(self, sharing: Sequence[int], alpha: float) -> float:
         """The Eq. (3) welfare of ``sharing`` at fairness level ``alpha``."""

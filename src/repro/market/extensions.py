@@ -19,11 +19,18 @@ of the standard evaluator.
 
 from __future__ import annotations
 
-from repro._validation import check_non_negative
-from repro.core.small_cloud import SmallCloud
+from collections.abc import Sequence
+from typing import Any, Callable
+
+from repro._validation import check_non_negative, require
+from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.market.cost import operating_cost
 from repro.market.evaluator import UtilityEvaluator
+from repro.perf.base import PerformanceModel
 from repro.perf.params import PerformanceParams
+
+#: An extension cost function: ``(cloud, params) -> cost``.
+CostFunction = Callable[[SmallCloud, PerformanceParams], float]
 
 
 class PowerAwareCost:
@@ -33,7 +40,7 @@ class PowerAwareCost:
         energy_price: cost per busy-VM-second of local electricity.
     """
 
-    def __init__(self, energy_price: float):
+    def __init__(self, energy_price: float) -> None:
         self.energy_price = check_non_negative(energy_price, "energy_price")
 
     def __call__(self, cloud: SmallCloud, params: PerformanceParams) -> float:
@@ -49,7 +56,7 @@ class TransferAwareCost:
             (borrowed VMs and public-cloud forwards both pay it).
     """
 
-    def __init__(self, transfer_price: float):
+    def __init__(self, transfer_price: float) -> None:
         self.transfer_price = check_non_negative(transfer_price, "transfer_price")
 
     def __call__(self, cloud: SmallCloud, params: PerformanceParams) -> float:
@@ -70,7 +77,14 @@ class ExtendedUtilityEvaluator(UtilityEvaluator):
         **kwargs: forwarded to :class:`UtilityEvaluator`.
     """
 
-    def __init__(self, scenario, model, cost_function, **kwargs):
+    def __init__(
+        self,
+        scenario: FederationScenario,
+        model: PerformanceModel,
+        cost_function: CostFunction,
+        **kwargs: Any,
+    ) -> None:
+        require(callable(cost_function), "cost_function must be callable")
         super().__init__(scenario, model, **kwargs)
         self.cost_function = cost_function
         self._extended_baselines = [
@@ -88,12 +102,12 @@ class ExtendedUtilityEvaluator(UtilityEvaluator):
         )
         return self.cost_function(cloud, params)
 
-    def cost(self, sharing, index: int) -> float:
+    def cost(self, sharing: Sequence[int], index: int) -> float:
         """Extended cost of SC ``index`` under ``sharing``."""
         cloud = self.scenario[index].with_shared(int(sharing[index]))
         return self.cost_function(cloud, self.params(sharing)[index])
 
-    def utility(self, sharing, index: int) -> float:
+    def utility(self, sharing: Sequence[int], index: int) -> float:
         """Eq. (2) utility against the consistently extended baseline."""
         from repro.market.utility import utility as utility_fn
 

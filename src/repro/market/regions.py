@@ -11,9 +11,14 @@ federation stops forming.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.bench.fig7 import Fig7Row
 
 
 @dataclass(frozen=True)
@@ -50,7 +55,7 @@ class RegionReport:
         raise ConfigurationError(f"no region for objective {objective!r}")
 
 
-def analyze_regions(rows, tolerance: float = 0.05) -> RegionReport:
+def analyze_regions(rows: Sequence["Fig7Row"], tolerance: float = 0.05) -> RegionReport:
     """Reduce Fig. 7 sweep rows to price-region recommendations.
 
     Args:

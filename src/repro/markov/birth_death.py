@@ -14,7 +14,7 @@ ground truth for the sparse CTMC machinery in tests.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -34,7 +34,7 @@ class BirthDeathChain:
             for k in ``0 .. n-1`` (length n).
     """
 
-    def __init__(self, birth_rates: Sequence[float], death_rates: Sequence[float]):
+    def __init__(self, birth_rates: Sequence[float], death_rates: Sequence[float]) -> None:
         births = np.asarray(birth_rates, dtype=float)
         deaths = np.asarray(death_rates, dtype=float)
         if births.ndim != 1 or deaths.ndim != 1:
@@ -72,7 +72,7 @@ class BirthDeathChain:
         """Materialize the chain as a sparse :class:`CTMC` (for cross-checks)."""
         space = StateSpace(range(self.n_levels))
 
-        def triples():
+        def triples() -> Iterator[tuple[int, int, float]]:
             for k, rate in enumerate(self.birth_rates):
                 if rate > 0.0:
                     yield k, k + 1, rate

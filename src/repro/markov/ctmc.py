@@ -13,6 +13,7 @@ from collections.abc import Callable, Iterable
 import numpy as np
 import scipy.sparse as sp
 
+from repro.analysis import sanitize
 from repro.exceptions import ConfigurationError, StateSpaceError
 from repro.markov.state_space import State, StateSpace
 
@@ -27,7 +28,7 @@ class CTMC:
         generator: the sparse CSR infinitesimal generator ``Q``.
     """
 
-    def __init__(self, space: StateSpace, generator: sp.spmatrix):
+    def __init__(self, space: StateSpace, generator: sp.spmatrix) -> None:
         n = len(space)
         if generator.shape != (n, n):
             raise ConfigurationError(
@@ -36,6 +37,7 @@ class CTMC:
         self.space = space
         self.generator = sp.csr_matrix(generator)
         self._validate()
+        sanitize.check_generator(self.generator, label=f"CTMC[{n} states]")
 
     def _validate(self) -> None:
         q = self.generator
@@ -120,7 +122,9 @@ class CTMC:
         """
         from repro.markov.solvers import steady_state
 
-        return steady_state(self.generator, method=method)
+        pi = steady_state(self.generator, method=method)
+        sanitize.check_distribution(pi, label=f"steady-state[{method}]")
+        return pi
 
     def expected(self, values: np.ndarray, distribution: np.ndarray) -> float:
         """Return ``E[values]`` under ``distribution`` (convenience)."""

@@ -22,7 +22,7 @@ class DTMC:
         matrix: the sparse CSR row-stochastic transition matrix.
     """
 
-    def __init__(self, space: StateSpace, matrix: sp.spmatrix):
+    def __init__(self, space: StateSpace, matrix: sp.spmatrix) -> None:
         n = len(space)
         if matrix.shape != (n, n):
             raise ConfigurationError(

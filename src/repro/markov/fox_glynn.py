@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._validation import check_non_negative, check_probability
+from repro.analysis import sanitize
 from repro.exceptions import TruncationError
 
 
@@ -131,6 +132,7 @@ def fox_glynn(rate: float, epsilon: float = 1e-12) -> FoxGlynnWeights:
     # Renormalize so downstream mixtures are proper distributions; the
     # discarded tail is below epsilon by construction.
     weights = weights / total
+    sanitize.check_weights(weights, label=f"fox-glynn[rate={rate:g}]")
     return FoxGlynnWeights(left=left, right=right, weights=weights, total=total)
 
 

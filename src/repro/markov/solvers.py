@@ -21,6 +21,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.analysis import sanitize
 from repro.exceptions import ConvergenceError, SolverError
 
 
@@ -74,6 +75,7 @@ def steady_state_direct(q: sp.spmatrix) -> np.ndarray:
     pi = np.concatenate([[1.0], tail])
     pi = _clean(pi)
     _check_residual(q, pi)
+    sanitize.check_distribution(pi, label="steady-state[direct]")
     return pi
 
 
@@ -103,6 +105,7 @@ def steady_state_gmres(
         raise ConvergenceError(f"GMRES did not converge (info={info})")
     pi = _clean(pi)
     _check_residual(q, pi, tol=1e-6)
+    sanitize.check_distribution(pi, label="steady-state[gmres]")
     return pi
 
 
@@ -137,6 +140,7 @@ def steady_state_power(
     p = sp.eye(q.shape[0], format="csr") + q.multiply(1.0 / gamma)
     pi = stationary_power(sp.csr_matrix(p), tol=tol, max_iter=max_iter)
     _check_residual(q, pi, tol=1e-6)
+    sanitize.check_distribution(pi, label="steady-state[power]")
     return pi
 
 

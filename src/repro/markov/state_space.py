@@ -30,7 +30,7 @@ class StateSpace:
 
     __slots__ = ("_states", "_index")
 
-    def __init__(self, states: Iterable[State]):
+    def __init__(self, states: Iterable[State]) -> None:
         self._states: tuple[State, ...] = tuple(states)
         self._index: dict[State, int] = {s: i for i, s in enumerate(self._states)}
         if len(self._index) != len(self._states):

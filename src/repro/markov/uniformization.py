@@ -17,6 +17,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro._validation import check_non_negative, check_positive
+from repro.analysis import sanitize
 from repro.exceptions import ConfigurationError
 from repro.markov.ctmc import CTMC
 from repro.markov.dtmc import DTMC
@@ -50,6 +51,7 @@ def uniformize(ctmc: CTMC, gamma: float | None = None) -> tuple[DTMC, float]:
         p.data = np.clip(p.data, 0.0, None)
         row_sums = np.asarray(p.sum(axis=1)).ravel()
         p = sp.diags(1.0 / row_sums) @ p
+    sanitize.check_stochastic_matrix(p, label=f"uniformized[gamma={gamma:g}]")
     return DTMC(ctmc.space, p), gamma
 
 
@@ -101,7 +103,9 @@ def transient_distribution(
     total = result.sum()
     if total <= 0.0:  # pragma: no cover - defensive
         raise ConfigurationError("transient distribution lost all mass")
-    return result / total
+    result = result / total
+    sanitize.check_distribution(result, label=f"transient[t={t:g}]")
+    return result
 
 
 def transient_matrix(
@@ -131,4 +135,6 @@ def transient_matrix(
         result += w * power
         power = power @ p_dense
     row_sums = result.sum(axis=1, keepdims=True)
-    return result / np.clip(row_sums, 1e-300, None)
+    result = result / np.clip(row_sums, 1e-300, None)
+    sanitize.check_distribution_rows(result, label=f"transient-matrix[t={t:g}]")
+    return result

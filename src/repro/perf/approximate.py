@@ -68,7 +68,7 @@ class _StateIndexer:
 
     __slots__ = ("shares", "pool", "_tri_base", "_block")
 
-    def __init__(self, q_max: int, shares: int, pool: int):
+    def __init__(self, q_max: int, shares: int, pool: int) -> None:
         self.shares = shares
         self.pool = pool
         # _tri_base[o] = first index of row o inside the (o, a) triangle.
@@ -131,7 +131,7 @@ class ApproximateModel(PerformanceModel):
         outcome_threshold: float = 1e-7,
         max_outcomes: int = 48,
         executor: "Executor | None" = None,
-    ):
+    ) -> None:
         self.tail_epsilon = check_positive(tail_epsilon, "tail_epsilon")
         self.transient_epsilon = check_positive(transient_epsilon, "transient_epsilon")
         self.outcome_threshold = check_positive(outcome_threshold, "outcome_threshold")
@@ -297,9 +297,9 @@ class ApproximateModel(PerformanceModel):
                 return []
             return [(al, ar, bk, p / total) for al, ar, bk, p in kept]
 
-        outcome_cache: dict[tuple[float, int], list] = {}
+        outcome_cache: dict[tuple[float, int], list[tuple[int, int, bool, float]]] = {}
 
-        def outcomes_for(tau: float, level: int):
+        def outcomes_for(tau: float, level: int) -> list[tuple[int, int, bool, float]]:
             key = (tau, level)
             if key not in outcome_cache:
                 outcome_cache[key] = significant(tau, level)

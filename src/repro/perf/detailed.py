@@ -17,6 +17,7 @@ the empty state), which shrinks the space considerably.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -55,7 +56,7 @@ class DetailedModel(PerformanceModel):
         max_states: safety bound on the reachable state space.
     """
 
-    def __init__(self, tail_epsilon: float = 1e-9, max_states: int = 2_000_000):
+    def __init__(self, tail_epsilon: float = 1e-9, max_states: int = 2_000_000) -> None:
         self.tail_epsilon = check_positive(tail_epsilon, "tail_epsilon")
         self.max_states = max_states
 
@@ -102,7 +103,9 @@ class DetailedModel(PerformanceModel):
     # transition semantics
     # ------------------------------------------------------------------ #
 
-    def _successors(self, scenario: FederationScenario, q_max: tuple[int, ...]):
+    def _successors(
+        self, scenario: FederationScenario, q_max: tuple[int, ...]
+    ) -> Callable[[tuple], list[tuple[tuple, float]]]:
         k = len(scenario)
         pairs = self._pair_order(k)
         pair_index = {pair: idx for idx, pair in enumerate(pairs)}
@@ -114,7 +117,7 @@ class DetailedModel(PerformanceModel):
             idx = k + pair_index[(owner, host)]
             return state[:idx] + (state[idx] + delta,) + state[idx + 1 :]
 
-        def successors(state: tuple):
+        def successors(state: tuple) -> list[tuple[tuple, float]]:
             derived = self._derive(scenario, state)
             transitions: list[tuple[tuple, float]] = []
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.analysis import sanitize
 from repro.exceptions import SolverError
 from repro.markov.ctmc import CTMC
 from repro.markov.fox_glynn import fox_glynn
@@ -186,6 +187,7 @@ def conditional_initials(
     for row_idx, c in enumerate(levels):
         nearest = int(available[np.abs(available - c).argmin()])
         result[row_idx] = populated[nearest]
+    sanitize.check_distribution_rows(result, label="conditional-initials")
     return result
 
 
@@ -230,7 +232,10 @@ def transient_outcomes(
                 acc += window.weights[k - window.left] * projected
         if k < max_step:
             current = current @ matrix
-    for acc in accumulators:
+    for horizon, acc in zip(horizons, accumulators):
         row_sums = acc.sum(axis=1, keepdims=True)
         acc /= np.clip(row_sums, 1e-300, None)
+        sanitize.check_distribution_rows(
+            acc, label=f"interaction-outcomes[tau={horizon:g}]"
+        )
     return accumulators

@@ -76,7 +76,7 @@ def _fractional_prob_no_forward(
 class _CloudChain:
     """The per-SC (q, o) chain solved inside each fixed-point sweep."""
 
-    def __init__(self, cloud: SmallCloud, pool_size: int, tail_epsilon: float):
+    def __init__(self, cloud: SmallCloud, pool_size: int, tail_epsilon: float) -> None:
         self.cloud = cloud
         self.pool_size = pool_size
         capacity = cloud.vms + pool_size
@@ -220,7 +220,7 @@ class PooledModel(PerformanceModel):
         tolerance: float = 1e-5,
         max_iterations: int = 300,
         tail_epsilon: float = 1e-9,
-    ):
+    ) -> None:
         self.damping = check_in_range(damping, "damping", 1e-6, 1.0)
         self.tolerance = check_positive(tolerance, "tolerance")
         self.max_iterations = check_positive_int(max_iterations, "max_iterations")

@@ -27,7 +27,7 @@ class SimulationModel(PerformanceModel):
             numbers across sharing decisions).
     """
 
-    def __init__(self, horizon: float = 50_000.0, warmup: float = 2_000.0, seed: int = 0):
+    def __init__(self, horizon: float = 50_000.0, warmup: float = 2_000.0, seed: int = 0) -> None:
         self.horizon = check_positive(horizon, "horizon")
         self.warmup = check_non_negative(warmup, "warmup")
         if self.warmup >= self.horizon:

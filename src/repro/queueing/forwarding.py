@@ -95,7 +95,7 @@ class NoSharingModel:
         service_rate: float,
         sla_bound: float,
         tail_epsilon: float = _TAIL_EPSILON,
-    ):
+    ) -> None:
         self.servers = check_positive_int(servers, "servers")
         self.arrival_rate = check_positive(arrival_rate, "arrival_rate")
         self.service_rate = check_positive(service_rate, "service_rate")

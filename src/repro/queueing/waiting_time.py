@@ -26,7 +26,7 @@ from functools import cached_property
 
 import numpy as np
 
-from repro._validation import check_non_negative
+from repro._validation import check_non_negative, require
 from repro.markov.fox_glynn import poisson_cdf
 from repro.queueing.forwarding import NoSharingModel
 
@@ -79,7 +79,11 @@ class WaitingTimeAnalysis:
         model: a solved :class:`~repro.queueing.forwarding.NoSharingModel`.
     """
 
-    def __init__(self, model: NoSharingModel):
+    def __init__(self, model: NoSharingModel) -> None:
+        require(
+            isinstance(model, NoSharingModel),
+            f"model must be a solved NoSharingModel, got {type(model).__name__}",
+        )
         self.model = model
 
     @cached_property

@@ -29,16 +29,20 @@ import hashlib
 import json
 import os
 import tempfile
-from collections.abc import Iterator, MutableMapping, Sequence
+from collections.abc import Iterator, Mapping, MutableMapping, Sequence
 from pathlib import Path
+from typing import Any
 
+from repro._validation import require
+from repro.analysis import sanitize
 from repro.core.serialization import params_from_dict, params_to_dict
 from repro.core.small_cloud import FederationScenario
 from repro.perf.base import PerformanceModel
 from repro.perf.params import PerformanceParams
 
 #: Bump when the payload layout changes; older entries become misses.
-CACHE_FORMAT_VERSION = 1
+#: Version 2 added the mandatory ``digest`` content hash.
+CACHE_FORMAT_VERSION = 2
 
 #: Per-SC fields that determine performance (prices and names do not).
 _PERF_FIELDS = ("vms", "arrival_rate", "service_rate", "sla_bound")
@@ -83,24 +87,40 @@ def scenario_fingerprint(
     return digest
 
 
+def payload_digest(payload: Mapping[str, Any]) -> str:
+    """Content hash of a cache payload (the ``digest`` field excluded)."""
+    content = {name: value for name, value in payload.items() if name != "digest"}
+    return hashlib.sha256(
+        json.dumps(content, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
 class DiskCache:
     """Low-level atomic JSON store: hash key -> payload dictionary.
 
     Holds only its root path, so it pickles cheaply into process-pool
     task payloads; every worker writing into the same directory is safe
     because entries land via ``os.replace``.
+
+    Every payload carries a ``digest`` content hash computed at store
+    time.  ``load`` recomputes it and *rejects* payloads whose schema
+    version or digest mismatches — a tampered or bit-rotted entry that
+    still parses as JSON is a miss (and an
+    :class:`~repro.analysis.sanitize.InvariantViolation` when the
+    sanitizer is active), never silently deserialized.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path) -> None:
+        require(str(root).strip() != "", "cache root must be a non-empty path")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
-    def load(self, key: str) -> dict | None:
-        """Payload stored under ``key``, or ``None`` (corrupt files are
-        discarded so the next solve rewrites them)."""
+    def load(self, key: str) -> dict[str, Any] | None:
+        """Payload stored under ``key``, or ``None`` (corrupt, stale, or
+        tampered files are discarded so the next solve rewrites them)."""
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
@@ -112,11 +132,23 @@ class DiskCache:
         if not isinstance(payload, dict) or payload.get("version") != CACHE_FORMAT_VERSION:
             self._discard(path)
             return None
+        stored = payload.get("digest")
+        expected = payload_digest(payload)
+        if stored != expected:
+            sanitize.check_cache_payload(
+                payload,
+                expected_digest=expected,
+                stored_digest=stored if isinstance(stored, str) else "<missing>",
+                label=f"disk-cache[{key}]",
+            )
+            self._discard(path)
+            return None
         return payload
 
-    def store(self, key: str, payload: dict) -> None:
-        """Atomically write ``payload`` under ``key``."""
+    def store(self, key: str, payload: dict[str, Any]) -> None:
+        """Atomically write ``payload`` under ``key`` with its digest."""
         payload = {"version": CACHE_FORMAT_VERSION, **payload}
+        payload["digest"] = payload_digest(payload)
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{key}.", suffix=".tmp", dir=self.root
         )
@@ -179,7 +211,15 @@ class DiskParamsCache(MutableMapping):
         root: str | Path,
         scenario: FederationScenario,
         model: PerformanceModel,
-    ):
+    ) -> None:
+        require(
+            isinstance(scenario, FederationScenario),
+            f"scenario must be a FederationScenario, got {type(scenario).__name__}",
+        )
+        require(
+            isinstance(model, PerformanceModel),
+            f"model must be a PerformanceModel, got {type(model).__name__}",
+        )
         self._store = DiskCache(root)
         self._scenario_key = scenario_fingerprint(scenario, include_sharing=False)
         self._model_key = model_fingerprint(model)
@@ -201,6 +241,14 @@ class DiskParamsCache(MutableMapping):
     def _normalize(self, key: Sequence[int]) -> tuple[int, ...]:
         return tuple(int(s) for s in key)
 
+    def _namespace_matches(self, payload: Mapping[str, Any], sharing: tuple[int, ...]) -> bool:
+        return (
+            payload.get("kind") == "params"
+            and payload.get("scenario") == self._scenario_key
+            and payload.get("model") == self._model_key
+            and payload.get("sharing") == list(sharing)
+        )
+
     def __getitem__(self, key: Sequence[int]) -> list[PerformanceParams]:
         sharing = self._normalize(key)
         if sharing in self._memory:
@@ -208,10 +256,31 @@ class DiskParamsCache(MutableMapping):
         payload = self._store.load(self._hash(sharing))
         if payload is None:
             raise KeyError(sharing)
+        if not self._namespace_matches(payload, sharing):
+            # The entry parsed and passed its digest but describes a
+            # different scenario/model/sharing vector — a renamed or
+            # copied file.  Reject it rather than deserialize foreign
+            # parameters into this run.
+            if sanitize.sanitize_enabled():
+                raise sanitize.InvariantViolation(
+                    "cache-namespace",
+                    "cache entry does not match the requested "
+                    f"scenario/model/sharing {sharing}",
+                    {
+                        "sharing": sharing,
+                        "payload_kind": payload.get("kind"),
+                        "payload_sharing": payload.get("sharing"),
+                    },
+                )
+            self._store.discard(self._hash(sharing))
+            raise KeyError(sharing)
         params = _decode_params(payload)
         if params is None or len(params) != self._size:
             self._store.discard(self._hash(sharing))
             raise KeyError(sharing)
+        if sanitize.sanitize_enabled():
+            for i, entry in enumerate(params):
+                sanitize.check_params(entry, label=f"cache-params[{sharing}][{i}]")
         self._memory[sharing] = params
         return params
 
@@ -275,7 +344,11 @@ class CachedModel(PerformanceModel):
         misses: delegated solves so far.
     """
 
-    def __init__(self, model: PerformanceModel, cache: DiskCache | str | Path):
+    def __init__(self, model: PerformanceModel, cache: DiskCache | str | Path) -> None:
+        require(
+            isinstance(model, PerformanceModel),
+            f"model must be a PerformanceModel, got {type(model).__name__}",
+        )
         self.model = model
         self.store = cache if isinstance(cache, DiskCache) else DiskCache(cache)
         self.hits = 0

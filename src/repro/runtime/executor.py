@@ -92,7 +92,7 @@ class ThreadExecutor(Executor):
     or that mix I/O with compute.
     """
 
-    def __init__(self, workers: int | None = None):
+    def __init__(self, workers: int | None = None) -> None:
         self.workers = check_positive_int(
             workers if workers is not None else default_workers(), "workers"
         )
@@ -130,7 +130,7 @@ class ProcessExecutor(Executor):
     execution automatically.
     """
 
-    def __init__(self, workers: int | None = None):
+    def __init__(self, workers: int | None = None) -> None:
         self.workers = check_positive_int(
             workers if workers is not None else default_workers(), "workers"
         )

@@ -28,13 +28,16 @@ class Event:
 
     __slots__ = ("time", "priority", "sequence", "callback", "cancelled")
 
-    def __init__(
+    # Validation is skipped deliberately: Event sits on the simulator's
+    # hottest path (every heap push), and the engine only builds events
+    # from already-validated schedule() arguments.
+    def __init__(  # repro: noqa[RPR104]
         self,
         time: float,
         priority: int,
         sequence: int,
         callback: Callable[[], None],
-    ):
+    ) -> None:
         self.time = time
         self.priority = priority
         self.sequence = sequence

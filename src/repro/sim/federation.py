@@ -111,7 +111,7 @@ class _CloudState:
         "_snap_queue",
     )
 
-    def __init__(self, index: int, vms: int, share_limit: int, sla_bound: float):
+    def __init__(self, index: int, vms: int, share_limit: int, sla_bound: float) -> None:
         self.index = index
         self.vms = vms
         self.share_limit = share_limit
@@ -220,7 +220,7 @@ class FederationSimulator:
         service_distributions: list[ServiceDistribution] | None = None,
         arrival_processes: list | None = None,
         trace: TraceRecorder | None = None,
-    ):
+    ) -> None:
         self.scenario = scenario
         self.k = len(scenario)
         self.engine = SimulationEngine()
@@ -269,10 +269,10 @@ class FederationSimulator:
 
     def _record_all(self) -> None:
         now = self.engine.now
-        for cloud in self.clouds:
-            cloud.record(now)
+        for state in self.clouds:
+            state.record(now)
 
-    def _emit(self, kind: str, **fields) -> None:
+    def _emit(self, kind: str, **fields: object) -> None:
         if self.trace is not None:
             self.trace.record(self.engine.now, kind, **fields)
 
@@ -282,12 +282,12 @@ class FederationSimulator:
 
     def _on_arrival(self, sc: int) -> None:
         self._schedule_arrival(sc)
-        cloud = self.clouds[sc]
+        state = self.clouds[sc]
         now = self.engine.now
         if self._measuring:
-            cloud.arrivals += 1
-        if cloud.free > 0:
-            cloud.own_running += 1
+            state.arrivals += 1
+        if state.free > 0:
+            state.own_running += 1
             self._schedule_completion(sc, sc)
             self._emit("serve_local", sc=sc)
         else:
@@ -296,13 +296,13 @@ class FederationSimulator:
                 host = self.clouds[lender]
                 host.lent_to[sc] = host.lent_to.get(sc, 0) + 1
                 host.lent_total += 1
-                cloud.borrowed_count += 1
+                state.borrowed_count += 1
                 self._schedule_completion(sc, lender)
                 self._emit("serve_borrowed", sc=sc, host=lender)
                 host.record(now)
             else:
                 self._queue_or_forward(sc)
-        cloud.record(now)
+        state.record(now)
 
     def _pick_lender(self, sc: int) -> int | None:
         """Lender with a free VM, sharing headroom, and minimum load."""
@@ -323,47 +323,47 @@ class FederationSimulator:
         return int(tied[self._choice_rng.integers(len(tied))])
 
     def _queue_or_forward(self, sc: int) -> None:
-        cloud = self.clouds[sc]
+        state = self.clouds[sc]
         config = self.scenario[sc]
-        busy_for_own = cloud.own_running + cloud.borrowed_count
+        busy_for_own = state.own_running + state.borrowed_count
         p_queue = prob_no_forward(
-            cloud.backlog, busy_for_own, config.service_rate, config.sla_bound
+            state.backlog, busy_for_own, config.service_rate, config.sla_bound
         )
         if self._sla_rng.random() < p_queue:
-            cloud.queue_arrival_times.append(self.engine.now)
-            self._emit("queue", sc=sc, backlog=cloud.backlog)
+            state.queue_arrival_times.append(self.engine.now)
+            self._emit("queue", sc=sc, backlog=state.backlog)
         else:
             if self._measuring:
-                cloud.forwarded += 1
+                state.forwarded += 1
             self._emit("forward", sc=sc)
 
     def _on_completion(self, owner: int, host: int) -> None:
-        host_cloud = self.clouds[host]
-        owner_cloud = self.clouds[owner]
+        host_state = self.clouds[host]
+        owner_state = self.clouds[owner]
         if owner == host:
-            if host_cloud.own_running <= 0:
+            if host_state.own_running <= 0:
                 raise SimulationError("completion with no running own request")
-            host_cloud.own_running -= 1
+            host_state.own_running -= 1
             if self._measuring:
-                owner_cloud.served_locally += 1
+                owner_state.served_locally += 1
         else:
-            count = host_cloud.lent_to.get(owner, 0)
+            count = host_state.lent_to.get(owner, 0)
             if count <= 0:
                 raise SimulationError("completion of untracked borrowed VM")
             if count == 1:
-                del host_cloud.lent_to[owner]
+                del host_state.lent_to[owner]
             else:
-                host_cloud.lent_to[owner] = count - 1
-            host_cloud.lent_total -= 1
-            owner_cloud.borrowed_count -= 1
+                host_state.lent_to[owner] = count - 1
+            host_state.lent_total -= 1
+            owner_state.borrowed_count -= 1
             if self._measuring:
-                owner_cloud.served_borrowed += 1
+                owner_state.served_borrowed += 1
         self._emit("complete", owner=owner, host=host)
         extra = self._allocate_freed_vm(host)
         now = self.engine.now
-        owner_cloud.record(now)
+        owner_state.record(now)
         if host != owner:
-            host_cloud.record(now)
+            host_state.record(now)
         if extra is not None and extra not in (owner, host):
             self.clouds[extra].record(now)
 
@@ -374,12 +374,12 @@ class FederationSimulator:
         whose queued request was started), if any, so the caller can
         refresh its statistics.
         """
-        cloud = self.clouds[host]
-        if cloud.backlog > 0:
+        state = self.clouds[host]
+        if state.backlog > 0:
             # Owner priority: serve the host's own queue head.
             self._start_queued(host, host)
             return None
-        if cloud.lent_total < cloud.share_limit:
+        if state.lent_total < state.share_limit:
             borrower = self._pick_borrower(host)
             if borrower is not None:
                 self._start_queued(borrower, host)
@@ -403,20 +403,20 @@ class FederationSimulator:
 
     def _start_queued(self, owner: int, host: int) -> None:
         """Move the FCFS head of ``owner``'s queue onto a VM at ``host``."""
-        owner_cloud = self.clouds[owner]
-        queued_at = owner_cloud.queue_arrival_times.pop(0)
+        owner_state = self.clouds[owner]
+        queued_at = owner_state.queue_arrival_times.pop(0)
         wait = self.engine.now - queued_at
         if self._measuring:
-            owner_cloud.wait_acc.add(wait)
-            if wait > owner_cloud.sla_bound + 1e-12:
-                owner_cloud.sla_violations += 1
+            owner_state.wait_acc.add(wait)
+            if wait > owner_state.sla_bound + 1e-12:
+                owner_state.sla_violations += 1
         if owner == host:
-            owner_cloud.own_running += 1
+            owner_state.own_running += 1
         else:
-            host_cloud = self.clouds[host]
-            host_cloud.lent_to[owner] = host_cloud.lent_to.get(owner, 0) + 1
-            host_cloud.lent_total += 1
-            owner_cloud.borrowed_count += 1
+            host_state = self.clouds[host]
+            host_state.lent_to[owner] = host_state.lent_to.get(owner, 0) + 1
+            host_state.lent_total += 1
+            owner_state.borrowed_count += 1
         self._schedule_completion(owner, host)
 
     # ------------------------------------------------------------------ #
@@ -438,56 +438,56 @@ class FederationSimulator:
             self._measuring = False
             self.engine.run_until(warmup)
             self._measuring = True
-            for cloud in self.clouds:
-                cloud.reset_statistics(warmup)
+            for state in self.clouds:
+                state.reset_statistics(warmup)
         self.engine.run_until(horizon)
         self._record_all()
         self._check_conservation()
         elapsed = horizon - warmup
         results = []
-        for cloud in self.clouds:
-            arrivals = cloud.arrivals
-            busy_mean, lent_mean, borrowed_mean, queue_mean = cloud.time_averages(
+        for state in self.clouds:
+            arrivals = state.arrivals
+            busy_mean, lent_mean, borrowed_mean, queue_mean = state.time_averages(
                 horizon
             )
             results.append(
                 SimulatedMetrics(
                     lent_mean=lent_mean,
                     borrowed_mean=borrowed_mean,
-                    forward_rate=cloud.forwarded / elapsed,
+                    forward_rate=state.forwarded / elapsed,
                     forward_probability=(
-                        cloud.forwarded / arrivals if arrivals else 0.0
+                        state.forwarded / arrivals if arrivals else 0.0
                     ),
-                    utilization=busy_mean / cloud.vms,
-                    mean_wait=cloud.wait_acc.mean(),
+                    utilization=busy_mean / state.vms,
+                    mean_wait=state.wait_acc.mean(),
                     mean_queue_length=queue_mean,
                     arrivals=arrivals,
-                    forwarded=cloud.forwarded,
-                    served_locally=cloud.served_locally,
-                    served_borrowed=cloud.served_borrowed,
-                    sla_violations=cloud.sla_violations,
+                    forwarded=state.forwarded,
+                    served_locally=state.served_locally,
+                    served_borrowed=state.served_borrowed,
+                    sla_violations=state.sla_violations,
                 )
             )
         return results
 
     def _check_conservation(self) -> None:
         """Invariants that must hold in any reachable simulator state."""
-        for cloud in self.clouds:
-            if cloud.busy > cloud.vms:
+        for state in self.clouds:
+            if state.busy > state.vms:
                 raise SimulationError(
-                    f"SC {cloud.index}: {cloud.busy} busy VMs exceed {cloud.vms}"
+                    f"SC {state.index}: {state.busy} busy VMs exceed {state.vms}"
                 )
-            if cloud.lent_total > cloud.share_limit:
+            if state.lent_total > state.share_limit:
                 raise SimulationError(
-                    f"SC {cloud.index}: lent {cloud.lent_total} exceeds limit "
-                    f"{cloud.share_limit}"
+                    f"SC {state.index}: lent {state.lent_total} exceeds limit "
+                    f"{state.share_limit}"
                 )
             borrowed_elsewhere = sum(
-                other.lent_to.get(cloud.index, 0)
+                other.lent_to.get(state.index, 0)
                 for other in self.clouds
-                if other is not cloud
+                if other is not state
             )
-            if borrowed_elsewhere != cloud.borrowed_count:
+            if borrowed_elsewhere != state.borrowed_count:
                 raise SimulationError(
-                    f"SC {cloud.index}: borrowed bookkeeping mismatch"
+                    f"SC {state.index}: borrowed bookkeeping mismatch"
                 )

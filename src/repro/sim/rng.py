@@ -26,7 +26,7 @@ class RandomStreams:
     simulator requests all of its streams up front in a fixed order.
     """
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int) -> None:
         self.seed = check_non_negative_int(seed, "seed")
         self._sequence = np.random.SeedSequence(self.seed)
         self._streams: dict[str, np.random.Generator] = {}

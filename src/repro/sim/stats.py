@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro._validation import check_positive_int
+from repro._validation import check_finite, check_positive_int
 from repro.exceptions import SimulationError
 
 # Two-sided 95% normal quantile; batch counts are large enough (>= 10)
@@ -27,10 +27,10 @@ _Z_95 = 1.959963984540054
 class TimeWeightedAverage:
     """Time integral of a piecewise-constant signal divided by elapsed time."""
 
-    def __init__(self, initial_value: float = 0.0, start_time: float = 0.0):
-        self._value = float(initial_value)
-        self._last_time = float(start_time)
-        self._start_time = float(start_time)
+    def __init__(self, initial_value: float = 0.0, start_time: float = 0.0) -> None:
+        self._value = check_finite(initial_value, "initial_value")
+        self._last_time = check_finite(start_time, "start_time")
+        self._start_time = self._last_time
         self._integral = 0.0
 
     def update(self, time: float, new_value: float) -> None:
@@ -122,7 +122,7 @@ class BatchMeans:
     holds for batch windows much longer than the process correlation time.
     """
 
-    def __init__(self, min_batches: int = 10):
+    def __init__(self, min_batches: int = 10) -> None:
         self.min_batches = check_positive_int(min_batches, "min_batches")
         self._acc = WelfordAccumulator()
 

@@ -25,7 +25,7 @@ class PoissonProcess:
         rng: a :class:`numpy.random.Generator`.
     """
 
-    def __init__(self, rate: float, rng: np.random.Generator):
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
         self.rate = check_positive(rate, "rate")
         self._rng = rng
 
@@ -58,7 +58,7 @@ class MMPPProcess:
         rates: Sequence[float],
         generator: Sequence[Sequence[float]],
         rng: np.random.Generator,
-    ):
+    ) -> None:
         self.rates = np.asarray(rates, dtype=float)
         self.generator = np.asarray(generator, dtype=float)
         m = len(self.rates)

@@ -18,9 +18,15 @@ and plug directly into the simulator.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from repro._validation import check_positive
 from repro.exceptions import ConfigurationError
+if TYPE_CHECKING:
+    from collections.abc import Sequence
+
+    import numpy as np
+
 from repro.workload.service import (
     ErlangService,
     ExponentialService,
@@ -66,7 +72,7 @@ def fit_two_moment(mean: float, scv: float) -> ServiceDistribution:
     return HyperExponentialService(probabilities=[p1, p2], rates=[rate1, rate2])
 
 
-def fit_from_samples(samples) -> ServiceDistribution:
+def fit_from_samples(samples: "Sequence[float] | np.ndarray") -> ServiceDistribution:
     """Fit a two-moment phase-type distribution to empirical samples.
 
     Args:

@@ -38,7 +38,7 @@ class ServiceDistribution(Protocol):
 class ExponentialService:
     """Exponential service with rate ``mu`` (the paper's base model)."""
 
-    def __init__(self, rate: float):
+    def __init__(self, rate: float) -> None:
         self.rate = check_positive(rate, "rate")
 
     def sample(self, rng: np.random.Generator) -> float:
@@ -64,7 +64,7 @@ class ErlangService:
     Models low-variability service (SCV = 1/k < 1).
     """
 
-    def __init__(self, stages: int, stage_rate: float):
+    def __init__(self, stages: int, stage_rate: float) -> None:
         if stages < 1:
             raise ConfigurationError(f"stages must be >= 1, got {stages}")
         self.stages = int(stages)
@@ -99,7 +99,7 @@ class HyperExponentialService:
         rates: per-branch exponential rates.
     """
 
-    def __init__(self, probabilities: Sequence[float], rates: Sequence[float]):
+    def __init__(self, probabilities: Sequence[float], rates: Sequence[float]) -> None:
         probs = np.asarray(probabilities, dtype=float)
         rates_arr = np.asarray(rates, dtype=float)
         require(len(probs) == len(rates_arr), "probabilities and rates must align")

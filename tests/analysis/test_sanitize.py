@@ -1,0 +1,233 @@
+"""Tests for the runtime stochastic sanitizer (`repro.analysis.sanitize`)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis import sanitize
+from repro.analysis.sanitize import (
+    InvariantViolation,
+    check_cache_payload,
+    check_distribution,
+    check_distribution_rows,
+    check_finite,
+    check_generator,
+    check_interaction_vector,
+    check_params,
+    check_stochastic_matrix,
+    check_utilities,
+    check_weights,
+    sanitized,
+)
+from repro.exceptions import SCShareError
+from repro.perf.params import PerformanceParams
+
+
+@pytest.fixture
+def active():
+    with sanitized(True):
+        yield
+
+
+def good_generator():
+    return np.array([[-2.0, 2.0], [3.0, -3.0]])
+
+
+class TestToggling:
+    def test_context_manager_restores_previous_state(self):
+        with sanitized(False):
+            assert not sanitize.sanitize_enabled()
+            with sanitized(True):
+                assert sanitize.sanitize_enabled()
+            assert not sanitize.sanitize_enabled()
+
+    def test_enable_disable(self):
+        with sanitized(False):
+            sanitize.sanitize_enable()
+            assert sanitize.sanitize_enabled()
+            sanitize.sanitize_disable()
+            assert not sanitize.sanitize_enabled()
+
+    def test_checks_are_noops_when_disabled(self):
+        with sanitized(False):
+            check_generator(np.array([[1.0, 2.0], [3.0, 4.0]]))
+            check_distribution([0.9, 0.9])
+            check_finite(float("nan"))
+            check_utilities([float("inf")])
+
+    def test_env_parsing(self, monkeypatch):
+        for raw, expected in [
+            ("", False),
+            ("0", False),
+            ("false", False),
+            ("off", False),
+            ("1", True),
+            ("true", True),
+            ("yes", True),
+        ]:
+            monkeypatch.setenv(sanitize.SANITIZE_ENV_VAR, raw)
+            assert sanitize._env_enabled() is expected, raw
+
+
+class TestInvariantViolation:
+    def test_is_a_library_error_with_context(self):
+        err = InvariantViolation("demo-invariant", "it broke", {"index": 3})
+        assert isinstance(err, SCShareError)
+        assert err.invariant == "demo-invariant"
+        assert err.context == {"index": 3}
+        assert "[demo-invariant]" in str(err)
+
+    def test_context_defaults_to_empty_dict(self):
+        assert InvariantViolation("x", "y").context == {}
+
+
+class TestGenerator:
+    def test_valid_dense_and_sparse_pass(self, active):
+        check_generator(good_generator())
+        check_generator(sp.csr_matrix(good_generator()))
+
+    def test_bad_row_sums(self, active):
+        q = np.array([[-2.0, 2.5], [3.0, -3.0]])
+        with pytest.raises(InvariantViolation) as exc:
+            check_generator(q, label="test-Q")
+        assert exc.value.invariant == "generator-row-sums"
+        assert exc.value.context["worst_row"] == 0
+
+    def test_negative_off_diagonal(self, active):
+        q = np.array([[1.0, -1.0], [3.0, -3.0]])
+        with pytest.raises(InvariantViolation) as exc:
+            check_generator(sp.csr_matrix(q))
+        assert exc.value.invariant in ("generator-off-diagonal", "generator-row-sums")
+
+    def test_non_finite(self, active):
+        q = np.array([[-np.inf, np.inf], [3.0, -3.0]])
+        with pytest.raises(InvariantViolation) as exc:
+            check_generator(q)
+        assert exc.value.invariant == "generator-finite"
+
+
+class TestStochasticMatrix:
+    def test_valid_passes(self, active):
+        check_stochastic_matrix(np.array([[0.5, 0.5], [0.1, 0.9]]))
+
+    def test_row_sum_violation(self, active):
+        with pytest.raises(InvariantViolation) as exc:
+            check_stochastic_matrix(np.array([[0.5, 0.6], [0.1, 0.9]]))
+        assert exc.value.invariant == "stochastic-row-sums"
+
+    def test_nan_entries(self, active):
+        with pytest.raises(InvariantViolation) as exc:
+            check_stochastic_matrix(np.array([[np.nan, 1.0], [0.1, 0.9]]))
+        assert exc.value.invariant == "stochastic-finite"
+
+
+class TestDistribution:
+    def test_valid_passes(self, active):
+        check_distribution(np.array([0.25, 0.25, 0.5]))
+
+    def test_mass_violation(self, active):
+        with pytest.raises(InvariantViolation) as exc:
+            check_distribution([0.5, 0.6], label="pi-test")
+        assert exc.value.invariant == "distribution-mass"
+        assert "pi-test" in str(exc.value)
+
+    def test_negative_entry(self, active):
+        with pytest.raises(InvariantViolation) as exc:
+            check_distribution([1.1, -0.1])
+        assert exc.value.invariant == "distribution-negative"
+
+    def test_non_finite_entry(self, active):
+        with pytest.raises(InvariantViolation) as exc:
+            check_distribution([np.nan, 1.0])
+        assert exc.value.invariant == "distribution-finite"
+
+    def test_rows_helper_checks_each_row(self, active):
+        check_distribution_rows(np.array([[0.5, 0.5], [1.0, 0.0]]))
+        with pytest.raises(InvariantViolation):
+            check_distribution_rows(np.array([[0.5, 0.5], [0.9, 0.0]]))
+
+    def test_rows_helper_rejects_wrong_shape(self, active):
+        with pytest.raises(InvariantViolation) as exc:
+            check_distribution_rows(np.array([0.5, 0.5]))
+        assert exc.value.invariant == "distribution-shape"
+
+    def test_interaction_and_weights_aliases(self, active):
+        check_interaction_vector([0.2, 0.8])
+        check_weights(np.array([0.3, 0.7]))
+        with pytest.raises(InvariantViolation):
+            check_interaction_vector([0.2, 0.9])
+        with pytest.raises(InvariantViolation):
+            check_weights(np.array([0.3, 0.8]))
+
+
+class TestScalars:
+    def test_check_finite_scalar_and_array(self, active):
+        check_finite(1.0)
+        check_finite(np.zeros(3))
+        with pytest.raises(InvariantViolation) as exc:
+            check_finite(np.array([1.0, np.inf]), label="welfare")
+        assert exc.value.invariant == "non-finite"
+        assert exc.value.context["indices"] == [1]
+
+    def test_check_utilities(self, active):
+        check_utilities([0.0, -3.5, 12.0])
+        with pytest.raises(InvariantViolation) as exc:
+            check_utilities([1.0, float("nan")], label="u")
+        assert exc.value.invariant == "utility-finite"
+        assert exc.value.context["index"] == 1
+
+
+class TestParams:
+    def test_valid_params_pass(self, active):
+        check_params(
+            PerformanceParams(
+                lent_mean=0.5, borrowed_mean=0.3, forward_rate=0.0, utilization=0.8
+            )
+        )
+
+    def test_nan_field_rejected(self, active):
+        # NaN slips past the constructor's sign checks (NaN compares
+        # false against every bound); the sanitizer must still catch it.
+        params = PerformanceParams(
+            lent_mean=float("nan"), borrowed_mean=0.0, forward_rate=0.0, utilization=0.5
+        )
+        with pytest.raises(InvariantViolation) as exc:
+            check_params(params, label="sc0")
+        assert exc.value.invariant == "params-finite"
+        assert exc.value.context["field"] == "lent_mean"
+
+
+class TestCachePayload:
+    def test_matching_digests_pass(self, active):
+        check_cache_payload({"x": 1}, expected_digest="abc", stored_digest="abc")
+
+    def test_mismatch_raises(self, active):
+        with pytest.raises(InvariantViolation) as exc:
+            check_cache_payload(
+                {"x": 1}, expected_digest="abc123", stored_digest="def456", label="c"
+            )
+        assert exc.value.invariant == "cache-digest"
+        assert exc.value.context["stored"] == "def456"
+
+    def test_missing_digest_is_noop(self, active):
+        check_cache_payload({"x": 1}, expected_digest="abc", stored_digest=None)
+        check_cache_payload({"x": 1}, expected_digest=None, stored_digest="abc")
+
+
+class TestPipelineIntegration:
+    """The sanitizer hooks wired into the CTMC layer fire end to end."""
+
+    def test_ctmc_construction_and_steady_state_pass(self, active):
+        from repro.markov.ctmc import CTMC
+        from repro.markov.state_space import StateSpace
+
+        ctmc = CTMC(StateSpace([0, 1]), sp.csr_matrix(good_generator()))
+        pi = ctmc.steady_state()
+        assert pi == pytest.approx([0.6, 0.4])
+
+    def test_birth_death_chain_passes(self, active):
+        from repro.markov.birth_death import mmc_chain
+
+        chain = mmc_chain(arrival_rate=2.0, service_rate=1.0, servers=2, capacity=6)
+        pi = chain.stationary()
+        check_distribution(pi)

@@ -8,11 +8,14 @@ import pytest
 from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.perf.params import PerformanceParams
 from repro.perf.pooled import PooledModel
+from repro.analysis.sanitize import InvariantViolation, sanitized
 from repro.runtime.cache import (
+    CACHE_FORMAT_VERSION,
     CachedModel,
     DiskCache,
     DiskParamsCache,
     model_fingerprint,
+    payload_digest,
     scenario_fingerprint,
 )
 
@@ -72,7 +75,11 @@ class TestDiskCache:
     def test_roundtrip(self, tmp_path):
         cache = DiskCache(tmp_path)
         cache.store("abc", {"x": 1})
-        assert cache.load("abc") == {"version": 1, "x": 1}
+        payload = cache.load("abc")
+        assert payload is not None
+        assert payload["version"] == CACHE_FORMAT_VERSION
+        assert payload["x"] == 1
+        assert payload["digest"] == payload_digest(payload)
 
     def test_missing_is_none(self, tmp_path):
         assert DiskCache(tmp_path).load("nope") is None
@@ -209,3 +216,119 @@ class TestCachedModel:
         again = cached.evaluate(scenario)
         assert again == PooledModel().evaluate(scenario)
         assert cached.misses == 2
+
+
+class TestCacheIntegrity:
+    """Digest, schema-version, and namespace rejection (sanitizer-aware)."""
+
+    def _params(self, n=2):
+        return [
+            PerformanceParams(
+                lent_mean=0.5, borrowed_mean=0.25, forward_rate=0.1, utilization=0.6
+            )
+            for _ in range(n)
+        ]
+
+    def _tamper(self, root, mutate):
+        paths = list(root.glob("*.json"))
+        assert paths, "expected a stored cache entry"
+        for path in paths:
+            payload = json.loads(path.read_text())
+            mutate(payload)
+            path.write_text(json.dumps(payload))
+        return paths
+
+    def test_tampered_payload_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store("entry", {"x": 1})
+
+        def bump(payload):
+            payload["x"] = 999  # digest now stale
+
+        self._tamper(tmp_path, bump)
+        with sanitized(False):
+            assert cache.load("entry") is None
+        assert not (tmp_path / "entry.json").exists()
+
+    def test_tampered_payload_raises_under_sanitizer(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store("entry", {"x": 1})
+        self._tamper(tmp_path, lambda payload: payload.update(x=999))
+        with sanitized(True):
+            with pytest.raises(InvariantViolation) as exc:
+                cache.load("entry")
+        assert exc.value.invariant == "cache-digest"
+
+    def test_missing_digest_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store("entry", {"x": 1})
+        self._tamper(tmp_path, lambda payload: payload.pop("digest"))
+        with sanitized(False):
+            assert cache.load("entry") is None
+
+    def test_params_cache_rejects_tampered_values(self, tmp_path):
+        cache = DiskParamsCache(tmp_path, _scenario(), PooledModel())
+        cache[(2, 1)] = self._params()
+
+        def corrupt(payload):
+            payload["params"][0]["lent_mean"] = 99.0
+
+        for path in tmp_path.glob("*.json"):
+            payload = json.loads(path.read_text())
+            corrupt(payload)
+            path.write_text(json.dumps(payload))
+        fresh = DiskParamsCache(tmp_path, _scenario(), PooledModel())
+        with sanitized(False):
+            with pytest.raises(KeyError):
+                fresh[(2, 1)]
+
+    def test_params_cache_rejects_stale_schema_version(self, tmp_path):
+        cache = DiskParamsCache(tmp_path, _scenario(), PooledModel())
+        cache[(2, 1)] = self._params()
+        for path in tmp_path.glob("*.json"):
+            payload = json.loads(path.read_text())
+            payload["version"] = CACHE_FORMAT_VERSION - 1
+            payload["digest"] = payload_digest(payload)
+            path.write_text(json.dumps(payload))
+        fresh = DiskParamsCache(tmp_path, _scenario(), PooledModel())
+        with pytest.raises(KeyError):
+            fresh[(2, 1)]
+
+    def test_params_cache_rejects_foreign_namespace(self, tmp_path):
+        # A cache file copied under another key (or a renamed directory)
+        # carries a valid digest but describes different inputs.
+        cache = DiskParamsCache(tmp_path, _scenario(), PooledModel())
+        cache[(2, 1)] = self._params()
+        src = next(iter(tmp_path.glob("*.json")))
+        foreign_key = cache._hash((0, 0))
+        src.rename(tmp_path / f"{foreign_key}.json")
+        fresh = DiskParamsCache(tmp_path, _scenario(), PooledModel())
+        with sanitized(False):
+            with pytest.raises(KeyError):
+                fresh[(0, 0)]
+
+    def test_params_cache_foreign_namespace_raises_under_sanitizer(self, tmp_path):
+        cache = DiskParamsCache(tmp_path, _scenario(), PooledModel())
+        cache[(2, 1)] = self._params()
+        src = next(iter(tmp_path.glob("*.json")))
+        foreign_key = cache._hash((0, 0))
+        src.rename(tmp_path / f"{foreign_key}.json")
+        fresh = DiskParamsCache(tmp_path, _scenario(), PooledModel())
+        with sanitized(True):
+            with pytest.raises(InvariantViolation) as exc:
+                fresh[(0, 0)]
+        assert exc.value.invariant == "cache-namespace"
+
+    def test_params_cache_checks_loaded_params_under_sanitizer(self, tmp_path):
+        cache = DiskParamsCache(tmp_path, _scenario(), PooledModel())
+        cache[(2, 1)] = self._params()
+        for path in tmp_path.glob("*.json"):
+            payload = json.loads(path.read_text())
+            payload["params"][0]["lent_mean"] = float("nan")
+            payload["digest"] = payload_digest(payload)
+            path.write_text(json.dumps(payload))
+        fresh = DiskParamsCache(tmp_path, _scenario(), PooledModel())
+        with sanitized(True):
+            with pytest.raises(InvariantViolation) as exc:
+                fresh[(2, 1)]
+        assert exc.value.invariant == "params-finite"
