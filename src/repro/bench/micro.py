@@ -1,0 +1,264 @@
+"""Microbenchmarks for the model hot path: ``python -m repro.bench.micro``.
+
+Three timed probes, each emitting one entry of a ``BENCH_micro.json``
+artifact so the perf trajectory of the reproduction is recorded run over
+run:
+
+- ``assembly`` — one chain built twice, with the retained per-state
+  reference assembler and with the vectorized assembler, asserting the
+  two generators are bit-identical and reporting the speedup;
+- ``fig6_evaluate`` — end-to-end ``evaluate`` / ``evaluate_target`` on a
+  Fig. 6 scenario (the 10-SC federation in full mode, the 2-SC one with
+  ``--quick``);
+- ``tabu_sweep`` — a Tabu-style neighborhood sweep: 20 single-coordinate
+  neighbor sharing vectors of the Fig. 7 federation (6 with ``--quick``),
+  each scored for one SC through a
+  :class:`~repro.market.evaluator.UtilityEvaluator` the way the best
+  responder scores trial profiles.
+
+``--reference`` runs every probe with the reference assembler and all
+caching disabled — the pre-optimization configuration — which is how the
+committed ``benchmarks/results/BENCH_baseline.json`` numbers were
+produced.  ``--compare PATH`` prints a *non-blocking* delta against such
+a file: CI surfaces regressions without going red on a noisy runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.bench.scenarios import (
+    fig6_2sc_scenario,
+    fig6_10sc_scenario,
+    fig7_scenario,
+    fig8_perf_scenario,
+)
+from repro.market.evaluator import UtilityEvaluator
+from repro.perf.approximate import ApproximateModel
+
+SCHEMA_VERSION = 1
+
+
+def _make_model(reference: bool) -> ApproximateModel:
+    if reference:
+        return ApproximateModel(assembly="reference", level_cache_size=0)
+    return ApproximateModel()
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def bench_assembly(quick: bool, reference: bool) -> dict[str, Any]:
+    """Time chain assembly for both assemblers and check bit-identity."""
+    scenario = fig8_perf_scenario(3 if quick else 5)
+    ref_model = ApproximateModel(assembly="reference", level_cache_size=0)
+    vec_model = ApproximateModel(assembly="vectorized", level_cache_size=0)
+    ref_seconds, ref_level = _timed(lambda: ref_model._build_chain(scenario))
+    vec_seconds, vec_level = _timed(lambda: vec_model._build_chain(scenario))
+    ref_gen = ref_level.ctmc.generator
+    vec_gen = vec_level.ctmc.generator
+    identical = (
+        np.array_equal(ref_gen.indptr, vec_gen.indptr)
+        and np.array_equal(ref_gen.indices, vec_gen.indices)
+        and np.array_equal(ref_gen.data, vec_gen.data)
+        and np.array_equal(ref_level.forward_flow, vec_level.forward_flow)
+    )
+    return {
+        "scenario": f"fig8_perf_{len(scenario)}sc",
+        "n_states": ref_level.ctmc.n_states,
+        "reference_seconds": ref_seconds,
+        "vectorized_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds if vec_seconds > 0 else float("inf"),
+        "generators_identical": identical,
+        # The probe's headline number follows the requested configuration.
+        "seconds": ref_seconds if reference else vec_seconds,
+    }
+
+
+def bench_fig6(quick: bool, reference: bool) -> dict[str, Any]:
+    """End-to-end evaluation cost of a Fig. 6 scenario."""
+    if quick:
+        scenario = fig6_2sc_scenario(target_share=5, target_rate=6.0)
+        label = "fig6_2sc"
+    else:
+        scenario = fig6_10sc_scenario(target_share=5, target_rate=6.0)
+        label = "fig6_10sc"
+    model = _make_model(reference)
+    target_seconds, _ = _timed(lambda: model.evaluate_target(scenario))
+    evaluate_seconds, _ = _timed(lambda: model.evaluate(scenario))
+    return {
+        "scenario": label,
+        "evaluate_target_seconds": target_seconds,
+        "evaluate_seconds": evaluate_seconds,
+        "level_cache": model.level_cache_stats(),
+        "seconds": evaluate_seconds,
+    }
+
+
+def _neighbor_vectors(base: tuple[int, ...], count: int) -> list[tuple[int, ...]]:
+    """``count`` distinct single-coordinate neighbors of ``base`` (plus
+    ``base`` itself), the shape of a Tabu neighborhood scan."""
+    vectors: list[tuple[int, ...]] = [base]
+    offsets = [1, -1, 2, -2, 3, -3, 4, -4]
+    for offset in offsets:
+        for position in range(len(base)):
+            if len(vectors) >= count:
+                return vectors
+            candidate = list(base)
+            candidate[position] = max(0, min(10, candidate[position] + offset))
+            vector = tuple(candidate)
+            if vector not in vectors:
+                vectors.append(vector)
+    return vectors
+
+
+def bench_tabu_sweep(quick: bool, reference: bool) -> dict[str, Any]:
+    """Score a Tabu-style neighborhood of sharing vectors end to end.
+
+    Mirrors the best-response objective: each trial vector is scored for
+    a single SC via ``utility(vector, index)``.  Optimized, that is one
+    target rotation of the hierarchical chain; under ``--reference``
+    every query is answered the pre-optimization way — a full-federation
+    ``params`` solve — and the utility is read off the cached vector.
+    The recorded utilities are identical either way, which the committed
+    baseline documents.
+    """
+    scenario = fig7_scenario("spread")
+    model = _make_model(reference)
+    evaluator = UtilityEvaluator(scenario, model, gamma=0.0)
+    vectors = _neighbor_vectors((5, 5, 5), 6 if quick else 20)
+
+    def sweep() -> list[float]:
+        values = []
+        for j, vector in enumerate(vectors):
+            index = j % len(scenario)
+            if reference:
+                evaluator.params(vector)
+            values.append(evaluator.utility(vector, index))
+        return values
+
+    seconds, values = _timed(sweep)
+    return {
+        "scenario": "fig7_spread_3sc",
+        "evaluations": len(vectors),
+        "per_evaluation_seconds": seconds / len(vectors),
+        "utilities": values,
+        "cache_info": evaluator.cache_info(),
+        "seconds": seconds,
+    }
+
+
+BENCHES: dict[str, Callable[[bool, bool], dict[str, Any]]] = {
+    "assembly": bench_assembly,
+    "fig6_evaluate": bench_fig6,
+    "tabu_sweep": bench_tabu_sweep,
+}
+
+
+def run_micro(
+    quick: bool = False,
+    reference: bool = False,
+    only: "list[str] | None" = None,
+) -> dict[str, Any]:
+    """Run the selected microbenchmarks and return the report payload."""
+    names = list(BENCHES) if not only else [n for n in BENCHES if n in only]
+    results = {}
+    for name in names:
+        results[name] = BENCHES[name](quick, reference)
+        print(f"{name}: {results[name]['seconds']:.3f} s", flush=True)
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmark": "micro",
+        "quick": quick,
+        "reference": reference,
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
+def compare(report: dict[str, Any], baseline: dict[str, Any]) -> list[str]:
+    """Human-readable (non-blocking) deltas against a baseline report."""
+    lines = []
+    base_results = baseline.get("results", {})
+    for name, entry in report.get("results", {}).items():
+        base = base_results.get(name)
+        if not isinstance(base, dict) or "seconds" not in base:
+            lines.append(f"{name}: no baseline entry")
+            continue
+        now, then = float(entry["seconds"]), float(base["seconds"])
+        if then <= 0:
+            lines.append(f"{name}: baseline has non-positive time")
+            continue
+        ratio = now / then
+        direction = "slower" if ratio > 1.0 else "faster"
+        lines.append(
+            f"{name}: {now:.3f}s vs baseline {then:.3f}s "
+            f"({1 / ratio if ratio < 1 else ratio:.2f}x {direction})"
+        )
+    return lines
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description="Model hot-path microbenchmarks.")
+    parser.add_argument(
+        "--quick", action="store_true", help="small scenarios for a CI smoke run"
+    )
+    parser.add_argument(
+        "--reference",
+        action="store_true",
+        help="run with the reference assembler and caching disabled "
+        "(the pre-optimization configuration)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(BENCHES),
+        help="run only the named probe (repeatable)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="write the report to DIR/BENCH_micro.json",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="FILE",
+        help="print a non-blocking delta against a previous report",
+    )
+    args = parser.parse_args(argv)
+    report = run_micro(quick=args.quick, reference=args.reference, only=args.only)
+    print(json.dumps(report, indent=2))
+    if args.output is not None:
+        out_dir = Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / "BENCH_micro.json"
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {path}")
+    if args.compare is not None:
+        try:
+            baseline = json.loads(Path(args.compare).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"baseline unavailable ({exc}); skipping comparison")
+            return 0
+        print("-- delta vs baseline (informational, never fails the run) --")
+        for line in compare(report, baseline):
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,7 @@ class SequentialGame:
             if len(initial) != k:
                 raise GameError(f"initial profile must have {k} entries")
             profile = [int(s) for s in initial]
-        start_evals = evaluator.evaluations
+        start_evals = evaluator.total_evaluations
         history: list[tuple[int, ...]] = [tuple(profile)]
 
         for round_number in range(1, self.max_rounds + 1):
@@ -60,7 +60,7 @@ class SequentialGame:
                     converged=True,
                     cycled=False,
                     history=tuple(history),
-                    model_evaluations=evaluator.evaluations - start_evals,
+                    model_evaluations=evaluator.total_evaluations - start_evals,
                 )
 
         return GameResult(
@@ -70,5 +70,5 @@ class SequentialGame:
             converged=False,
             cycled=False,
             history=tuple(history),
-            model_evaluations=evaluator.evaluations - start_evals,
+            model_evaluations=evaluator.total_evaluations - start_evals,
         )

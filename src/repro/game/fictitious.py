@@ -56,7 +56,7 @@ class FictitiousPlay:
             if len(initial) != k:
                 raise GameError(f"initial profile must have {k} entries")
             profile = [int(s) for s in initial]
-        start_evals = evaluator.evaluations
+        start_evals = evaluator.total_evaluations
         sums = np.array(profile, dtype=float)
         plays = 1
         history: list[tuple[int, ...]] = [tuple(profile)]
@@ -84,7 +84,7 @@ class FictitiousPlay:
                         converged=True,
                         cycled=False,
                         history=tuple(history),
-                        model_evaluations=evaluator.evaluations - start_evals,
+                        model_evaluations=evaluator.total_evaluations - start_evals,
                     )
             else:
                 stable = 0
@@ -98,5 +98,5 @@ class FictitiousPlay:
             converged=False,
             cycled=False,
             history=tuple(history),
-            model_evaluations=evaluator.evaluations - start_evals,
+            model_evaluations=evaluator.total_evaluations - start_evals,
         )

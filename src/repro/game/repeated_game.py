@@ -88,7 +88,7 @@ class RepeatedGame:
             if len(initial) != k:
                 raise GameError(f"initial profile must have {k} entries")
             profile = tuple(int(s) for s in initial)
-        start_evals = evaluator.evaluations
+        start_evals = evaluator.total_evaluations
         history: list[tuple[int, ...]] = [profile]
         seen: dict[tuple[int, ...], int] = {profile: 0}
 
@@ -112,7 +112,7 @@ class RepeatedGame:
                     converged=True,
                     cycled=False,
                     history=tuple(history),
-                    model_evaluations=evaluator.evaluations - start_evals,
+                    model_evaluations=evaluator.total_evaluations - start_evals,
                 )
             if next_profile in seen:
                 cycle = history[seen[next_profile] :]
@@ -129,7 +129,7 @@ class RepeatedGame:
                     converged=False,
                     cycled=True,
                     history=tuple(history),
-                    model_evaluations=evaluator.evaluations - start_evals,
+                    model_evaluations=evaluator.total_evaluations - start_evals,
                 )
             seen[next_profile] = len(history) - 1
             profile = next_profile
@@ -141,5 +141,5 @@ class RepeatedGame:
             converged=False,
             cycled=False,
             history=tuple(history),
-            model_evaluations=evaluator.evaluations - start_evals,
+            model_evaluations=evaluator.total_evaluations - start_evals,
         )

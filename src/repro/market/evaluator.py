@@ -7,6 +7,14 @@ depend only on the sharing vector (and the SCs' rates), never on prices.
 :class:`UtilityEvaluator` therefore caches performance parameters by
 sharing vector, so an entire ``C^G/C^P`` sweep (which changes only
 prices) reuses one set of model solutions.
+
+Single-SC queries (``utility`` / ``cost``, the best-response objective)
+additionally take a *target-indexed* path: they ask the model for SC
+``i``'s parameters only (``evaluate_target``), which the hierarchical
+approximate model answers with one chain rotation instead of all ``K``.
+The contract ``evaluate_target(s, i) == evaluate(s)[i]`` makes the two
+paths interchangeable; full-vector queries (``utilities`` / ``welfare``)
+keep using ``evaluate`` so they populate the shared params cache.
 """
 
 from __future__ import annotations
@@ -57,14 +65,19 @@ class UtilityEvaluator:
         self._baselines: list[BaselineMetrics] = [
             baseline_metrics(cloud) for cloud in scenario
         ]
-        self.evaluations = 0  # number of *model* evaluations performed
+        self.evaluations = 0  # number of full-vector model evaluations
+        self.target_evaluations = 0  # number of single-SC model evaluations
         # Concurrent callers (thread executors scoring candidates) must
         # solve each sharing vector exactly once, both to avoid wasted
         # work and to keep `evaluations` equal to a serial run's count.
-        # The lock guards the cache and the pending table; the expensive
-        # model solve itself runs outside it.
+        # The lock guards the caches and the pending tables; the
+        # expensive model solve itself runs outside it.
         self._lock = threading.Lock()
         self._pending: dict[tuple[int, ...], threading.Event] = {}
+        self._target_cache: dict[tuple[tuple[int, ...], int], PerformanceParams] = {}
+        self._target_pending: dict[
+            tuple[tuple[int, ...], int], threading.Event
+        ] = {}
 
     def baseline(self, index: int) -> BaselineMetrics:
         """The no-sharing reference of SC ``index``."""
@@ -106,17 +119,66 @@ class UtilityEvaluator:
                     self._pending.pop(key, None)
                 event.set()
 
+    def params_target(self, sharing: Sequence[int], index: int) -> PerformanceParams:
+        """Performance parameters of SC ``index`` only (cached).
+
+        Uses :meth:`PerformanceModel.evaluate_target`, whose contract is
+        ``evaluate_target(s, i) == evaluate(s)[i]`` — the hierarchical
+        approximate model answers it with one chain rotation instead of
+        all ``K``, which makes best-response scans (many single-SC
+        queries over trial vectors) roughly ``K`` times cheaper.  A full
+        cached vector is always preferred; target solves land in a
+        separate per-``(vector, index)`` cache and are counted in
+        ``target_evaluations``, not ``evaluations``.
+        """
+        key = tuple(int(s) for s in sharing)
+        target = (key, int(index))
+        while True:
+            with self._lock:
+                if key in self._cache:
+                    return self._cache[key][index]
+                if target in self._target_cache:
+                    return self._target_cache[target]
+                event = self._target_pending.get(target)
+                if event is None:
+                    event = threading.Event()
+                    self._target_pending[target] = event
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                event.wait()
+                continue  # the owner has published (or failed); re-check
+            try:
+                params = self.model.evaluate_target(
+                    self.scenario.with_sharing(key), target=int(index)
+                )
+                if sanitize.sanitize_enabled():
+                    sanitize.check_params(params, label=f"params[{key}][{index}]")
+                with self._lock:
+                    self._target_cache[target] = params
+                    self.target_evaluations += 1
+                return params
+            finally:
+                with self._lock:
+                    self._target_pending.pop(target, None)
+                event.set()
+
     def cost(self, sharing: Sequence[int], index: int) -> float:
         """``C_i^{S_i}`` (Eq. 1) for SC ``index`` under ``sharing``."""
         cloud = self.scenario[index].with_shared(int(sharing[index]))
-        return operating_cost(cloud, self.params(sharing)[index])
+        return operating_cost(cloud, self.params_target(sharing, index))
 
     def utility(self, sharing: Sequence[int], index: int) -> float:
         """``U_i^{S_i}`` (Eq. 2) for SC ``index`` under ``sharing``."""
         if sharing[index] == 0:
             return 0.0
+        return self._utility_from(sharing, index, self.params_target(sharing, index))
+
+    def _utility_from(
+        self, sharing: Sequence[int], index: int, params: PerformanceParams
+    ) -> float:
         base = self._baselines[index]
-        params = self.params(sharing)[index]
         cloud = self.scenario[index].with_shared(int(sharing[index]))
         return utility_fn(
             baseline_cost=base.cost,
@@ -127,8 +189,16 @@ class UtilityEvaluator:
         )
 
     def utilities(self, sharing: Sequence[int]) -> list[float]:
-        """All SCs' utilities under ``sharing``."""
-        values = [self.utility(sharing, i) for i in range(len(self.scenario))]
+        """All SCs' utilities under ``sharing``.
+
+        Solves the full vector once (populating the shared params cache)
+        rather than issuing one target query per SC.
+        """
+        params = self.params(sharing)
+        values = [
+            0.0 if sharing[i] == 0 else self._utility_from(sharing, i, params[i])
+            for i in range(len(self.scenario))
+        ]
         sanitize.check_utilities(values, label=f"utilities[{tuple(sharing)}]")
         return values
 
@@ -136,6 +206,32 @@ class UtilityEvaluator:
         """The Eq. (3) welfare of ``sharing`` at fairness level ``alpha``."""
         return welfare(alpha, list(sharing), self.utilities(sharing))
 
+    @property
+    def total_evaluations(self) -> int:
+        """Full-vector plus single-SC model solves.
+
+        The game layer reports this as its ``model_evaluations`` effort
+        metric: a best-response trial costs one solve on either path, so
+        the combined count stays comparable across configurations."""
+        return self.evaluations + self.target_evaluations
+
     def cache_size(self) -> int:
         """Number of distinct sharing vectors evaluated so far."""
         return len(self._cache)
+
+    def cache_info(self) -> dict[str, object]:
+        """Cache effectiveness counters for logs and benchmarks.
+
+        Combines this evaluator's params cache with the wrapped model's
+        level-prefix cache statistics when the model exposes them (the
+        approximate model does via ``level_cache_stats``)."""
+        info: dict[str, object] = {
+            "params_cache_size": len(self._cache),
+            "target_cache_size": len(self._target_cache),
+            "model_evaluations": self.evaluations,
+            "target_evaluations": self.target_evaluations,
+        }
+        stats = getattr(self.model, "level_cache_stats", None)
+        if callable(stats):
+            info["level_cache"] = stats()
+        return info

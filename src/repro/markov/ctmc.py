@@ -41,10 +41,18 @@ class CTMC:
 
     def _validate(self) -> None:
         q = self.generator
-        off_diag = q.copy()
-        off_diag.setdiag(0.0)
-        if off_diag.nnz and off_diag.data.min() < -1e-12:
-            raise ConfigurationError("CTMC generator has negative off-diagonal rates")
+        if q.nnz:
+            # Off-diagonal negativity via an entry mask — copying the
+            # whole generator just to zero its diagonal doubled peak
+            # memory on every chain construction.
+            entry_rows = np.repeat(
+                np.arange(q.shape[0], dtype=np.int64), np.diff(q.indptr)
+            )
+            off_diag = q.data[entry_rows != q.indices]
+            if off_diag.size and off_diag.min() < -1e-12:
+                raise ConfigurationError(
+                    "CTMC generator has negative off-diagonal rates"
+                )
         row_sums = np.asarray(q.sum(axis=1)).ravel()
         scale = max(1.0, float(np.abs(q.diagonal()).max(initial=0.0)))
         if np.abs(row_sums).max(initial=0.0) > 1e-8 * scale:
@@ -115,14 +123,15 @@ class CTMC:
             return 1.0
         return max_rate * slack
 
-    def steady_state(self, method: str = "auto") -> np.ndarray:
+    def steady_state(self, method: str = "auto", x0: np.ndarray | None = None) -> np.ndarray:
         """Solve ``pi Q = 0`` with ``sum(pi) = 1``.
 
-        See :func:`repro.markov.solvers.steady_state` for methods.
+        See :func:`repro.markov.solvers.steady_state` for methods; ``x0``
+        optionally warm-starts the iterative solvers.
         """
         from repro.markov.solvers import steady_state
 
-        pi = steady_state(self.generator, method=method)
+        pi = steady_state(self.generator, method=method, x0=x0)
         sanitize.check_distribution(pi, label=f"steady-state[{method}]")
         return pi
 

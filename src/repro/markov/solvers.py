@@ -13,6 +13,15 @@ Three strategies, selectable explicitly or via ``method='auto'``:
 All solvers return a probability row vector ``pi`` with ``pi Q = 0`` and
 ``sum(pi) = 1``; tiny negative entries from round-off are clipped and the
 vector renormalized.
+
+The iterative solvers (``gmres``, ``power``) accept an optional warm
+start ``x0`` — a previously solved stationary vector of a *similar*
+chain (same state space, perturbed rates).  A good warm start cuts the
+iteration count; it never changes what the solver converges to beyond
+its tolerance, and the direct solver ignores it entirely.  Malformed
+guesses (wrong length, non-finite, non-positive mass) are silently
+discarded rather than rejected, so callers can pass whatever neighbor
+vector they have without pre-validating it.
 """
 
 from __future__ import annotations
@@ -49,6 +58,18 @@ def _check_residual(q: sp.spmatrix, pi: np.ndarray, tol: float = 1e-7) -> None:
         raise SolverError(f"steady-state residual too large: {residual:.3e}")
 
 
+def _usable_warm_start(x0: np.ndarray | None, n: int) -> np.ndarray | None:
+    """Validate a warm-start vector; return it ravelled or ``None``."""
+    if x0 is None:
+        return None
+    x0 = np.asarray(x0, dtype=float).ravel()
+    if x0.shape != (n,) or not np.all(np.isfinite(x0)):
+        return None
+    if x0.min(initial=0.0) < 0.0 or x0.sum() <= 0.0:
+        return None
+    return x0
+
+
 def steady_state_direct(q: sp.spmatrix) -> np.ndarray:
     """Solve ``pi Q = 0, sum(pi)=1`` by sparse LU on the transposed system.
 
@@ -80,29 +101,52 @@ def steady_state_direct(q: sp.spmatrix) -> np.ndarray:
 
 
 def steady_state_gmres(
-    q: sp.spmatrix, tol: float = 1e-12, max_iter: int = 20_000
+    q: sp.spmatrix,
+    tol: float = 1e-12,
+    max_iter: int = 20_000,
+    x0: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Solve the steady state with preconditioned GMRES."""
+    """Solve the steady state with preconditioned GMRES.
+
+    Uses the same sparsity-preserving *pinning* construction as
+    :func:`steady_state_direct`: fix ``pi[0] = 1``, drop the redundant
+    first balance equation, and solve the remaining square system.  The
+    earlier formulation replaced one equation with a dense row of ones,
+    which destroyed the sparsity the ILU preconditioner relies on.
+
+    Args:
+        q: the generator.
+        tol: relative GMRES tolerance.
+        max_iter: GMRES iteration budget.
+        x0: optional warm start — a (possibly unnormalized) stationary
+            vector of a similar chain.  Ignored if its first entry
+            carries no mass (the pinned system needs ``x0[0] > 0`` to
+            rescale).
+    """
     n = q.shape[0]
     if n == 1:
         return np.array([1.0])
-    a = sp.csc_matrix(q.transpose(), copy=True).tolil()
-    a[n - 1, :] = np.ones(n)
-    a = sp.csc_matrix(a)
-    b = np.zeros(n)
-    b[n - 1] = 1.0
+    qt = sp.csc_matrix(q.transpose())
+    a = sp.csc_matrix(qt[1:, 1:])
+    b = -qt[1:, 0].toarray().ravel()
     preconditioner = None
     try:
         ilu = spla.spilu(a, drop_tol=1e-6, fill_factor=20)
         preconditioner = spla.LinearOperator(a.shape, ilu.solve)
     except RuntimeError:
         preconditioner = None
-    x0 = np.full(n, 1.0 / n)
-    pi, info = spla.gmres(
-        a, b, x0=x0, rtol=tol, atol=0.0, maxiter=max_iter, M=preconditioner
+    # In the pinned system the unknowns are pi[1:] / pi[0]; a uniform
+    # distribution therefore corresponds to a tail of ones.
+    guess = np.ones(n - 1)
+    warm = _usable_warm_start(x0, n)
+    if warm is not None and warm[0] > 0.0:
+        guess = warm[1:] / warm[0]
+    tail, info = spla.gmres(
+        a, b, x0=guess, rtol=tol, atol=0.0, maxiter=max_iter, M=preconditioner
     )
     if info != 0:
         raise ConvergenceError(f"GMRES did not converge (info={info})")
+    pi = np.concatenate([[1.0], tail])
     pi = _clean(pi)
     _check_residual(q, pi, tol=1e-6)
     sanitize.check_distribution(pi, label="steady-state[gmres]")
@@ -110,11 +154,23 @@ def steady_state_gmres(
 
 
 def stationary_power(
-    p: sp.spmatrix, tol: float = 1e-12, max_iter: int = 1_000_000
+    p: sp.spmatrix,
+    tol: float = 1e-12,
+    max_iter: int = 1_000_000,
+    x0: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Power iteration for the stationary distribution of a DTMC matrix."""
+    """Power iteration for the stationary distribution of a DTMC matrix.
+
+    ``x0`` warm-starts the iteration from a (renormalized) previous
+    stationary vector; a guess near the fixed point saves most of the
+    iterations without changing the fixed point itself.
+    """
     n = p.shape[0]
-    pi = np.full(n, 1.0 / n)
+    warm = _usable_warm_start(x0, n)
+    if warm is not None:
+        pi = warm / warm.sum()
+    else:
+        pi = np.full(n, 1.0 / n)
     for iteration in range(max_iter):
         nxt = np.asarray(pi @ p).ravel()
         delta = np.abs(nxt - pi).max()
@@ -129,7 +185,10 @@ def stationary_power(
 
 
 def steady_state_power(
-    q: sp.spmatrix, tol: float = 1e-12, max_iter: int = 1_000_000
+    q: sp.spmatrix,
+    tol: float = 1e-12,
+    max_iter: int = 1_000_000,
+    x0: np.ndarray | None = None,
 ) -> np.ndarray:
     """Steady state via power iteration on the uniformized DTMC."""
     exit_rates = -q.diagonal()
@@ -138,7 +197,7 @@ def steady_state_power(
         n = q.shape[0]
         return np.full(n, 1.0 / n)
     p = sp.eye(q.shape[0], format="csr") + q.multiply(1.0 / gamma)
-    pi = stationary_power(sp.csr_matrix(p), tol=tol, max_iter=max_iter)
+    pi = stationary_power(sp.csr_matrix(p), tol=tol, max_iter=max_iter, x0=x0)
     _check_residual(q, pi, tol=1e-6)
     sanitize.check_distribution(pi, label="steady-state[power]")
     return pi
@@ -151,18 +210,22 @@ def steady_state_power(
 _LARGE_CHAIN_THRESHOLD = 20_000
 
 
-def steady_state(q: sp.spmatrix, method: str = "auto") -> np.ndarray:
+def steady_state(
+    q: sp.spmatrix, method: str = "auto", x0: np.ndarray | None = None
+) -> np.ndarray:
     """Solve the CTMC steady state with the requested ``method``.
 
     ``auto`` picks a solver order by chain size (direct LU first for
     small chains, power iteration first for large ones); the first solver
-    that produces a residual-checked distribution wins.
+    that produces a residual-checked distribution wins.  ``x0`` is an
+    optional warm start forwarded to the iterative solvers (the direct
+    solver ignores it).
     """
     q = sp.csr_matrix(q)
     methods = {
-        "direct": steady_state_direct,
-        "gmres": steady_state_gmres,
-        "power": steady_state_power,
+        "direct": lambda m: steady_state_direct(m),
+        "gmres": lambda m: steady_state_gmres(m, x0=x0),
+        "power": lambda m: steady_state_power(m, x0=x0),
     }
     if method in methods:
         return methods[method](q)
@@ -170,15 +233,18 @@ def steady_state(q: sp.spmatrix, method: str = "auto") -> np.ndarray:
         raise SolverError(f"unknown steady-state method {method!r}")
     if q.shape[0] > _LARGE_CHAIN_THRESHOLD:
         order: list[tuple] = [
-            ("power", lambda m: steady_state_power(m, tol=1e-13, max_iter=100_000)),
+            (
+                "power",
+                lambda m: steady_state_power(m, tol=1e-13, max_iter=100_000, x0=x0),
+            ),
             ("direct", steady_state_direct),
-            ("gmres", steady_state_gmres),
+            ("gmres", lambda m: steady_state_gmres(m, x0=x0)),
         ]
     else:
         order = [
             ("direct", steady_state_direct),
-            ("gmres", steady_state_gmres),
-            ("power", steady_state_power),
+            ("gmres", lambda m: steady_state_gmres(m, x0=x0)),
+            ("power", lambda m: steady_state_power(m, x0=x0)),
         ]
     errors: list[str] = []
     for name, solver in order:

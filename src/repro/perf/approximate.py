@@ -19,13 +19,37 @@ The chain is linear in K — evaluating the target SC builds K chains whose
 individual sizes do not depend on K (only on the pool size ``B_i``).
 Evaluating *all* SCs rotates each one into the target slot (the paper's
 decentralized usage: each SC runs the chain with itself last).
+
+Two layers make repeated evaluation cheap — the paper's market game calls
+this model hundreds of times per equilibrium search:
+
+- **Vectorized transition assembly.**  The generator of one level is
+  emitted in NumPy batches grouped by ``(event type, interaction level
+  s + a, outcome)`` instead of a per-state Python loop; the batches are
+  then permuted back into the exact order the per-state loop would have
+  produced, so the assembled sparse generator is *bit-identical* to the
+  retained reference implementation (``assembly="reference"``), which the
+  test suite asserts.
+- **Level-prefix memoization.**  A solved level depends only on the model
+  configuration, the ordered prefix of per-SC performance specs
+  ``(N, lambda, mu, Q, S)``, and its pool size ``B_i``; an in-memory LRU
+  (:class:`repro.runtime.memo.LRUCache`) keyed on exactly that content
+  lets target rotations and repeated scenario sweeps rebuild only the
+  levels whose prefix actually changed.  Cache hits return the very
+  arrays a cold build would produce, so memoized runs stay bit-identical.
+  ``warm_start=True`` additionally seeds each level's steady-state solve
+  with the stationary vector of the most recent same-shape chain — the
+  iterative solvers then converge in far fewer sweeps (the direct solver
+  ignores the hint).  Warm starting is opt-in because it can perturb
+  results at the solver-tolerance level (~1e-12) on chains large enough
+  to use the iterative solvers.
 """
 
 from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 import scipy.sparse as sp
@@ -33,7 +57,7 @@ import scipy.sparse as sp
 if TYPE_CHECKING:
     from repro.runtime.executor import Executor
 
-from repro._validation import check_positive
+from repro._validation import check_positive, require
 from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.markov.ctmc import CTMC
 from repro.markov.solvers import steady_state
@@ -47,7 +71,7 @@ from repro.perf.interaction import (
 from repro.perf.params import PerformanceParams
 from repro.queueing.forwarding import queue_truncation_level
 from repro.queueing.sla import prob_no_forward
-
+from repro.runtime.memo import LRUCache
 
 def _evaluate_target_task(
     task: "tuple[ApproximateModel, FederationScenario, int]",
@@ -63,10 +87,12 @@ class _StateIndexer:
     The level state spaces enumerate ``q``, then ``s``, then the
     triangular ``(o, a)`` block with ``o + a <= pool``; this mirrors that
     enumeration arithmetically so transition assembly avoids per-lookup
-    dict hashing of tuples.
+    dict hashing of tuples.  All per-instance quantities (including the
+    total ``(o, a)`` pair count ``per_s``) are precomputed once — this
+    sits on the hottest loop in the repo.
     """
 
-    __slots__ = ("shares", "pool", "_tri_base", "_block")
+    __slots__ = ("shares", "pool", "_tri_base", "_tri_np", "_per_s", "_block")
 
     def __init__(self, q_max: int, shares: int, pool: int) -> None:
         self.shares = shares
@@ -77,12 +103,96 @@ class _StateIndexer:
         for o in range(pool + 1):
             self._tri_base[o] = offset
             offset += pool - o + 1
+        self._per_s = offset  # total (o, a) pairs
         self._block = (shares + 1) * offset  # states per q level
+        self._tri_np = np.asarray(self._tri_base, dtype=np.int64)
 
     def __call__(self, q: int, s: int, o: int, a: int) -> int:
-        triangle = self._tri_base[o] + a
-        per_s = self._tri_base[self.pool] + 1  # total (o, a) pairs
-        return q * self._block + s * per_s + triangle
+        return q * self._block + s * self._per_s + self._tri_base[o] + a
+
+    def index_arrays(
+        self,
+        q: "np.ndarray | int",
+        s: "np.ndarray | int",
+        o: "np.ndarray | int",
+        a: "np.ndarray | int",
+    ) -> np.ndarray:
+        """Vectorized :meth:`__call__` over (broadcastable) index arrays."""
+        return q * self._block + s * self._per_s + self._tri_np[o] + a
+
+
+def _state_arrays(
+    q_max: int, shares: int, pool: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The ``(q, s, o, a)`` coordinates of every level state, enumeration
+    order, as four int64 arrays (the vectorized twin of the state list)."""
+    o_row = np.repeat(
+        np.arange(pool + 1, dtype=np.int64),
+        np.arange(pool + 1, 0, -1, dtype=np.int64),
+    )
+    a_row = np.concatenate(
+        [np.arange(pool - o + 1, dtype=np.int64) for o in range(pool + 1)]
+    )
+    tri = o_row.size
+    blocks = (q_max + 1) * (shares + 1)
+    q_arr = np.repeat(np.arange(q_max + 1, dtype=np.int64), (shares + 1) * tri)
+    s_arr = np.tile(np.repeat(np.arange(shares + 1, dtype=np.int64), tri), q_max + 1)
+    o_arr = np.tile(o_row, blocks)
+    a_arr = np.tile(a_row, blocks)
+    return q_arr, s_arr, o_arr, a_arr
+
+
+class _EntrySink:
+    """Accumulates generator entries with their reference emission keys.
+
+    The vectorized assembler emits entries grouped by ``(event, level,
+    outcome)``; the reference loop emits them grouped by state.  Each
+    entry's key ``(row, event, outcome position)`` is unique, so sorting
+    by it reproduces the reference order exactly — and therefore the
+    exact floating-point duplicate-summation order inside
+    ``coo_matrix(...).tocsr()``.
+    """
+
+    __slots__ = ("_rows", "_cols", "_vals", "_keys", "_omax")
+
+    def __init__(self, max_outcomes: int) -> None:
+        self._rows: list[np.ndarray] = []
+        self._cols: list[np.ndarray] = []
+        self._vals: list[np.ndarray] = []
+        self._keys: list[np.ndarray] = []
+        self._omax = np.int64(max(max_outcomes, 1))
+
+    def emit(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        val: np.ndarray,
+        event: int,
+        outcome_pos: int,
+    ) -> None:
+        """Queue a batch of entries; self-loops are dropped (the diagonal
+        is derived from row sums afterwards, as in the reference)."""
+        val = np.broadcast_to(val, src.shape)
+        keep = dst != src
+        if not keep.all():
+            src, dst, val = src[keep], dst[keep], val[keep]
+        if src.size == 0:
+            return
+        self._rows.append(src)
+        self._cols.append(dst)
+        self._vals.append(val)
+        self._keys.append((src * 3 + np.int64(event)) * self._omax + np.int64(outcome_pos))
+
+    def sorted_entries(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All entries permuted into reference (state-major) order."""
+        if not self._rows:
+            empty = np.empty(0)
+            return empty.astype(np.int32), empty.astype(np.int32), empty
+        rows = np.concatenate(self._rows)
+        cols = np.concatenate(self._cols)
+        vals = np.concatenate(self._vals)
+        perm = np.argsort(np.concatenate(self._keys), kind="stable")
+        return rows[perm].astype(np.int32), cols[perm].astype(np.int32), vals[perm]
 
 
 @dataclass
@@ -122,6 +232,19 @@ class ApproximateModel(PerformanceModel):
             chains in parallel.  Each rotation is a pure function of the
             scenario, so any executor (including process pools) returns
             results bit-identical to a serial run.
+        assembly: ``"vectorized"`` (default) or ``"reference"`` — the
+            retained per-state Python loop.  Both produce bit-identical
+            generators; the reference exists as the equality oracle and
+            is orders of magnitude slower.
+        level_cache_size: capacity of the level-prefix LRU (``None`` for
+            unbounded, ``0`` to disable memoization entirely).  Cached
+            levels are exactly the objects a cold build produces, so the
+            cache never changes results, only wall-clock.
+        warm_start: seed each level's steady-state solve with the most
+            recently solved same-shape chain's stationary vector.  Off by
+            default: the hint is only consumed by the iterative solvers,
+            where it can move results at their convergence tolerance
+            (~1e-12) and makes them dependent on evaluation order.
     """
 
     def __init__(
@@ -131,12 +254,33 @@ class ApproximateModel(PerformanceModel):
         outcome_threshold: float = 1e-7,
         max_outcomes: int = 48,
         executor: "Executor | None" = None,
+        assembly: str = "vectorized",
+        level_cache_size: int | None = 64,
+        warm_start: bool = False,
     ) -> None:
         self.tail_epsilon = check_positive(tail_epsilon, "tail_epsilon")
         self.transient_epsilon = check_positive(transient_epsilon, "transient_epsilon")
         self.outcome_threshold = check_positive(outcome_threshold, "outcome_threshold")
         self.max_outcomes = int(max_outcomes)
         self.executor = executor
+        require(
+            assembly in ("vectorized", "reference"),
+            f"assembly must be 'vectorized' or 'reference', got {assembly!r}",
+        )
+        require(
+            level_cache_size is None or int(level_cache_size) >= 0,
+            "level_cache_size must be None or a non-negative integer",
+        )
+        self.warm_start = bool(warm_start)
+        # Private plumbing (underscored so it stays out of the cache
+        # fingerprint: both assemblers and any cache size produce
+        # bit-identical parameters).
+        self._assembly = assembly
+        self._level_cache_size = level_cache_size
+        self._level_cache: LRUCache | None = (
+            LRUCache(maxsize=level_cache_size) if level_cache_size != 0 else None
+        )
+        self._warm: LRUCache = LRUCache(maxsize=16)
 
     # ------------------------------------------------------------------ #
     # public interface
@@ -159,7 +303,10 @@ class ApproximateModel(PerformanceModel):
 
         The K rotations are independent chains; with an executor they run
         in parallel (process pools ship a copy of the model configured
-        without an executor, so workers never nest pools).
+        without an executor, so workers never nest pools).  The serial
+        path shares the level-prefix cache across rotations: rotation
+        ``t`` reuses the first ``t`` levels of the deepest chain built so
+        far instead of resolving them.
         """
         k = len(scenario)
         executor = self.executor
@@ -170,19 +317,73 @@ class ApproximateModel(PerformanceModel):
             transient_epsilon=self.transient_epsilon,
             outcome_threshold=self.outcome_threshold,
             max_outcomes=self.max_outcomes,
+            assembly=self._assembly,
+            level_cache_size=self._level_cache_size,
+            warm_start=self.warm_start,
         )
         return executor.map(
             _evaluate_target_task, [(worker, scenario, i) for i in range(k)]
         )
 
+    def level_cache_stats(self) -> dict[str, int | None]:
+        """Hit/miss counters of the level-prefix cache (all zero when
+        memoization is disabled)."""
+        if self._level_cache is None:
+            return {"size": 0, "maxsize": 0, "hits": 0, "misses": 0}
+        return self._level_cache.stats()
+
     # ------------------------------------------------------------------ #
-    # chain construction
+    # chain construction and level memoization
     # ------------------------------------------------------------------ #
 
+    def _config_key(self) -> tuple:
+        return (
+            self.tail_epsilon,
+            self.transient_epsilon,
+            self.outcome_threshold,
+            self.max_outcomes,
+        )
+
+    @staticmethod
+    def _spec_key(cloud: SmallCloud) -> tuple:
+        """The performance-relevant content of one SC (prices and names
+        cannot influence a chain, so they are excluded — the same rule
+        the disk cache applies)."""
+        return (
+            cloud.vms,
+            cloud.arrival_rate,
+            cloud.service_rate,
+            cloud.sla_bound,
+            cloud.shared_vms,
+        )
+
     def _build_chain(self, scenario: FederationScenario) -> _Level:
-        level = self._build_first(scenario)
-        for i in range(1, len(scenario)):
-            level = self._build_level(scenario, i, level)
+        """Build (or recall) levels ``M^1 .. M^K`` for ``scenario``.
+
+        The cache key of level ``i`` is ``(config, spec_1..spec_i, B_i)``:
+        the ordered prefix of SC specs plus the level's pool size.  All
+        earlier pools are derivable from that content (``B_{j} = B_i +
+        S_i - S_j``), so equal keys imply bit-identical levels.  Walking
+        the chain front-to-back, only the suffix below the deepest cached
+        prefix is rebuilt.
+        """
+        cache = self._level_cache
+        level: _Level | None = None
+        prefix: tuple = (self._config_key(),)
+        for i in range(len(scenario)):
+            prefix = prefix + (self._spec_key(scenario[i]),)
+            key = (prefix, scenario.shared_by_others(i))
+            cached = cache.get(key) if cache is not None else None
+            if cached is None:
+                if i == 0:
+                    cached = self._build_first(scenario)
+                else:
+                    assert level is not None
+                    cached = self._build_level(scenario, i, level)
+                if cache is not None:
+                    cache.put(key, cached)
+            level = cached
+        assert level is not None
         return level
 
     def _q_max(self, scenario: FederationScenario, index: int) -> int:
@@ -191,6 +392,19 @@ class ApproximateModel(PerformanceModel):
         return queue_truncation_level(
             capacity, cloud.service_rate, cloud.sla_bound, self.tail_epsilon
         )
+
+    def _solve_steady(self, ctmc: CTMC, shape_key: tuple) -> np.ndarray:
+        """Steady-state solve, optionally warm-started from the last
+        solved chain of identical shape."""
+        x0 = self._warm.get(shape_key) if self.warm_start else None
+        pi = steady_state(ctmc.generator, x0=x0)
+        if self.warm_start:
+            self._warm.put(shape_key, pi)
+        return pi
+
+    # ------------------------------------------------------------------ #
+    # level 1
+    # ------------------------------------------------------------------ #
 
     def _build_first(self, scenario: FederationScenario) -> _Level:
         """``M^1``: the first SC has uncontended access to the pool."""
@@ -202,29 +416,18 @@ class ApproximateModel(PerformanceModel):
         lam = cloud.arrival_rate
         states = [(q, 0, o, 0) for q in range(q_max + 1) for o in range(pool + 1)]
         space = StateSpace(states)
-        transitions: list[tuple[tuple, tuple, float]] = []
-        forward = np.zeros(len(space))
-        for idx, (q, _s, o, _a) in enumerate(space):
-            if q < n:
-                transitions.append(((q, 0, o, 0), (q + 1, 0, o, 0), lam))
-            elif o < pool:
-                transitions.append(((q, 0, o, 0), (q, 0, o + 1, 0), lam))
-            else:
-                p_queue = prob_no_forward(q - n, n + o, mu, cloud.sla_bound)
-                if q + 1 <= q_max and p_queue > 0.0:
-                    transitions.append(((q, 0, o, 0), (q + 1, 0, o, 0), lam * p_queue))
-                    forward[idx] = lam * (1.0 - p_queue)
-                else:
-                    forward[idx] = lam
-            running = min(q, n)
-            if running > 0:
-                transitions.append(((q, 0, o, 0), (q - 1, 0, o, 0), running * mu))
-            if o > 0:
-                transitions.append(((q, 0, o, 0), (q, 0, o - 1, 0), o * mu))
-        ctmc = CTMC.from_transitions(space, transitions)
-        pi = steady_state(ctmc.generator)
-        q_arr = np.array([s[0] for s in space])
-        o_arr = np.array([s[2] for s in space])
+        if self._assembly == "reference":
+            rows, cols, vals, forward = self._assemble_first_reference(
+                n, mu, lam, pool, q_max, cloud.sla_bound
+            )
+        else:
+            rows, cols, vals, forward = self._assemble_first_vectorized(
+                n, mu, lam, pool, q_max, cloud.sla_bound
+            )
+        ctmc = CTMC(space, self._generator(len(space), rows, cols, vals))
+        pi = self._solve_steady(ctmc, ("first", q_max, pool))
+        q_arr = np.repeat(np.arange(q_max + 1, dtype=np.int64), pool + 1)
+        o_arr = np.tile(np.arange(pool + 1, dtype=np.int64), q_max + 1)
         return _Level(
             space=space,
             steady=pi,
@@ -237,6 +440,92 @@ class ApproximateModel(PerformanceModel):
             forward_flow=forward,
             cloud=cloud,
         )
+
+    def _assemble_first_reference(
+        self, n: int, mu: float, lam: float, pool: int, q_max: int, sla: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-state loop for ``M^1`` — the equality oracle."""
+        n_states = (q_max + 1) * (pool + 1)
+        rows = array("i")
+        cols = array("i")
+        vals = array("d")
+        forward = np.zeros(n_states)
+
+        def add(src: int, dst: int, rate: float) -> None:
+            rows.append(src)
+            cols.append(dst)
+            vals.append(rate)
+
+        width = pool + 1
+        for idx in range(n_states):
+            q, o = divmod(idx, width)
+            if q < n:
+                add(idx, idx + width, lam)
+            elif o < pool:
+                add(idx, idx + 1, lam)
+            else:
+                p_queue = prob_no_forward(q - n, n + o, mu, sla)
+                if q + 1 <= q_max and p_queue > 0.0:
+                    add(idx, idx + width, lam * p_queue)
+                    forward[idx] = lam * (1.0 - p_queue)
+                else:
+                    forward[idx] = lam
+            running = min(q, n)
+            if running > 0:
+                add(idx, idx - width, running * mu)
+            if o > 0:
+                add(idx, idx - 1, o * mu)
+        return (
+            np.frombuffer(rows, dtype=np.int32),
+            np.frombuffer(cols, dtype=np.int32),
+            np.frombuffer(vals, dtype=float),
+            forward,
+        )
+
+    def _assemble_first_vectorized(
+        self, n: int, mu: float, lam: float, pool: int, q_max: int, sla: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batch assembly of ``M^1`` (bit-identical to the reference)."""
+        width = pool + 1
+        n_states = (q_max + 1) * width
+        q_arr = np.repeat(np.arange(q_max + 1, dtype=np.int64), width)
+        o_arr = np.tile(np.arange(width, dtype=np.int64), q_max + 1)
+        idx = np.arange(n_states, dtype=np.int64)
+        forward = np.zeros(n_states)
+        sink = _EntrySink(max_outcomes=1)
+
+        # Arrivals (slot 0): free own VM / free pool VM / SLA race.
+        m1 = q_arr < n
+        sink.emit(idx[m1], idx[m1] + width, np.array([lam]), 0, 0)
+        m2 = ~m1 & (o_arr < pool)
+        sink.emit(idx[m2], idx[m2] + 1, np.array([lam]), 0, 0)
+        m3 = ~m1 & ~m2
+        if m3.any():
+            # m3 non-empty implies q_max >= n (it needs q >= n, o == pool).
+            q3 = q_arr[m3]
+            pq_table = np.array(
+                [prob_no_forward(w, n + pool, mu, sla) for w in range(q_max - n + 1)]
+            )
+            p_queue = pq_table[q3 - n]
+            queue_ok = (q3 + 1 <= q_max) & (p_queue > 0.0)
+            st3 = idx[m3]
+            sink.emit(
+                st3[queue_ok], st3[queue_ok] + width, lam * p_queue[queue_ok], 0, 0
+            )
+            forward[st3[queue_ok]] = lam * (1.0 - p_queue[queue_ok])
+            forward[st3[~queue_ok]] = lam
+        # Local departures (slot 1) and pool departures (slot 2).
+        running = np.minimum(q_arr, n)
+        m4 = running > 0
+        sink.emit(idx[m4], idx[m4] - width, running[m4] * mu, 1, 0)
+        m5 = o_arr > 0
+        sink.emit(idx[m5], idx[m5] - 1, o_arr[m5] * mu, 2, 0)
+        rows, cols, vals = sink.sorted_entries()
+        return rows, cols, vals, forward
+
+    # ------------------------------------------------------------------ #
+    # levels 2..K
+    # ------------------------------------------------------------------ #
 
     def _build_level(
         self, scenario: FederationScenario, index: int, prev: _Level
@@ -306,11 +595,65 @@ class ApproximateModel(PerformanceModel):
             return outcome_cache[key]
 
         # --- transition assembly -----------------------------------------
-        # Destinations are resolved to dense indices immediately and
-        # accumulated in compact typed arrays: a tuple-based transition
-        # list at this fan-out (states x outcomes) costs gigabytes.
-        sla = cloud.sla_bound
         index_of = _StateIndexer(q_max, shares, pool)
+        if self._assembly == "reference":
+            rows, cols, vals, forward = self._assemble_level_reference(
+                space, n, mu, lam, shares, pool, q_max, cloud.sla_bound,
+                outcomes_for, index_of,
+            )
+        else:
+            rows, cols, vals, forward = self._assemble_level_vectorized(
+                n, mu, lam, shares, pool, q_max, cloud.sla_bound,
+                outcomes_for, index_of,
+            )
+        ctmc = CTMC(space, self._generator(len(space), rows, cols, vals))
+        pi = self._solve_steady(ctmc, ("level", q_max, shares, pool))
+        q_arr, s_arr, o_arr, a_arr = _state_arrays(q_max, shares, pool)
+        return _Level(
+            space=space,
+            steady=pi,
+            ctmc=ctmc,
+            usage=o_arr + a_arr,
+            own_lent=s_arr,
+            backlog=np.maximum(q_arr - (n - s_arr), 0),
+            totals=s_arr + o_arr + a_arr,
+            pool_size=pool,
+            forward_flow=forward,
+            cloud=cloud,
+        )
+
+    @staticmethod
+    def _generator(
+        n_states: int, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+    ) -> sp.csr_matrix:
+        """COO entries (reference emission order) -> zero-row-sum CSR."""
+        q_matrix = sp.coo_matrix(
+            (vals, (rows, cols)), shape=(n_states, n_states)
+        ).tocsr()
+        return q_matrix - sp.diags(
+            np.asarray(q_matrix.sum(axis=1)).ravel(), format="csr"
+        )
+
+    def _assemble_level_reference(
+        self,
+        space: StateSpace,
+        n: int,
+        mu: float,
+        lam: float,
+        shares: int,
+        pool: int,
+        q_max: int,
+        sla: float,
+        outcomes_for: Callable[[float, int], list],
+        index_of: _StateIndexer,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The per-state assembly loop, retained verbatim as the equality
+        oracle for the vectorized assembler.
+
+        Destinations are resolved to dense indices immediately and
+        accumulated in compact typed arrays: a tuple-based transition
+        list at this fan-out (states x outcomes) costs gigabytes.
+        """
         rows = array("i")
         cols = array("i")
         vals = array("d")
@@ -372,35 +715,200 @@ class ApproximateModel(PerformanceModel):
                         add(idx, q - 1, a_loc, o, min(a_rem_raw, pool - o), rate)
                     else:
                         add(idx, q, a_loc, o - 1, min(a_rem_raw, pool - (o - 1)), rate)
+        return (
+            np.frombuffer(rows, dtype=np.int32),
+            np.frombuffer(cols, dtype=np.int32),
+            np.frombuffer(vals, dtype=float),
+            forward,
+        )
 
-        n_states = len(space)
-        q_matrix = sp.coo_matrix(
-            (np.frombuffer(vals, dtype=float),
-             (np.frombuffer(rows, dtype=np.int32),
-              np.frombuffer(cols, dtype=np.int32))),
-            shape=(n_states, n_states),
-        ).tocsr()
-        q_matrix = q_matrix - sp.diags(
-            np.asarray(q_matrix.sum(axis=1)).ravel(), format="csr"
+    def _assemble_level_vectorized(
+        self,
+        n: int,
+        mu: float,
+        lam: float,
+        shares: int,
+        pool: int,
+        q_max: int,
+        sla: float,
+        outcomes_for: Callable[[float, int], list],
+        index_of: _StateIndexer,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batch assembly of one level's generator.
+
+        States are grouped by interaction level ``s + a`` (arrivals), by
+        ``(running, level)`` (local departures), and by ``(o, level)``
+        (remote departures); each group shares one outcome distribution,
+        so every ``(event, group, outcome)`` triple becomes a single
+        broadcast through the closed-form indexer arithmetic.  The SLA
+        race probabilities are precomputed as a ``(waiting, busy)`` table
+        from the same scalar :func:`prob_no_forward`, so every float
+        matches the reference bit for bit.
+        """
+        q_arr, s_arr, o_arr, a_arr = _state_arrays(q_max, shares, pool)
+        n_states = q_arr.size
+        level_arr = s_arr + a_arr
+        n_levels = shares + pool + 1
+        forward = np.zeros(n_states)
+        sink = _EntrySink(max_outcomes=self.max_outcomes)
+        all_idx = np.arange(n_states, dtype=np.int64)
+
+        # P^NF as a dense (waiting, busy) lookup — a few hundred scalar
+        # calls replace one call per (state, outcome) pair.
+        pq_table = np.array(
+            [
+                [prob_no_forward(w, c, mu, sla) for c in range(n + pool + 1)]
+                for w in range(q_max + 1)
+            ]
         )
-        ctmc = CTMC(space, q_matrix)
-        pi = steady_state(ctmc.generator)
-        q_arr = np.array([st[0] for st in space])
-        s_arr = np.array([st[1] for st in space])
-        o_arr = np.array([st[2] for st in space])
-        a_arr = np.array([st[3] for st in space])
-        return _Level(
-            space=space,
-            steady=pi,
-            ctmc=ctmc,
-            usage=o_arr + a_arr,
-            own_lent=s_arr,
-            backlog=np.maximum(q_arr - (n - s_arr), 0),
-            totals=s_arr + o_arr + a_arr,
-            pool_size=pool,
-            forward_flow=forward,
-            cloud=cloud,
-        )
+
+        def level_groups(
+            member: np.ndarray, group_key: np.ndarray
+        ) -> list[tuple[int, np.ndarray]]:
+            """Split ``member`` states into index arrays per group key
+            (each ascending, so per-state emission order is preserved)."""
+            members = all_idx[member]
+            keys = group_key[member]
+            order = np.argsort(keys, kind="stable")
+            members = members[order]
+            keys = keys[order]
+            uniques, starts = np.unique(keys, return_index=True)
+            bounds = np.append(starts[1:], members.size)
+            return [
+                (int(u), members[lo:hi])
+                for u, lo, hi in zip(uniques, starts, bounds)
+            ]
+
+        # --- arrivals (cases C1-C3), grouped by interaction level -------
+        tau_arrival = 1.0 / lam
+        for lvl, st in level_groups(np.ones(n_states, dtype=bool), level_arr):
+            qv, sv, ov = q_arr[st], s_arr[st], o_arr[st]
+            for j, (a_loc, a_rem_raw, _bk, p) in enumerate(outcomes_for(tau_arrival, lvl)):
+                rate = lam * p
+                c1 = qv + a_loc < n
+                if c1.any():
+                    sink.emit(
+                        st[c1],
+                        index_of.index_arrays(
+                            qv[c1] + 1, a_loc, ov[c1],
+                            np.minimum(a_rem_raw, pool - ov[c1]),
+                        ),
+                        np.array([rate]),
+                        0,
+                        j,
+                    )
+                rest = ~c1
+                c2 = rest & (ov + a_rem_raw + 1 <= pool)
+                if c2.any():
+                    sink.emit(
+                        st[c2],
+                        index_of.index_arrays(qv[c2], a_loc, ov[c2] + 1, a_rem_raw),
+                        np.array([rate]),
+                        0,
+                        j,
+                    )
+                c3 = rest & ~c2
+                if c3.any():
+                    st3, q3, o3 = st[c3], qv[c3], ov[c3]
+                    a_rem = pool - o3
+                    p_queue = pq_table[q3 - (n - a_loc), (n - a_loc) + o3]
+                    queue_ok = (q3 + 1 <= q_max) & (p_queue > 0.0)
+                    if queue_ok.any():
+                        sink.emit(
+                            st3[queue_ok],
+                            index_of.index_arrays(
+                                q3[queue_ok] + 1, a_loc, o3[queue_ok], a_rem[queue_ok]
+                            ),
+                            rate * p_queue[queue_ok],
+                            0,
+                            j,
+                        )
+                        forward[st3[queue_ok]] += rate * (1.0 - p_queue[queue_ok])
+                    dropped = ~queue_ok
+                    if dropped.any():
+                        forward[st3[dropped]] += rate
+                        sink.emit(
+                            st3[dropped],
+                            index_of.index_arrays(
+                                q3[dropped], a_loc, o3[dropped], a_rem[dropped]
+                            ),
+                            np.array([rate]),
+                            0,
+                            j,
+                        )
+
+        # --- local departures (case C4), grouped by (running, level) ----
+        running_arr = np.minimum(q_arr, n - s_arr)
+        for key, st in level_groups(running_arr > 0, running_arr * n_levels + level_arr):
+            running, lvl = divmod(key, n_levels)
+            tau = 1.0 / (running * mu)
+            qv, ov = q_arr[st], o_arr[st]
+            for j, (a_loc, a_rem_raw, bk, p) in enumerate(outcomes_for(tau, lvl)):
+                rate = running * mu * p
+                a_rem = np.minimum(a_rem_raw, pool - ov)
+                if bk and a_loc < shares:
+                    promote = qv + a_loc <= n
+                    if promote.any():
+                        sink.emit(
+                            st[promote],
+                            index_of.index_arrays(
+                                qv[promote] - 1, a_loc + 1, ov[promote], a_rem[promote]
+                            ),
+                            np.array([rate]),
+                            1,
+                            j,
+                        )
+                    plain = ~promote
+                else:
+                    promote = None
+                    plain = slice(None)
+                dst = index_of.index_arrays(qv[plain] - 1, a_loc, ov[plain], a_rem[plain])
+                if dst.size:
+                    sink.emit(st[plain], dst, np.array([rate]), 1, j)
+
+        # --- remote departures (case C5), grouped by (o, level) ---------
+        for key, st in level_groups(o_arr > 0, o_arr * n_levels + level_arr):
+            o, lvl = divmod(key, n_levels)
+            tau = 1.0 / (o * mu)
+            qv = q_arr[st]
+            for j, (a_loc, a_rem_raw, bk, p) in enumerate(outcomes_for(tau, lvl)):
+                rate = o * mu * p
+                if bk:
+                    sink.emit(
+                        st,
+                        index_of.index_arrays(
+                            qv, a_loc, o - 1, min(a_rem_raw + 1, pool - (o - 1))
+                        ),
+                        np.array([rate]),
+                        2,
+                        j,
+                    )
+                    continue
+                over = qv + a_loc > n
+                if over.any():
+                    sink.emit(
+                        st[over],
+                        index_of.index_arrays(
+                            qv[over] - 1, a_loc, o, min(a_rem_raw, pool - o)
+                        ),
+                        np.array([rate]),
+                        2,
+                        j,
+                    )
+                under = ~over
+                if under.any():
+                    sink.emit(
+                        st[under],
+                        index_of.index_arrays(
+                            qv[under], a_loc, o - 1, min(a_rem_raw, pool - (o - 1))
+                        ),
+                        np.array([rate]),
+                        2,
+                        j,
+                    )
+
+        rows, cols, vals = sink.sorted_entries()
+        return rows, cols, vals, forward
 
     # ------------------------------------------------------------------ #
     # parameter extraction
@@ -410,7 +918,7 @@ class ApproximateModel(PerformanceModel):
         pi = level.steady
         cloud = level.cloud
         q_arr = np.array([st[0] for st in level.space])
-        s_arr = np.array([st[1] for st in level.space])
+        s_arr = level.own_lent
         o_arr = np.array([st[2] for st in level.space])
         running = np.minimum(q_arr, cloud.vms - s_arr)
         busy = running + s_arr

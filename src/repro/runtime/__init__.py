@@ -13,7 +13,10 @@ This package supplies the shared machinery:
 - :mod:`repro.runtime.cache` — a persistent on-disk parameter cache
   (content-hash keys over the performance-relevant scenario fields) that
   extends the in-memory ``ParamsCache`` of :mod:`repro.market.evaluator`
-  and wraps any :class:`~repro.perf.base.PerformanceModel`.
+  and wraps any :class:`~repro.perf.base.PerformanceModel`;
+- :mod:`repro.runtime.memo` — a bounded thread-safe in-memory ``LRUCache``
+  for expensive intermediates (the approximate model's level-prefix
+  cache, the disk cache's in-memory front).
 
 Everything is engineered so that parallel and cached runs are
 *bit-identical* to serial uncached runs: executors preserve input order,
@@ -35,6 +38,7 @@ from repro.runtime.executor import (
     ThreadExecutor,
     make_executor,
 )
+from repro.runtime.memo import LRUCache
 from repro.runtime.seeding import derive_seed, derive_seeds, derive_streams, replication_seeds
 
 __all__ = [
@@ -42,6 +46,7 @@ __all__ = [
     "DiskCache",
     "DiskParamsCache",
     "Executor",
+    "LRUCache",
     "ProcessExecutor",
     "SerialExecutor",
     "ThreadExecutor",

@@ -35,10 +35,15 @@ from typing import Any
 
 from repro._validation import require
 from repro.analysis import sanitize
-from repro.core.serialization import params_from_dict, params_to_dict
+
+# ``core.serialization`` imports ``repro.perf``, whose package init pulls
+# the approximate model and, through it, ``repro.runtime`` — so a
+# module-level import here would close an import cycle whenever
+# serialization is imported first (the CLI does).  Import lazily instead.
 from repro.core.small_cloud import FederationScenario
 from repro.perf.base import PerformanceModel
 from repro.perf.params import PerformanceParams
+from repro.runtime.memo import LRUCache
 
 #: Bump when the payload layout changes; older entries become misses.
 #: Version 2 added the mandatory ``digest`` content hash.
@@ -180,6 +185,8 @@ class DiskCache:
 
 
 def _decode_params(payload: dict) -> list[PerformanceParams] | None:
+    from repro.core.serialization import params_from_dict
+
     try:
         return [params_from_dict(entry) for entry in payload["params"]]
     except Exception:
@@ -192,8 +199,9 @@ class DiskParamsCache(MutableMapping):
     A drop-in for the in-memory dictionary
     :class:`repro.market.evaluator.UtilityEvaluator` keeps — pass an
     instance as ``params_cache`` and every solved sharing vector persists
-    to ``root``.  An in-memory layer fronts the disk store, so repeated
-    hits inside one run cost a dict lookup.
+    to ``root``.  An in-memory :class:`~repro.runtime.memo.LRUCache`
+    fronts the disk store, so repeated hits inside one run cost a dict
+    lookup; long equilibrium searches can bound it with ``memory_size``.
 
     Entries are namespaced by the scenario's base fingerprint and the
     model fingerprint: caches for different federations, tolerances, or
@@ -204,6 +212,9 @@ class DiskParamsCache(MutableMapping):
         scenario: the federation the cached parameters describe (prices
             and the scenario's own sharing values are irrelevant).
         model: the model producing the parameters.
+        memory_size: capacity of the in-memory front (``None`` for
+            unbounded).  Evicted entries are still on disk, so bounding
+            only trades lookup latency for memory.
     """
 
     def __init__(
@@ -211,6 +222,7 @@ class DiskParamsCache(MutableMapping):
         root: str | Path,
         scenario: FederationScenario,
         model: PerformanceModel,
+        memory_size: int | None = None,
     ) -> None:
         require(
             isinstance(scenario, FederationScenario),
@@ -224,7 +236,9 @@ class DiskParamsCache(MutableMapping):
         self._scenario_key = scenario_fingerprint(scenario, include_sharing=False)
         self._model_key = model_fingerprint(model)
         self._size = len(scenario)
-        self._memory: dict[tuple[int, ...], list[PerformanceParams]] = {}
+        self._memory: LRUCache[tuple[int, ...], list[PerformanceParams]] = LRUCache(
+            maxsize=memory_size
+        )
 
     def _hash(self, sharing: tuple[int, ...]) -> str:
         blob = json.dumps(
@@ -251,8 +265,9 @@ class DiskParamsCache(MutableMapping):
 
     def __getitem__(self, key: Sequence[int]) -> list[PerformanceParams]:
         sharing = self._normalize(key)
-        if sharing in self._memory:
-            return self._memory[sharing]
+        cached = self._memory.get(sharing)
+        if cached is not None:
+            return cached
         payload = self._store.load(self._hash(sharing))
         if payload is None:
             raise KeyError(sharing)
@@ -281,12 +296,14 @@ class DiskParamsCache(MutableMapping):
         if sanitize.sanitize_enabled():
             for i, entry in enumerate(params):
                 sanitize.check_params(entry, label=f"cache-params[{sharing}][{i}]")
-        self._memory[sharing] = params
+        self._memory.put(sharing, params)
         return params
 
     def __setitem__(self, key: Sequence[int], value: list[PerformanceParams]) -> None:
+        from repro.core.serialization import params_to_dict
+
         sharing = self._normalize(key)
-        self._memory[sharing] = list(value)
+        self._memory.put(sharing, list(value))
         self._store.store(
             self._hash(sharing),
             {
@@ -300,7 +317,7 @@ class DiskParamsCache(MutableMapping):
 
     def __delitem__(self, key: Sequence[int]) -> None:
         sharing = self._normalize(key)
-        in_memory = self._memory.pop(sharing, None)
+        in_memory = self._memory.pop(sharing)
         on_disk = self._store.discard(self._hash(sharing))
         if in_memory is None and not on_disk:
             raise KeyError(sharing)
@@ -320,15 +337,16 @@ class DiskParamsCache(MutableMapping):
         return found
 
     def __iter__(self) -> Iterator[tuple[int, ...]]:
-        seen = set(self._memory)
-        yield from self._memory
+        mem_keys = self._memory.keys()
+        seen = set(mem_keys)
+        yield from mem_keys
         for sharing in self._disk_keys():
             if sharing not in seen:
                 seen.add(sharing)
                 yield sharing
 
     def __len__(self) -> int:
-        return len(set(self._memory) | set(self._disk_keys()))
+        return len(set(self._memory.keys()) | set(self._disk_keys()))
 
 
 class CachedModel(PerformanceModel):
@@ -367,6 +385,8 @@ class CachedModel(PerformanceModel):
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:40]
 
     def evaluate(self, scenario: FederationScenario) -> list[PerformanceParams]:
+        from repro.core.serialization import params_to_dict
+
         key = self._hash(scenario, target=None)
         payload = self.store.load(key)
         if payload is not None:
@@ -383,6 +403,8 @@ class CachedModel(PerformanceModel):
     def evaluate_target(
         self, scenario: FederationScenario, target: int | None = None
     ) -> PerformanceParams:
+        from repro.core.serialization import params_to_dict
+
         index = len(scenario) - 1 if target is None else int(target)
         key = self._hash(scenario, target=index)
         payload = self.store.load(key)

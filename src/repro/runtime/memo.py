@@ -1,0 +1,151 @@
+"""In-memory LRU memoization tier.
+
+The disk cache (:mod:`repro.runtime.cache`) persists *finished* model
+solutions across processes; this module supplies the layer underneath
+it: a bounded, thread-safe, in-memory LRU for expensive intermediate
+objects that are pure functions of a content key but too large or too
+short-lived to serialize.  The first consumer is the approximate model's
+level-prefix cache (:mod:`repro.perf.approximate`), which memoizes
+solved hierarchy levels keyed by the ordered prefix of
+``(cloud spec, pool)`` pairs; :class:`repro.runtime.cache.DiskParamsCache`
+can also bound its in-memory front with one.
+
+Design constraints inherited from the runtime package:
+
+- **Thread safety** — Tabu neighborhood scoring runs objectives on
+  thread executors, so one model instance may be queried concurrently.
+  All operations take an internal lock; ``get_or_create`` may run the
+  factory concurrently for the same key (both results are identical by
+  construction, last write wins) rather than serializing solves — the
+  once-per-key discipline lives a layer up in ``UtilityEvaluator``.
+- **Process-pool friendliness** — executors pickle models into task
+  payloads.  A lock is unpicklable and a cache full of sparse matrices
+  is expensive to ship, so pickling an :class:`LRUCache` deliberately
+  transfers only its configuration: workers start cold and warm up
+  locally.
+- **Determinism** — the cache stores exactly the object the factory
+  produced; a hit returns the same floats a cold rebuild would, so
+  cached and uncached runs are bit-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from typing import Any, Generic, TypeVar
+
+from repro._validation import require
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A bounded, thread-safe mapping with least-recently-used eviction.
+
+    Args:
+        maxsize: capacity in entries; ``None`` means unbounded (the
+            cache then degenerates to a thread-safe dict with stats).
+
+    Attributes:
+        hits: successful lookups so far.
+        misses: failed lookups so far.
+    """
+
+    def __init__(self, maxsize: int | None = 128) -> None:
+        if maxsize is not None:
+            require(int(maxsize) >= 1, "LRUCache maxsize must be >= 1 or None")
+            maxsize = int(maxsize)
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: K) -> V | None:
+        """Return the cached value for ``key`` (refreshing its recency)
+        or ``None`` on a miss."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert ``value`` under ``key``, evicting the least recently
+        used entry if the cache is full."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            if self.maxsize is not None:
+                while len(self._data) > self.maxsize:
+                    self._data.popitem(last=False)
+
+    def get_or_create(self, key: K, factory: Callable[[], V]) -> V:
+        """Return the cached value for ``key``, building it with
+        ``factory`` on a miss.
+
+        The factory runs *outside* the lock — concurrent callers of the
+        same missing key may both build (results are identical for the
+        pure factories this cache is meant for), but a slow build never
+        blocks unrelated lookups.
+        """
+        value = self.get(key)
+        if value is None:
+            value = factory()
+            self.put(key, value)
+        return value
+
+    def pop(self, key: K) -> V | None:
+        """Remove and return the value under ``key`` (``None`` if absent);
+        never counts toward hit/miss statistics."""
+        with self._lock:
+            return self._data.pop(key, None)
+
+    def keys(self) -> list[K]:
+        """A snapshot of the cached keys, least recently used first."""
+        with self._lock:
+            return list(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> dict[str, int | None]:
+        """A snapshot of the cache counters (for logs and benchmarks)."""
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    # -- pickling: ship configuration, not contents -------------------- #
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {"maxsize": self.maxsize}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.maxsize = state["maxsize"]
+        self.hits = 0
+        self.misses = 0
+        self._data = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LRUCache(size={len(self)}, maxsize={self.maxsize})"

@@ -1,0 +1,72 @@
+"""The microbenchmark harness must run, report, and compare correctly."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import micro
+
+
+class TestProbes:
+    def test_assembly_probe_reports_identity(self):
+        result = micro.bench_assembly(quick=True, reference=False)
+        assert result["generators_identical"] is True
+        assert result["vectorized_seconds"] > 0.0
+        assert result["reference_seconds"] > 0.0
+        assert result["seconds"] == result["vectorized_seconds"]
+
+    def test_assembly_probe_reference_headline(self):
+        result = micro.bench_assembly(quick=True, reference=True)
+        assert result["seconds"] == result["reference_seconds"]
+
+    def test_fig6_probe_quick(self):
+        result = micro.bench_fig6(quick=True, reference=False)
+        assert result["scenario"] == "fig6_2sc"
+        assert result["evaluate_seconds"] > 0.0
+        assert result["level_cache"]["misses"] > 0
+
+    def test_neighbor_vectors_distinct_and_sized(self):
+        vectors = micro._neighbor_vectors((5, 5, 5), 20)
+        assert len(vectors) == 20
+        assert len(set(vectors)) == 20
+        assert vectors[0] == (5, 5, 5)
+        for vector in vectors:
+            assert all(0 <= v <= 10 for v in vector)
+
+
+class TestCli:
+    def test_run_and_compare(self, tmp_path, capsys):
+        baseline = {
+            "schema": micro.SCHEMA_VERSION,
+            "results": {"assembly": {"seconds": 1e9}},
+        }
+        baseline_path = tmp_path / "BENCH_baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        code = micro.main(
+            [
+                "--quick",
+                "--only",
+                "assembly",
+                "--output",
+                str(tmp_path),
+                "--compare",
+                str(baseline_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads((tmp_path / "BENCH_micro.json").read_text())
+        assert report["quick"] is True
+        assert "assembly" in report["results"]
+        out = capsys.readouterr().out
+        assert "faster" in out  # 1e9s baseline: anything looks faster
+
+    def test_compare_is_non_blocking_on_missing_baseline(self, tmp_path):
+        code = micro.main(
+            ["--quick", "--only", "assembly", "--compare", str(tmp_path / "nope.json")]
+        )
+        assert code == 0
+
+    def test_compare_handles_missing_entries(self):
+        report = {"results": {"assembly": {"seconds": 1.0}}}
+        lines = micro.compare(report, {"results": {}})
+        assert lines == ["assembly: no baseline entry"]

@@ -70,6 +70,56 @@ class TestCaching:
         assert evaluator.evaluations == 2
 
 
+class TestTargetPath:
+    def test_target_solve_counts_separately(self, scenario):
+        model = CountingModel()
+        evaluator = UtilityEvaluator(scenario, model)
+        evaluator.utility((2, 3), 0)
+        assert evaluator.evaluations == 0
+        assert evaluator.target_evaluations == 1
+        assert model.calls == 1  # the base class delegates to evaluate()
+
+    def test_full_cache_preferred_over_target_solve(self, scenario):
+        model = CountingModel()
+        evaluator = UtilityEvaluator(scenario, model)
+        evaluator.params((2, 3))
+        evaluator.utility((2, 3), 0)
+        evaluator.cost((2, 3), 1)
+        assert model.calls == 1
+        assert evaluator.target_evaluations == 0
+
+    def test_target_queries_cached_per_index(self, scenario):
+        model = CountingModel()
+        evaluator = UtilityEvaluator(scenario, model)
+        evaluator.utility((2, 3), 0)
+        evaluator.cost((2, 3), 0)
+        assert model.calls == 1
+        evaluator.utility((2, 3), 1)
+        assert model.calls == 2
+
+    def test_target_utility_matches_full_vector_utility(self, scenario):
+        target_first = UtilityEvaluator(scenario, CountingModel())
+        full_first = UtilityEvaluator(scenario, CountingModel())
+        assert target_first.utility((2, 3), 1) == full_first.utilities((2, 3))[1]
+
+    def test_utilities_populates_shared_full_cache(self, scenario):
+        evaluator = UtilityEvaluator(scenario, CountingModel())
+        evaluator.utilities((2, 3))
+        assert evaluator.evaluations == 1
+        assert evaluator.target_evaluations == 0
+        assert evaluator.cache_size() == 1
+
+    def test_cache_info_reports_both_tiers(self, scenario):
+        evaluator = UtilityEvaluator(scenario, CountingModel())
+        evaluator.utilities((2, 3))
+        evaluator.utility((4, 1), 0)
+        info = evaluator.cache_info()
+        assert info["params_cache_size"] == 1
+        assert info["target_cache_size"] == 1
+        assert info["model_evaluations"] == 1
+        assert info["target_evaluations"] == 1
+
+
 class TestQuantities:
     def test_cost_uses_equation_one(self, scenario):
         evaluator = UtilityEvaluator(scenario, CountingModel())

@@ -1,0 +1,143 @@
+"""Level-prefix memoization and warm-start semantics of the approximate model.
+
+The cache key of a level is ``(model config, ordered prefix of SC specs,
+pool size)`` — complete by construction, so hits can only return what a
+cold build would have produced.  These tests pin that: memoized results
+equal cold results bitwise, rotations actually share prefixes, and any
+change to a prefix (or the model configuration) invalidates reuse.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.exceptions import ConfigurationError
+from repro.perf.approximate import ApproximateModel
+
+
+def scenario_3sc(rates=(3.0, 3.5, 2.5)) -> FederationScenario:
+    return FederationScenario(
+        tuple(
+            SmallCloud(
+                name=f"sc{i}", vms=4, arrival_rate=rate, shared_vms=1 + i % 2
+            )
+            for i, rate in enumerate(rates)
+        )
+    )
+
+
+class TestMemoizedEquality:
+    def test_memoized_evaluate_equals_cold(self):
+        scenario = scenario_3sc()
+        cold = ApproximateModel(level_cache_size=0)
+        memo = ApproximateModel(level_cache_size=64)
+        assert memo.evaluate(scenario) == cold.evaluate(scenario)
+
+    def test_repeated_evaluate_target_hits_cache(self):
+        scenario = scenario_3sc()
+        model = ApproximateModel(level_cache_size=64)
+        first = model.evaluate_target(scenario)
+        misses_after_first = model.level_cache_stats()["misses"]
+        second = model.evaluate_target(scenario)
+        stats = model.level_cache_stats()
+        assert second == first
+        # The second run rebuilt nothing: only hits moved.
+        assert stats["misses"] == misses_after_first
+        assert stats["hits"] >= len(scenario)
+
+    def test_rotations_share_prefixes(self):
+        scenario = scenario_3sc()
+        model = ApproximateModel(level_cache_size=64)
+        model.evaluate(scenario)
+        stats = model.level_cache_stats()
+        # K rotations of K levels would be K^2 cold builds; shared
+        # prefixes must make at least one rotation reuse work.
+        k = len(scenario)
+        assert stats["misses"] < k * k
+        assert stats["hits"] > 0
+
+    def test_disabled_cache_never_counts(self):
+        scenario = scenario_3sc()
+        model = ApproximateModel(level_cache_size=0)
+        model.evaluate_target(scenario)
+        assert model.level_cache_stats() == {
+            "size": 0,
+            "maxsize": 0,
+            "hits": 0,
+            "misses": 0,
+        }
+
+
+class TestInvalidation:
+    def test_changed_spec_misses(self):
+        model = ApproximateModel(level_cache_size=64)
+        base = scenario_3sc()
+        model.evaluate_target(base)
+        misses = model.level_cache_stats()["misses"]
+        # Change the *first* SC's arrival rate: every prefix differs, so
+        # the second chain must rebuild all levels.
+        changed = scenario_3sc(rates=(3.1, 3.5, 2.5))
+        model.evaluate_target(changed)
+        assert model.level_cache_stats()["misses"] == misses + len(base)
+
+    def test_shared_prefix_reused_when_only_tail_changes(self):
+        model = ApproximateModel(level_cache_size=64)
+        model.evaluate_target(scenario_3sc(rates=(3.0, 3.5, 2.5)))
+        misses = model.level_cache_stats()["misses"]
+        # Only the last SC's rate changes; sharing is untouched, so every
+        # pool size is unchanged and the first K-1 levels are reused.
+        model.evaluate_target(scenario_3sc(rates=(3.0, 3.5, 2.8)))
+        assert model.level_cache_stats()["misses"] == misses + 1
+
+    def test_different_config_never_shares(self):
+        scenario = scenario_3sc()
+        strict = ApproximateModel(level_cache_size=64, outcome_threshold=1e-9)
+        loose = ApproximateModel(level_cache_size=64, outcome_threshold=1e-5)
+        # Different tolerance enters the key; both instances start cold.
+        strict.evaluate_target(scenario)
+        loose.evaluate_target(scenario)
+        assert strict._config_key() != loose._config_key()
+
+    def test_rejects_negative_cache_size(self):
+        with pytest.raises(ConfigurationError):
+            ApproximateModel(level_cache_size=-1)
+
+
+class TestWarmStart:
+    def test_warm_started_equals_cold_on_small_chains(self):
+        # Small chains use the direct solver, which ignores the hint —
+        # warm-started results are exactly the cold ones.
+        scenario = scenario_3sc()
+        cold = ApproximateModel(level_cache_size=0)
+        warm = ApproximateModel(level_cache_size=64, warm_start=True)
+        assert warm.evaluate(scenario) == cold.evaluate(scenario)
+
+    def test_warm_start_enters_fingerprint(self):
+        from repro.runtime.cache import model_fingerprint
+
+        plain = ApproximateModel()
+        warm = ApproximateModel(warm_start=True)
+        assert model_fingerprint(plain) != model_fingerprint(warm)
+
+    def test_assembly_choice_does_not_enter_fingerprint(self):
+        from repro.runtime.cache import model_fingerprint
+
+        vec = ApproximateModel()
+        ref = ApproximateModel(assembly="reference")
+        # Both assemblers are bit-identical, so they share a disk-cache
+        # namespace by design.
+        assert model_fingerprint(vec) == model_fingerprint(ref)
+
+
+class TestProcessPoolFriendliness:
+    def test_model_pickles_with_cold_caches(self):
+        scenario = scenario_3sc()
+        model = ApproximateModel(level_cache_size=64)
+        model.evaluate_target(scenario)
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone.level_cache_stats()["size"] == 0
+        # The clone still produces the same parameters.
+        assert clone.evaluate_target(scenario) == model.evaluate_target(scenario)

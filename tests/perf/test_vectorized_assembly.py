@@ -1,0 +1,125 @@
+"""Equivalence of the vectorized and reference transition assemblers.
+
+The vectorized assembler must be *bit-identical* to the retained
+per-state reference loop: same CSR structure, same data floats, same
+forwarding vector, hence the same steady state and parameters.  These
+tests sweep randomized small federations so the equality holds across
+pool shapes, truncation levels, and outcome fan-outs, not just one
+hand-picked case.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.exceptions import ConfigurationError
+from repro.perf.approximate import ApproximateModel, _state_arrays, _StateIndexer
+
+
+def random_scenario(rng: random.Random, k: int) -> FederationScenario:
+    """A small random federation that keeps chains test-sized."""
+    clouds = []
+    for i in range(k):
+        vms = rng.randint(2, 5)
+        clouds.append(
+            SmallCloud(
+                name=f"sc{i}",
+                vms=vms,
+                arrival_rate=rng.uniform(0.5, 0.95) * vms,
+                service_rate=rng.choice([0.8, 1.0, 1.2]),
+                sla_bound=rng.choice([0.2, 0.4, 0.6]),
+                shared_vms=rng.randint(0, vms),
+            )
+        )
+    return FederationScenario(tuple(clouds))
+
+
+def build_levels(model: ApproximateModel, scenario: FederationScenario) -> list:
+    """All levels of the chain, in order (bypasses the level cache)."""
+    levels = [model._build_first(scenario)]
+    for i in range(1, len(scenario)):
+        levels.append(model._build_level(scenario, i, levels[-1]))
+    return levels
+
+
+def assert_levels_identical(ref, vec) -> None:
+    ref_gen, vec_gen = ref.ctmc.generator, vec.ctmc.generator
+    assert ref_gen.shape == vec_gen.shape
+    assert np.array_equal(ref_gen.indptr, vec_gen.indptr)
+    assert np.array_equal(ref_gen.indices, vec_gen.indices)
+    # Bitwise, not approximate: the vectorized assembler replicates the
+    # reference's float expressions and summation order exactly.
+    assert np.array_equal(ref_gen.data, vec_gen.data)
+    assert np.array_equal(ref.forward_flow, vec.forward_flow)
+    assert np.array_equal(ref.steady, vec.steady)
+
+
+class TestAssemblerEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_small_federations(self, seed):
+        rng = random.Random(1000 + seed)
+        scenario = random_scenario(rng, k=rng.randint(2, 4))
+        ref = ApproximateModel(assembly="reference", level_cache_size=0)
+        vec = ApproximateModel(assembly="vectorized", level_cache_size=0)
+        for ref_level, vec_level in zip(
+            build_levels(ref, scenario), build_levels(vec, scenario)
+        ):
+            assert_levels_identical(ref_level, vec_level)
+
+    def test_zero_share_target(self):
+        # A target sharing nothing exercises the shares == 0 state layout.
+        clouds = (
+            SmallCloud(name="a", vms=4, arrival_rate=3.0, shared_vms=2),
+            SmallCloud(name="b", vms=4, arrival_rate=3.2, shared_vms=0),
+        )
+        scenario = FederationScenario(clouds)
+        ref = ApproximateModel(assembly="reference", level_cache_size=0)
+        vec = ApproximateModel(assembly="vectorized", level_cache_size=0)
+        for ref_level, vec_level in zip(
+            build_levels(ref, scenario), build_levels(vec, scenario)
+        ):
+            assert_levels_identical(ref_level, vec_level)
+
+    def test_params_identical_end_to_end(self):
+        rng = random.Random(7)
+        scenario = random_scenario(rng, k=3)
+        ref = ApproximateModel(assembly="reference", level_cache_size=0)
+        vec = ApproximateModel(assembly="vectorized", level_cache_size=0)
+        for target in range(len(scenario)):
+            assert ref.evaluate_target(scenario, target) == vec.evaluate_target(
+                scenario, target
+            )
+
+    def test_rejects_unknown_assembly(self):
+        with pytest.raises(ConfigurationError):
+            ApproximateModel(assembly="fancy")
+
+
+class TestStateArrays:
+    @pytest.mark.parametrize(
+        "q_max,shares,pool", [(3, 2, 4), (5, 0, 3), (2, 4, 0), (4, 1, 1)]
+    )
+    def test_matches_enumeration_order(self, q_max, shares, pool):
+        states = [
+            (q, s, o, a)
+            for q in range(q_max + 1)
+            for s in range(shares + 1)
+            for o in range(pool + 1)
+            for a in range(pool - o + 1)
+        ]
+        q_arr, s_arr, o_arr, a_arr = _state_arrays(q_max, shares, pool)
+        assert list(zip(q_arr, s_arr, o_arr, a_arr)) == states
+
+    @pytest.mark.parametrize("q_max,shares,pool", [(3, 2, 4), (2, 1, 3)])
+    def test_index_arrays_matches_scalar_indexer(self, q_max, shares, pool):
+        indexer = _StateIndexer(q_max, shares, pool)
+        q_arr, s_arr, o_arr, a_arr = _state_arrays(q_max, shares, pool)
+        vec = indexer.index_arrays(q_arr, s_arr, o_arr, a_arr)
+        scalar = [
+            indexer(q, s, o, a) for q, s, o, a in zip(q_arr, s_arr, o_arr, a_arr)
+        ]
+        assert vec.tolist() == scalar == list(range(len(scalar)))

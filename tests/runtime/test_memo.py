@@ -1,0 +1,122 @@
+"""Tests for the in-memory LRU memoization tier."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.memo import LRUCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache: LRUCache[str, int] = LRUCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats() == {"size": 1, "maxsize": 4, "hits": 1, "misses": 1}
+
+    def test_contains_and_len(self):
+        cache: LRUCache[int, int] = LRUCache(maxsize=4)
+        cache.put(1, 10)
+        assert 1 in cache
+        assert 2 not in cache
+        assert len(cache) == 1
+
+    def test_get_or_create_builds_once_cached_after(self):
+        cache: LRUCache[str, int] = LRUCache(maxsize=4)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_create("k", factory) == 42
+        assert cache.get_or_create("k", factory) == 42
+        assert len(calls) == 1
+
+    def test_clear_keeps_stats(self):
+        cache: LRUCache[str, int] = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+    def test_pop_removes_without_counting(self):
+        cache: LRUCache[str, int] = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a") is None
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_keys_snapshot_lru_order(self):
+        cache: LRUCache[str, int] = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": now "b" is least recent
+        assert cache.keys() == ["b", "a"]
+
+
+class TestEviction:
+    def test_evicts_least_recently_used(self):
+        cache: LRUCache[int, int] = LRUCache(maxsize=2)
+        cache.put(1, 1)
+        cache.put(2, 2)
+        cache.get(1)  # 2 becomes LRU
+        cache.put(3, 3)
+        assert 1 in cache and 3 in cache
+        assert 2 not in cache
+
+    def test_unbounded_never_evicts(self):
+        cache: LRUCache[int, int] = LRUCache(maxsize=None)
+        for i in range(1000):
+            cache.put(i, i)
+        assert len(cache) == 1000
+
+    def test_rejects_non_positive_maxsize(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(maxsize=0)
+
+
+class TestPickling:
+    def test_pickle_ships_configuration_only(self):
+        cache: LRUCache[str, int] = LRUCache(maxsize=7)
+        cache.put("a", 1)
+        cache.get("a")
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.maxsize == 7
+        assert len(clone) == 0
+        assert clone.stats()["hits"] == 0
+        # The clone is fully functional (fresh lock included).
+        clone.put("b", 2)
+        assert clone.get("b") == 2
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations(self):
+        cache: LRUCache[int, int] = LRUCache(maxsize=32)
+        errors: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(500):
+                    key = (seed * 31 + i) % 64
+                    cache.put(key, key)
+                    got = cache.get(key)
+                    assert got is None or got == key
+                    cache.get_or_create(key, lambda k=key: k)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 32
