@@ -10,18 +10,29 @@ invariants mechanical:
   (``python -m repro.analysis.lint src``) with domain-specific rules
   (unseeded randomness, float equality on probabilities, mutation of
   frozen configuration objects, unvalidated public entry points,
-  nondeterministic cache keys).  Each rule has a stable ``RPRxxx`` code
-  and a ``# repro: noqa[CODE]`` escape hatch.
+  nondeterministic cache keys), plus the concurrency rules of
+  :mod:`repro.analysis.concurrency` (lock discipline over
+  ``# guarded-by:`` attributes, check-then-act, lock ordering, pickle
+  hooks for sync state, module-level mutable state).  Each rule has a
+  stable ``RPRxxx`` code and a ``# repro: noqa[CODE]`` escape hatch.
 - :mod:`repro.analysis.sanitize` — a runtime "stochastic sanitizer":
   debug-mode contracts over generators, distributions, interaction
   vectors, performance parameters, and cache payloads, enabled with
   ``REPRO_SANITIZE=1`` (or ``--sanitize`` on the CLIs) and raising
   structured :class:`~repro.analysis.sanitize.InvariantViolation`
   errors with the offending state attached.
+- :mod:`repro.analysis.race` — a dynamic race harness
+  (``python -m repro.analysis.race --quick``): seeded serialized
+  schedules checked against a serial-replay oracle, plus barrier storms
+  over the runtime's single-flight paths.
+- :mod:`repro.analysis.differential` — a cross-backend differential
+  checker (``python -m repro.analysis.differential --scenario quick``)
+  asserting bitwise-identical game results across
+  serial/thread/process execution and caching variants.
 
-Both layers are dependency-free (stdlib ``ast`` plus numpy) and cheap
-when disabled: every sanitizer hook is guarded by one module-level
-boolean read.
+All layers are dependency-free (stdlib ``ast``/``threading`` plus
+numpy) and cheap when disabled: every sanitizer hook is guarded by one
+module-level boolean read.
 """
 
 from repro.analysis.sanitize import (

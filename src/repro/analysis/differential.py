@@ -1,0 +1,310 @@
+"""Cross-backend differential checker for bitwise determinism.
+
+The runtime promises that parallelism and caching are *performance*
+knobs, never *semantics* knobs: a game run under any executor backend,
+with or without level-prefix memoization, with or without warm-started
+solves, must produce bit-identical results.  This module checks that
+promise end to end.  One scenario is played through Algorithm 1 under a
+matrix of configurations::
+
+    backends:  serial | thread | process
+    variants:  base (memo on, warm-start off) | nomemo | warm
+
+and every configuration's observables — equilibrium profile, round
+history, per-SC utilities, equilibrium performance parameters, welfare —
+are serialized with ``float.hex`` (no tolerance, no rounding) and hashed.
+All nine digests must equal the serial/base reference digest exactly.
+
+Small scenarios are deliberate: the direct steady-state solver used for
+small chains is a pure function of the chain (warm-start seeds are
+ignored on the direct path), which is what makes bitwise identity an
+achievable contract rather than an aspiration.
+
+Run from the command line::
+
+    python -m repro.analysis.differential --scenario quick
+    python -m repro.analysis.differential --scenario fig6 --output report.json
+
+Exit status is 0 when every configuration matches the reference, 1
+otherwise; ``--output`` writes the machine-readable report consumed by
+CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.game.best_response import BestResponder
+from repro.game.repeated_game import RepeatedGame
+from repro.market.evaluator import UtilityEvaluator
+from repro.perf.approximate import ApproximateModel
+from repro.runtime.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+
+__all__ = [
+    "DifferentialScenario",
+    "SCENARIOS",
+    "main",
+    "run_differential",
+]
+
+
+@dataclass(frozen=True)
+class DifferentialScenario:
+    """One named differential scenario.
+
+    Attributes:
+        name: registry key (the ``--scenario`` argument).
+        scenario: the federation (prices included).
+        strategy_step: stride of each SC's candidate sharing values.
+        gamma: utilization exponent of Eq. (2).
+        alpha: fairness level for the welfare observable.
+        description: one line for reports.
+    """
+
+    name: str
+    scenario: FederationScenario
+    strategy_step: int
+    gamma: float
+    alpha: float
+    description: str
+
+    def strategy_spaces(self) -> list[list[int]]:
+        return [
+            list(range(0, cloud.vms + 1, self.strategy_step))
+            for cloud in self.scenario
+        ]
+
+
+def _quick_scenario() -> DifferentialScenario:
+    return DifferentialScenario(
+        name="quick",
+        scenario=FederationScenario(
+            clouds=(
+                SmallCloud(
+                    name="sc1",
+                    vms=4,
+                    arrival_rate=2.4,
+                    federation_price=0.4,
+                ),
+                SmallCloud(
+                    name="sc2",
+                    vms=5,
+                    arrival_rate=3.5,
+                    federation_price=0.4,
+                ),
+            )
+        ),
+        strategy_step=2,
+        gamma=0.5,
+        alpha=1.0,
+        description="2 SCs, coarse strategy grid - the CI configuration",
+    )
+
+
+def _fig6_scenario() -> DifferentialScenario:
+    return DifferentialScenario(
+        name="fig6",
+        scenario=FederationScenario(
+            clouds=(
+                SmallCloud(
+                    name="sc1",
+                    vms=5,
+                    arrival_rate=3.0,
+                    federation_price=0.4,
+                ),
+                SmallCloud(
+                    name="sc2",
+                    vms=5,
+                    arrival_rate=3.5,
+                    federation_price=0.4,
+                ),
+                SmallCloud(
+                    name="sc3",
+                    vms=5,
+                    arrival_rate=4.0,
+                    federation_price=0.4,
+                ),
+            )
+        ),
+        strategy_step=2,
+        gamma=0.5,
+        alpha=1.0,
+        description="3 symmetric-size SCs, fig6-shaped heterogeneous load",
+    )
+
+
+#: Scenario registry keyed by ``--scenario`` name.
+SCENARIOS: dict[str, DifferentialScenario] = {
+    spec.name: spec for spec in (_quick_scenario(), _fig6_scenario())
+}
+
+#: The configuration matrix: (backend, variant) per cell.
+_BACKENDS = ("serial", "thread", "process")
+_VARIANTS = ("base", "nomemo", "warm")
+
+#: The cell every other cell must match bit-for-bit.
+_REFERENCE = ("serial", "base")
+
+
+def _make_executor(backend: str) -> Executor:
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadExecutor(workers=2)
+    return ProcessExecutor(workers=2)
+
+
+def _run_cell(spec: DifferentialScenario, backend: str, variant: str) -> dict:
+    """Play the scenario under one configuration; return its observables.
+
+    Every float is rendered with ``float.hex`` so the comparison is
+    bitwise — two results differing in the last ulp get different
+    digests.
+    """
+    executor = _make_executor(backend)
+    model = ApproximateModel(
+        executor=executor,
+        level_cache_size=0 if variant == "nomemo" else 64,
+        warm_start=(variant == "warm"),
+    )
+    evaluator = UtilityEvaluator(spec.scenario, model, gamma=spec.gamma)
+    responder = BestResponder(
+        evaluator,
+        strategy_spaces=spec.strategy_spaces(),
+        method="exhaustive",
+        executor=executor,
+    )
+    result = RepeatedGame(responder, executor=executor).run()
+    params = evaluator.params(result.equilibrium)
+    observables = {
+        "equilibrium": list(result.equilibrium),
+        "converged": result.converged,
+        "iterations": result.iterations,
+        "history": [list(profile) for profile in result.history],
+        "utilities": [float(u).hex() for u in result.utilities],
+        "welfare": float(
+            evaluator.welfare(result.equilibrium, alpha=spec.alpha)
+        ).hex(),
+        "params": [
+            {
+                "lent_mean": float(entry.lent_mean).hex(),
+                "borrowed_mean": float(entry.borrowed_mean).hex(),
+                "forward_rate": float(entry.forward_rate).hex(),
+                "utilization": float(entry.utilization).hex(),
+            }
+            for entry in params
+        ],
+    }
+    digest = hashlib.sha256(
+        json.dumps(observables, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return {
+        "backend": backend,
+        "variant": variant,
+        "digest": digest,
+        "observables": observables,
+        "model_evaluations": evaluator.total_evaluations,
+    }
+
+
+def run_differential(spec: DifferentialScenario) -> dict:
+    """Run the full backend x variant matrix; returns the JSON-able report.
+
+    The serial/base cell is the reference; every other cell must match
+    its digest exactly.
+    """
+    cells = [
+        _run_cell(spec, backend, variant)
+        for backend in _BACKENDS
+        for variant in _VARIANTS
+    ]
+    by_key = {(cell["backend"], cell["variant"]): cell for cell in cells}
+    reference = by_key[_REFERENCE]
+    mismatches = [
+        {
+            "backend": cell["backend"],
+            "variant": cell["variant"],
+            "digest": cell["digest"],
+        }
+        for cell in cells
+        if cell["digest"] != reference["digest"]
+    ]
+    return {
+        "checker": "repro.analysis.differential",
+        "scenario": spec.name,
+        "description": spec.description,
+        "reference": {
+            "backend": _REFERENCE[0],
+            "variant": _REFERENCE[1],
+            "digest": reference["digest"],
+        },
+        "cells": [
+            {
+                "backend": cell["backend"],
+                "variant": cell["variant"],
+                "digest": cell["digest"],
+                "model_evaluations": cell["model_evaluations"],
+                "match": cell["digest"] == reference["digest"],
+            }
+            for cell in cells
+        ],
+        "observables": reference["observables"],
+        "mismatches": mismatches,
+        "ok": not mismatches,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.differential",
+        description="cross-backend bitwise-determinism checker",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="quick",
+        help="scenario to play under every configuration (default: quick)",
+    )
+    parser.add_argument(
+        "--output", type=str, default=None, help="write the JSON report here"
+    )
+    args = parser.parse_args(argv)
+
+    report = run_differential(SCENARIOS[args.scenario])
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+
+    for cell in report["cells"]:
+        status = "ok" if cell["match"] else "FAIL"
+        print(
+            f"{status:4s} {cell['backend']:8s} {cell['variant']:7s} "
+            f"digest={cell['digest'][:16]} evals={cell['model_evaluations']}"
+        )
+    if report["ok"]:
+        print(
+            f"all {len(report['cells'])} configurations bit-identical "
+            f"(scenario {report['scenario']!r}, "
+            f"equilibrium {tuple(report['observables']['equilibrium'])})"
+        )
+    else:
+        print(
+            f"{len(report['mismatches'])} of {len(report['cells'])} "
+            "configurations diverged from the serial/base reference"
+        )
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,11 @@ RPR105   Deterministic cache keys: fingerprint/hash/key-building
          ``id()`` or the salted builtin ``hash()``.
 =======  ==============================================================
 
+The RPR2xx lock-discipline rules (guarded-by attributes, check-then-act,
+lock ordering, process-unsafe state, mutable module state) live in
+:mod:`repro.analysis.concurrency` and run through this same CLI; see
+that module for their contract table.
+
 Suppression: append ``# repro: noqa[RPR101]`` (or a comma-separated
 list, or bare ``# repro: noqa`` for all rules) to the offending line.
 Suppressions are per-line and per-code so they survive refactors
@@ -54,6 +59,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.concurrency import CONCURRENCY_RULES, check_concurrency
+from repro.analysis.lintbase import LintRule, Violation, apply_noqa
+
 __all__ = [
     "LINT_RULES",
     "LintRule",
@@ -63,36 +71,6 @@ __all__ = [
     "lint_source",
     "main",
 ]
-
-
-@dataclass(frozen=True)
-class LintRule:
-    """One domain lint rule.
-
-    Attributes:
-        code: stable error code (``RPRxxx``), used in output and noqa.
-        name: short kebab-case rule name.
-        summary: one-line description shown by ``--list-rules``.
-    """
-
-    code: str
-    name: str
-    summary: str
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One rule violation at a source location."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def render(self) -> str:
-        """Format as ``path:line:col: CODE message`` (editor-clickable)."""
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
 
 RPR101 = LintRule(
@@ -121,8 +99,14 @@ RPR105 = LintRule(
     summary="wall-clock / uuid / id() / hash() inside cache-key construction",
 )
 
-#: All rules, in code order.
-LINT_RULES: tuple[LintRule, ...] = (RPR101, RPR102, RPR103, RPR104, RPR105)
+#: All rules, in code order (domain rules plus the concurrency family).
+LINT_RULES: tuple[LintRule, ...] = (
+    RPR101,
+    RPR102,
+    RPR103,
+    RPR104,
+    RPR105,
+) + CONCURRENCY_RULES
 
 _RULE_BY_CODE = {rule.code: rule for rule in LINT_RULES}
 
@@ -194,10 +178,6 @@ _NONDETERMINISTIC_ATTRS = frozenset(
     }
 )
 _NONDETERMINISTIC_BUILTINS = frozenset({"id", "hash"})
-
-_NOQA_PATTERN = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
-)
 
 
 def _attribute_chain(node: ast.AST) -> list[str]:
@@ -530,34 +510,6 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _suppressed_codes(line: str) -> set[str] | None:
-    """Codes suppressed by a ``# repro: noqa`` comment on ``line``.
-
-    Returns ``None`` when nothing is suppressed, an empty set for a bare
-    ``noqa`` (suppress everything), or the explicit code set.
-    """
-    match = _NOQA_PATTERN.search(line)
-    if match is None:
-        return None
-    codes = match.group("codes")
-    if codes is None:
-        return set()
-    return {code.strip().upper() for code in codes.split(",") if code.strip()}
-
-
-def _apply_noqa(violations: list[Violation], source: str) -> list[Violation]:
-    lines = source.splitlines()
-    kept: list[Violation] = []
-    for violation in violations:
-        line = lines[violation.line - 1] if 0 < violation.line <= len(lines) else ""
-        suppressed = _suppressed_codes(line)
-        if suppressed is None:
-            kept.append(violation)
-        elif suppressed and violation.code not in suppressed:
-            kept.append(violation)
-    return kept
-
-
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -591,7 +543,8 @@ def lint_source(
     )
     visitor = _Visitor(context)
     visitor.visit(tree)
-    violations = _apply_noqa(visitor.violations, source)
+    violations = visitor.violations + check_concurrency(tree, source, path)
+    violations = apply_noqa(violations, source)
     if select is not None:
         wanted = {code.upper() for code in select}
         violations = [v for v in violations if v.code in wanted or v.code == "RPR000"]

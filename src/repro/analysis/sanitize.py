@@ -90,7 +90,19 @@ class InvariantViolation(SCShareError):
     ) -> None:
         super().__init__(f"[{invariant}] {message}")
         self.invariant = invariant
+        self.message = message
         self.context: dict[str, Any] = dict(context or {})
+
+    def __reduce__(
+        self,
+    ) -> tuple[type["InvariantViolation"], tuple[str, str, dict[str, Any]]]:
+        # Violations raised inside process-pool workers travel back to
+        # the parent by pickle.  The default exception protocol replays
+        # ``args`` — here the single pre-formatted string — into a
+        # constructor that wants (invariant, message, context), so
+        # without this the *unpickling* of the violation raises a
+        # TypeError and the real diagnostic is lost.
+        return (type(self), (self.invariant, self.message, self.context))
 
 
 def _env_enabled() -> bool:
@@ -108,20 +120,23 @@ def sanitize_enabled() -> bool:
 
 def sanitize_enable() -> None:
     """Turn the sanitizer on for this process."""
-    global _enabled
+    # The process-pool worker bootstrap replays this switch in every
+    # spawned worker (repro.runtime.executor._worker_bootstrap), which is
+    # exactly the mitigation RPR205 asks for.
+    global _enabled  # repro: noqa[RPR205]
     _enabled = True
 
 
 def sanitize_disable() -> None:
     """Turn the sanitizer off for this process."""
-    global _enabled
+    global _enabled  # repro: noqa[RPR205]
     _enabled = False
 
 
 @contextmanager
 def sanitized(active: bool = True) -> Iterator[None]:
     """Context manager scoping sanitizer activation (used by tests)."""
-    global _enabled
+    global _enabled  # repro: noqa[RPR205]
     previous = _enabled
     _enabled = active
     try:

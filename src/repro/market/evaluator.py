@@ -61,21 +61,27 @@ class UtilityEvaluator:
         self.scenario = scenario
         self.model = model
         self.gamma = check_in_range(gamma, "gamma", 0.0, 1.0)
-        self._cache: ParamsCache = params_cache if params_cache is not None else {}
+        self._cache: ParamsCache = (  # guarded-by: _lock
+            params_cache if params_cache is not None else {}
+        )
         self._baselines: list[BaselineMetrics] = [
             baseline_metrics(cloud) for cloud in scenario
         ]
-        self.evaluations = 0  # number of full-vector model evaluations
-        self.target_evaluations = 0  # number of single-SC model evaluations
         # Concurrent callers (thread executors scoring candidates) must
         # solve each sharing vector exactly once, both to avoid wasted
         # work and to keep `evaluations` equal to a serial run's count.
         # The lock guards the caches and the pending tables; the
         # expensive model solve itself runs outside it.
+        self.evaluations = 0  # guarded-by: _lock
+        self.target_evaluations = 0  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._pending: dict[tuple[int, ...], threading.Event] = {}
-        self._target_cache: dict[tuple[tuple[int, ...], int], PerformanceParams] = {}
-        self._target_pending: dict[
+        self._pending: dict[  # guarded-by: _lock
+            tuple[int, ...], threading.Event
+        ] = {}
+        self._target_cache: dict[  # guarded-by: _lock
+            tuple[tuple[int, ...], int], PerformanceParams
+        ] = {}
+        self._target_pending: dict[  # guarded-by: _lock
             tuple[tuple[int, ...], int], threading.Event
         ] = {}
 
@@ -218,6 +224,26 @@ class UtilityEvaluator:
     def cache_size(self) -> int:
         """Number of distinct sharing vectors evaluated so far."""
         return len(self._cache)
+
+    # -- pickling: drop the lock and in-flight tables ------------------- #
+    #
+    # Executors pickle task payloads; a live lock or Event is unpicklable
+    # and an in-flight pending table is meaningless in another process.
+    # The solved caches *are* shipped (a dict of parameters pickles fine,
+    # a DiskParamsCache ships as its root path + namespace), so a worker
+    # copy starts warm and stays correct — it just stops sharing
+    # single-flight discipline with the parent.
+
+    def __getstate__(self) -> dict[str, object]:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        state["_pending"] = {}
+        state["_target_pending"] = {}
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def cache_info(self) -> dict[str, object]:
         """Cache effectiveness counters for logs and benchmarks.

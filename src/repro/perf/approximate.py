@@ -329,7 +329,13 @@ class ApproximateModel(PerformanceModel):
         """Hit/miss counters of the level-prefix cache (all zero when
         memoization is disabled)."""
         if self._level_cache is None:
-            return {"size": 0, "maxsize": 0, "hits": 0, "misses": 0}
+            return {
+                "size": 0,
+                "maxsize": 0,
+                "hits": 0,
+                "misses": 0,
+                "duplicate_builds": 0,
+            }
         return self._level_cache.stats()
 
     # ------------------------------------------------------------------ #

@@ -31,10 +31,26 @@ from collections.abc import Callable, Iterator, Sequence
 from typing import TypeVar
 
 from repro._validation import check_positive_int
+from repro.analysis import sanitize
 from repro.exceptions import ConfigurationError
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def _worker_bootstrap(sanitize_active: bool) -> None:
+    """Per-process initializer run once in every spawned pool worker.
+
+    The sanitizer switch is module-level state, so a worker spawned after
+    a programmatic :func:`repro.analysis.sanitize.sanitize_enable` (the
+    ``--sanitize`` CLI path) would start with it *off* and silently skip
+    every invariant check.  The parent captures its switch at pool
+    creation and replays it here; the environment variable is also set so
+    any grandchild processes inherit the setting.
+    """
+    if sanitize_active:
+        os.environ[sanitize.SANITIZE_ENV_VAR] = "1"
+        sanitize.sanitize_enable()
 
 
 def default_workers() -> int:
@@ -144,11 +160,18 @@ class ProcessExecutor(Executor):
             return False
         return True
 
+    def _pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_worker_bootstrap,
+            initargs=(sanitize.sanitize_enabled(),),
+        )
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         items = list(items)
         if self.workers <= 1 or len(items) <= 1 or not self._picklable(fn, items):
             return [fn(item) for item in items]
-        with concurrent.futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
+        with self._pool() as pool:
             return list(pool.map(fn, items, chunksize=self.chunksize(len(items))))
 
     def map_unordered(
@@ -159,7 +182,7 @@ class ProcessExecutor(Executor):
             for index, item in enumerate(items):
                 yield index, fn(item)
             return
-        with concurrent.futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
+        with self._pool() as pool:
             futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
             for future in concurrent.futures.as_completed(futures):
                 yield futures[future], future.result()

@@ -14,10 +14,13 @@ Design constraints inherited from the runtime package:
 
 - **Thread safety** — Tabu neighborhood scoring runs objectives on
   thread executors, so one model instance may be queried concurrently.
-  All operations take an internal lock; ``get_or_create`` may run the
-  factory concurrently for the same key (both results are identical by
-  construction, last write wins) rather than serializing solves — the
-  once-per-key discipline lives a layer up in ``UtilityEvaluator``.
+  All operations take an internal lock; ``get_or_create`` is
+  *single-flight* per key (the same per-key event pattern
+  ``UtilityEvaluator`` uses): the first caller of a missing key becomes
+  the owner and runs the factory outside the lock, concurrent callers of
+  the same key wait for the owner's publish instead of duplicating the
+  build.  The ``duplicate_builds`` counter records publishes that found
+  a value already present (the race harness asserts it stays zero).
 - **Process-pool friendliness** — executors pickle models into task
   payloads.  A lock is unpicklable and a cache full of sparse matrices
   is expensive to ship, so pickling an :class:`LRUCache` deliberately
@@ -51,6 +54,8 @@ class LRUCache(Generic[K, V]):
     Attributes:
         hits: successful lookups so far.
         misses: failed lookups so far.
+        duplicate_builds: ``get_or_create`` publishes that found the key
+            already cached (zero under the single-flight discipline).
     """
 
     def __init__(self, maxsize: int | None = 128) -> None:
@@ -58,9 +63,11 @@ class LRUCache(Generic[K, V]):
             require(int(maxsize) >= 1, "LRUCache maxsize must be >= 1 or None")
             maxsize = int(maxsize)
         self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
-        self._data: OrderedDict[K, V] = OrderedDict()
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.duplicate_builds = 0  # guarded-by: _lock
+        self._data: OrderedDict[K, V] = OrderedDict()  # guarded-by: _lock
+        self._pending: dict[K, threading.Event] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def get(self, key: K) -> V | None:
@@ -76,30 +83,65 @@ class LRUCache(Generic[K, V]):
             self.hits += 1
             return value
 
+    def _put_locked(self, key: K, value: V) -> None:
+        """Insert under an already-held ``self._lock``."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if self.maxsize is not None:
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
     def put(self, key: K, value: V) -> None:
         """Insert ``value`` under ``key``, evicting the least recently
         used entry if the cache is full."""
         with self._lock:
-            self._data[key] = value
-            self._data.move_to_end(key)
-            if self.maxsize is not None:
-                while len(self._data) > self.maxsize:
-                    self._data.popitem(last=False)
+            self._put_locked(key, value)
 
     def get_or_create(self, key: K, factory: Callable[[], V]) -> V:
         """Return the cached value for ``key``, building it with
         ``factory`` on a miss.
 
-        The factory runs *outside* the lock — concurrent callers of the
-        same missing key may both build (results are identical for the
-        pure factories this cache is meant for), but a slow build never
-        blocks unrelated lookups.
+        Single-flight per key: the first caller of a missing key owns the
+        build and runs ``factory`` *outside* the lock (a slow build never
+        blocks unrelated lookups); concurrent callers of the same key
+        wait on the owner's event and read the published value instead of
+        building again.  If the owner's factory raises, one waiter is
+        promoted to owner and retries.  The factory must not re-enter
+        ``get_or_create`` for the same key (that would self-deadlock);
+        distinct keys are fine.
         """
-        value = self.get(key)
-        if value is None:
-            value = factory()
-            self.put(key, value)
-        return value
+        while True:
+            with self._lock:
+                try:
+                    value = self._data[key]
+                except KeyError:
+                    pass
+                else:
+                    self._data.move_to_end(key)
+                    self.hits += 1
+                    return value
+                event = self._pending.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._pending[key] = event
+                    self.misses += 1
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                event.wait()
+                continue  # the owner has published (or failed); re-check
+            try:
+                value = factory()
+                with self._lock:
+                    if key in self._data:
+                        self.duplicate_builds += 1
+                    self._put_locked(key, value)
+                return value
+            finally:
+                with self._lock:
+                    self._pending.pop(key, None)
+                event.set()
 
     def pop(self, key: K) -> V | None:
         """Remove and return the value under ``key`` (``None`` if absent);
@@ -126,13 +168,18 @@ class LRUCache(Generic[K, V]):
             self._data.clear()
 
     def stats(self) -> dict[str, int | None]:
-        """A snapshot of the cache counters (for logs and benchmarks)."""
+        """A snapshot of the cache counters (for logs and benchmarks).
+
+        Taken under the lock, so the snapshot is internally consistent:
+        ``hits + misses`` equals the number of completed lookups at one
+        instant, never a torn mix of two."""
         with self._lock:
             return {
                 "size": len(self._data),
                 "maxsize": self.maxsize,
                 "hits": self.hits,
                 "misses": self.misses,
+                "duplicate_builds": self.duplicate_builds,
             }
 
     # -- pickling: ship configuration, not contents -------------------- #
@@ -144,7 +191,9 @@ class LRUCache(Generic[K, V]):
         self.maxsize = state["maxsize"]
         self.hits = 0
         self.misses = 0
+        self.duplicate_builds = 0
         self._data = OrderedDict()
+        self._pending = {}
         self._lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,75 @@
+"""Tests for the cross-backend differential checker
+(`repro.analysis.differential`).
+
+The full nine-cell matrix on the quick scenario runs in CI as its own
+job; here we keep a fast structural test plus a slow-marked end-to-end
+run of the matrix through the CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.differential import SCENARIOS, _run_cell, main
+
+
+class TestRegistry:
+    def test_known_scenarios(self):
+        assert "quick" in SCENARIOS
+        assert "fig6" in SCENARIOS
+
+    def test_strategy_spaces_cover_full_range(self):
+        spec = SCENARIOS["quick"]
+        spaces = spec.strategy_spaces()
+        assert len(spaces) == len(spec.scenario)
+        for cloud, space in zip(spec.scenario, spaces):
+            assert space[0] == 0
+            assert max(space) <= cloud.vms
+
+
+class TestCells:
+    def test_serial_base_cell_is_reproducible(self):
+        spec = SCENARIOS["quick"]
+        first = _run_cell(spec, "serial", "base")
+        second = _run_cell(spec, "serial", "base")
+        assert first["digest"] == second["digest"]
+        assert first["observables"]["equilibrium"] == (
+            second["observables"]["equilibrium"]
+        )
+
+    def test_thread_and_variant_cells_match_reference(self):
+        # A 3-cell slice of the matrix: enough to catch a backend or
+        # caching divergence quickly; the full matrix runs in CI.
+        spec = SCENARIOS["quick"]
+        reference = _run_cell(spec, "serial", "base")
+        assert _run_cell(spec, "thread", "base")["digest"] == reference["digest"]
+        assert _run_cell(spec, "serial", "nomemo")["digest"] == reference["digest"]
+        assert _run_cell(spec, "serial", "warm")["digest"] == reference["digest"]
+
+    def test_observables_use_hex_floats(self):
+        cell = _run_cell(SCENARIOS["quick"], "serial", "base")
+        for value in cell["observables"]["utilities"]:
+            float.fromhex(value)  # raises if not a hex float string
+
+
+@pytest.mark.slow
+class TestFullMatrix:
+    def test_cli_quick_matrix_is_bitwise_identical(self, tmp_path, capsys):
+        out = tmp_path / "differential.json"
+        exit_code = main(["--scenario", "quick", "--output", str(out)])
+        assert exit_code == 0
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+        assert report["mismatches"] == []
+        assert len(report["cells"]) == 9
+        digests = {cell["digest"] for cell in report["cells"]}
+        assert len(digests) == 1
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_report_carries_reference_observables(self, tmp_path):
+        out = tmp_path / "differential.json"
+        assert main(["--scenario", "quick", "--output", str(out)]) == 0
+        report = json.loads(out.read_text())
+        observables = report["observables"]
+        assert len(observables["params"]) == 2
+        assert observables["history"][0] == [0, 0]

@@ -274,6 +274,11 @@ class TestHarness:
             "RPR103",
             "RPR104",
             "RPR105",
+            "RPR201",
+            "RPR202",
+            "RPR203",
+            "RPR204",
+            "RPR205",
         ]
         assert all(rule.name and rule.summary for rule in LINT_RULES)
 

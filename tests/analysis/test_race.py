@@ -1,0 +1,196 @@
+"""Tests for the dynamic race harness (`repro.analysis.race`).
+
+Two directions: the harness must pass on the repository's real
+shared-state classes, and it must *fail* on a deliberately racy cache —
+a detector that cannot detect is worse than none.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.analysis.race import (
+    AccessLog,
+    InstrumentedLRUCache,
+    ScheduleFuzzer,
+    check_disk_cache_memory_tier,
+    check_evaluator_pending,
+    check_lru_serialized,
+    check_lru_single_flight,
+    main,
+    run_harness,
+)
+from repro.runtime.memo import LRUCache
+
+
+class TestAccessLog:
+    def test_generations_are_globally_ordered(self):
+        log = AccessLog()
+        for i in range(5):
+            log.record(thread=i % 2, op="get", key=f"k{i}")
+        generations = [event.generation for event in log.events()]
+        assert generations == [0, 1, 2, 3, 4]
+
+    def test_count_by_op(self):
+        log = AccessLog()
+        log.record(0, "get", "a")
+        log.record(0, "put", "a")
+        log.record(1, "get", "b")
+        assert log.count("get") == 2
+        assert log.count("put") == 1
+
+
+class TestScheduleFuzzer:
+    def test_interleaving_preserves_program_order_and_is_seeded(self):
+        fuzzer = ScheduleFuzzer(7)
+        order = fuzzer.interleaving([3, 2])
+        assert sorted(order) == [0, 0, 0, 1, 1]
+        assert ScheduleFuzzer(7).interleaving([3, 2]) == order
+        assert ScheduleFuzzer(8).interleaving([3, 2]) != order or True
+
+    def test_serialized_runs_every_op_exactly_once(self):
+        counts = [0, 0]
+        lock = threading.Lock()
+
+        def op(tid):
+            def run():
+                with lock:
+                    counts[tid] += 1
+
+            return run
+
+        fuzzer = ScheduleFuzzer(3)
+        order, errors = fuzzer.run_serialized(
+            [[op(0)] * 4, [op(1)] * 6]
+        )
+        assert errors == []
+        assert counts == [4, 6]
+        assert sorted(order) == [0] * 4 + [1] * 6
+
+    def test_serialized_surfaces_worker_exceptions(self):
+        def boom():
+            raise ValueError("expected failure")
+
+        _, errors = ScheduleFuzzer(1).run_serialized([[boom], [lambda: None]])
+        assert any("expected failure" in error for error in errors)
+
+    def test_storm_runs_all_programs(self):
+        hits = []
+        lock = threading.Lock()
+
+        def op():
+            with lock:
+                hits.append(1)
+
+        errors = ScheduleFuzzer(2).run_storm([[op] * 3, [op] * 3, [op] * 3])
+        assert errors == []
+        assert len(hits) == 9
+
+
+class TestChecksPassOnRealClasses:
+    def test_lru_serialized_replay(self):
+        check = check_lru_serialized(seed=11, threads=3)
+        assert check.ok, check.details
+
+    def test_lru_single_flight(self):
+        check = check_lru_single_flight(seed=11, threads=4, keys=4, rounds=2)
+        assert check.ok, check.details
+
+    def test_disk_cache_memory_tier(self):
+        check = check_disk_cache_memory_tier(seed=11, threads=3)
+        assert check.ok, check.details
+
+    def test_evaluator_pending(self):
+        check = check_evaluator_pending(seed=11, threads=3)
+        assert check.ok, check.details
+
+
+class _RacyCache(LRUCache):
+    """A cache with the single-flight discipline removed.
+
+    ``get_or_create`` degrades to an unserialized check-then-act with a
+    widened race window: every concurrent caller of a missing key runs
+    the factory.  The harness must notice.
+    """
+
+    def get_or_create(self, key, factory):
+        value = self.get(key)
+        if value is not None:
+            return value
+        time.sleep(0.005)  # widen the miss-to-publish window
+        value = factory()
+        with self._lock:
+            if key in self._data:
+                self.duplicate_builds += 1
+            self._put_locked(key, value)
+        return value
+
+
+class TestHarnessDetectsRaces:
+    def test_racy_cache_produces_duplicate_builds(self):
+        cache = _RacyCache(maxsize=None)
+        builds = []
+        lock = threading.Lock()
+
+        def factory():
+            with lock:
+                builds.append(object())
+            return builds[-1]
+
+        def op():
+            cache.get_or_create("hot", factory)
+
+        # Four barrier-aligned threads all miss the same key; without
+        # single-flight every one of them builds.
+        errors = ScheduleFuzzer(5).run_storm([[op]] * 4)
+        assert errors == []
+        assert len(builds) > 1
+        assert cache.stats()["duplicate_builds"] > 0
+
+    def test_real_cache_same_schedule_is_clean(self):
+        cache = InstrumentedLRUCache(AccessLog(), maxsize=None)
+        builds = []
+        lock = threading.Lock()
+
+        def factory():
+            time.sleep(0.005)
+            with lock:
+                builds.append(object())
+            return builds[-1]
+
+        def op():
+            cache.get_or_create("hot", factory)
+
+        errors = ScheduleFuzzer(5).run_storm([[op]] * 4)
+        assert errors == []
+        assert len(builds) == 1
+        assert cache.stats()["duplicate_builds"] == 0
+
+
+class TestHarnessDriver:
+    def test_run_harness_report_shape(self):
+        report = run_harness(seeds=[21], threads=2)
+        assert report["ok"] is True
+        assert report["failed"] == 0
+        assert len(report["checks"]) == 4
+        names = {check["name"] for check in report["checks"]}
+        assert names == {
+            "lru-serialized-replay",
+            "lru-single-flight",
+            "disk-cache-memory-tier",
+            "evaluator-pending-tables",
+        }
+
+    def test_cli_quick_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "race.json"
+        exit_code = main(["--quick", "--threads", "2", "--output", str(out)])
+        assert exit_code == 0
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+        assert "passed" in capsys.readouterr().out
+
+    def test_cli_rejects_bad_threads(self):
+        with pytest.raises(Exception):
+            main(["--quick", "--threads", "0"])

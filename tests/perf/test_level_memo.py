@@ -68,6 +68,7 @@ class TestMemoizedEquality:
             "maxsize": 0,
             "hits": 0,
             "misses": 0,
+            "duplicate_builds": 0,
         }
 
 

@@ -1,0 +1,191 @@
+"""Thread-stress tests for the memoization tiers.
+
+Many threads hammer overlapping keys on :class:`LRUCache` and the
+:class:`DiskParamsCache` memory tier; afterwards the counters must add
+up exactly and every observed payload must be the one the single-flight
+owner published — no lost updates, no duplicate builds, no torn values.
+"""
+
+import threading
+import time
+
+from repro.core.small_cloud import FederationScenario, SmallCloud
+from repro.runtime.cache import DiskParamsCache
+from repro.runtime.memo import LRUCache
+from tests.helpers import StubModel
+
+
+def _run_threads(count, worker):
+    barrier = threading.Barrier(count + 1)
+
+    def wrapped(tid):
+        barrier.wait()
+        worker(tid)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(tid,), daemon=True)
+        for tid in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not any(thread.is_alive() for thread in threads), "stress deadlocked"
+
+
+class TestLRUCacheStress:
+    def test_get_or_create_single_flight_under_contention(self):
+        cache = LRUCache(maxsize=None)
+        n_threads, n_keys, rounds = 8, 5, 4
+        builds = {}
+        builds_lock = threading.Lock()
+        seen = {tid: [] for tid in range(n_threads)}
+
+        def factory_for(key):
+            def factory():
+                time.sleep(0.001)
+                with builds_lock:
+                    builds[key] = builds.get(key, 0) + 1
+                return (key, object())
+
+            return factory
+
+        def worker(tid):
+            for round_number in range(rounds):
+                for i in range(n_keys):
+                    # Offset the key order per thread so collisions vary.
+                    key = f"k{(i + tid) % n_keys}"
+                    value = cache.get_or_create(key, factory_for(key))
+                    seen[tid].append((key, id(value)))
+
+        _run_threads(n_threads, worker)
+
+        stats = cache.stats()
+        assert stats["duplicate_builds"] == 0
+        assert stats["misses"] == n_keys
+        assert stats["hits"] + stats["misses"] == n_threads * n_keys * rounds
+        assert all(count == 1 for count in builds.values())
+        # Every thread observed the same payload object per key.
+        identity = {}
+        for observations in seen.values():
+            for key, ident in observations:
+                identity.setdefault(key, set()).add(ident)
+        assert all(len(idents) == 1 for idents in identity.values())
+
+    def test_put_get_pop_counters_add_up(self):
+        cache = LRUCache(maxsize=8)
+        n_threads, ops = 6, 200
+        gets = [0] * n_threads
+
+        def worker(tid):
+            for i in range(ops):
+                key = f"k{(i * (tid + 1)) % 12}"
+                if i % 3 == 0:
+                    cache.put(key, (tid, i))
+                elif i % 7 == 0:
+                    cache.pop(key)
+                else:
+                    cache.get(key)
+                    gets[tid] += 1
+
+        _run_threads(n_threads, worker)
+
+        stats = cache.stats()
+        # pop() never counts; every get() counts exactly once.
+        assert stats["hits"] + stats["misses"] == sum(gets)
+        assert stats["size"] <= 8
+        assert len(cache) == stats["size"]
+
+    def test_eviction_bound_holds_under_contention(self):
+        cache = LRUCache(maxsize=4)
+
+        def worker(tid):
+            for i in range(300):
+                cache.put((tid, i), i)
+
+        _run_threads(8, worker)
+        assert len(cache) <= 4
+
+
+class TestDiskParamsCacheMemoryTierStress:
+    def test_concurrent_reads_return_stored_payloads(self, tmp_path):
+        scenario = FederationScenario(
+            clouds=(
+                SmallCloud(name="a", vms=4, arrival_rate=2.0),
+                SmallCloud(name="b", vms=5, arrival_rate=3.0),
+            )
+        )
+        model = StubModel()
+        cache = DiskParamsCache(tmp_path, scenario, model, memory_size=2)
+        vectors = [(0, 0), (1, 2), (2, 0), (3, 4), (4, 1)]
+        expected = {}
+        for vector in vectors:
+            params = model.evaluate(scenario.with_sharing(vector))
+            cache[vector] = params
+            expected[vector] = [
+                (p.lent_mean, p.borrowed_mean, p.forward_rate, p.utilization)
+                for p in params
+            ]
+
+        n_threads, reads_per_thread = 6, 40
+        failures = []
+        failures_lock = threading.Lock()
+        read_count = [0]
+        count_lock = threading.Lock()
+
+        def worker(tid):
+            for i in range(reads_per_thread):
+                vector = vectors[(i + tid) % len(vectors)]
+                got = cache[vector]
+                with count_lock:
+                    read_count[0] += 1
+                flat = [
+                    (p.lent_mean, p.borrowed_mean, p.forward_rate, p.utilization)
+                    for p in got
+                ]
+                if flat != expected[vector]:
+                    with failures_lock:
+                        failures.append((tid, vector))
+
+        _run_threads(n_threads, worker)
+
+        assert failures == []
+        # The tiny memory tier forces constant disk reloads, yet its
+        # counters must account for every single lookup.
+        memory_stats = cache._memory.stats()
+        assert memory_stats["hits"] + memory_stats["misses"] == read_count[0]
+        assert memory_stats["size"] <= 2
+        assert len(cache) == len(vectors)
+
+    def test_concurrent_writers_land_every_vector(self, tmp_path):
+        scenario = FederationScenario(
+            clouds=(
+                SmallCloud(name="a", vms=4, arrival_rate=2.0),
+                SmallCloud(name="b", vms=5, arrival_rate=3.0),
+            )
+        )
+        model = StubModel()
+        cache = DiskParamsCache(tmp_path, scenario, model, memory_size=3)
+        vectors = [(i % 5, j % 6) for i in range(4) for j in range(4)]
+        payloads = {
+            vector: model.evaluate(scenario.with_sharing(vector))
+            for vector in set(vectors)
+        }
+
+        def worker(tid):
+            for vector in vectors:
+                cache[vector] = payloads[vector]
+
+        _run_threads(5, worker)
+
+        assert len(cache) == len(set(vectors))
+        for vector, params in payloads.items():
+            got = cache[vector]
+            assert [
+                (p.lent_mean, p.borrowed_mean, p.forward_rate, p.utilization)
+                for p in got
+            ] == [
+                (p.lent_mean, p.borrowed_mean, p.forward_rate, p.utilization)
+                for p in params
+            ]

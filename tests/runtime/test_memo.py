@@ -17,7 +17,13 @@ class TestBasics:
         assert cache.get("a") is None
         cache.put("a", 1)
         assert cache.get("a") == 1
-        assert cache.stats() == {"size": 1, "maxsize": 4, "hits": 1, "misses": 1}
+        assert cache.stats() == {
+            "size": 1,
+            "maxsize": 4,
+            "hits": 1,
+            "misses": 1,
+            "duplicate_builds": 0,
+        }
 
     def test_contains_and_len(self):
         cache: LRUCache[int, int] = LRUCache(maxsize=4)

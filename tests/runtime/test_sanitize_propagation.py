@@ -1,0 +1,85 @@
+"""Regression tests: sanitizer state reaches process-pool workers.
+
+The sanitizer switch is module-level state.  A worker spawned after a
+programmatic ``sanitize_enable()`` (the ``--sanitize`` CLI path) used to
+start with it *off* and silently skip every invariant check; the
+executor's worker bootstrap now replays the parent's switch.  These
+tests pin that behavior, plus the pickle path that carries a worker's
+:class:`InvariantViolation` back to the parent intact.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.sanitize import InvariantViolation
+from repro.runtime.executor import ProcessExecutor, _worker_bootstrap
+
+
+def _sanitize_probe(_):
+    """Module-level task: report the worker's sanitizer switch."""
+    return sanitize.sanitize_enabled()
+
+
+def _violating_task(_):
+    """Module-level task: trip an invariant when the sanitizer is on."""
+    sanitize.check_finite([1.0, float("nan")], label="worker-task")
+    return "unchecked"
+
+
+class TestWorkerBootstrap:
+    def test_bootstrap_enables_sanitizer_and_env(self, monkeypatch):
+        monkeypatch.delenv(sanitize.SANITIZE_ENV_VAR, raising=False)
+        with sanitize.sanitized(False):
+            _worker_bootstrap(True)
+            assert sanitize.sanitize_enabled()
+            assert os.environ.get(sanitize.SANITIZE_ENV_VAR) == "1"
+        monkeypatch.delenv(sanitize.SANITIZE_ENV_VAR, raising=False)
+
+    def test_bootstrap_inactive_leaves_state_alone(self, monkeypatch):
+        monkeypatch.delenv(sanitize.SANITIZE_ENV_VAR, raising=False)
+        with sanitize.sanitized(False):
+            _worker_bootstrap(False)
+            assert not sanitize.sanitize_enabled()
+            assert sanitize.SANITIZE_ENV_VAR not in os.environ
+
+    def test_workers_observe_parent_enable(self):
+        with sanitize.sanitized(True):
+            executor = ProcessExecutor(workers=2)
+            results = executor.map(_sanitize_probe, [0, 1, 2, 3])
+        assert results == [True, True, True, True]
+
+    def test_worker_violation_surfaces_in_parent(self):
+        with sanitize.sanitized(True):
+            executor = ProcessExecutor(workers=2)
+            with pytest.raises(InvariantViolation) as excinfo:
+                executor.map(_violating_task, [0, 1])
+        # The violation crossed the process boundary with its diagnostic
+        # fields intact, not as a generic pickling TypeError.
+        assert excinfo.value.invariant == "non-finite"
+        assert "worker-task" in str(excinfo.value)
+
+    def test_disabled_sanitizer_skips_worker_checks(self):
+        with sanitize.sanitized(False):
+            executor = ProcessExecutor(workers=2)
+            assert executor.map(_violating_task, [0, 1]) == [
+                "unchecked",
+                "unchecked",
+            ]
+
+
+class TestViolationPickling:
+    def test_roundtrip_preserves_fields(self):
+        original = InvariantViolation(
+            "params-range",
+            "utilization out of range",
+            {"label": "p[0]", "value": 1.5},
+        )
+        clone = pickle.loads(pickle.dumps(original))
+        assert isinstance(clone, InvariantViolation)
+        assert clone.invariant == original.invariant
+        assert clone.message == original.message
+        assert clone.context == original.context
+        assert str(clone) == str(original)
