@@ -14,6 +14,13 @@ All commands accept ``--model {pooled,approximate}`` where applicable;
 ``solve`` and ``sweep`` also accept ``--workers N`` (parallel evaluation)
 and ``--cache-dir PATH`` (persistent model-solution cache) — neither
 changes any printed number, only how fast it appears.
+
+Observability (any command): ``--trace FILE`` exports the span tree
+(``.json`` tree, ``.chrome.json`` Chrome trace, ``.folded``
+flamegraph), ``--metrics FILE`` exports the metrics snapshot as JSON,
+and ``--profile`` prints a cProfile report to stderr.  Like the runtime
+flags, none of them changes a printed number (the differential checker
+pins the traced run bit-identical to the untraced one).
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ from repro.analysis.sanitize import sanitize_enable
 from repro.core.serialization import load_scenario, outcome_to_dict
 
 if TYPE_CHECKING:
+    from collections.abc import Callable
+
     from repro.core.small_cloud import FederationScenario
     from repro.perf.base import PerformanceModel
     from repro.runtime.cache import DiskParamsCache
@@ -169,6 +178,70 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def add_obs_arguments(command: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace`` / ``--metrics`` / ``--profile`` flags.
+
+    Shared with :mod:`repro.bench.runner`, so every entry point exposes
+    the same observability surface.
+    """
+    command.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="export the span tree (format by extension: .json tree, "
+        ".chrome.json Chrome trace_event, .folded flamegraph)",
+    )
+    command.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="export counters/gauges/histograms as JSON",
+    )
+    command.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the run and print the top functions to stderr",
+    )
+
+
+def run_with_obs(args: argparse.Namespace, func: "Callable[[], int]") -> int:
+    """Run ``func`` under the instrumentation ``args`` requests.
+
+    With no observability flag set this is a plain call — the hooks stay
+    compiled to no-ops.  Otherwise the run happens inside one
+    :func:`repro.obs.capture` block and the requested artifacts are
+    written after it returns (also on error, so a crashed run still
+    leaves its trace behind).
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    profile = bool(getattr(args, "profile", False))
+    if trace_path is None and metrics_path is None and not profile:
+        return func()
+
+    from contextlib import ExitStack
+
+    from repro import obs
+    from repro.obs import export, profiling
+
+    with ExitStack() as stack:
+        capture = stack.enter_context(
+            obs.capture(
+                tracing=trace_path is not None,
+                metrics=metrics_path is not None,
+            )
+        )
+        if profile:
+            stack.enter_context(profiling.profiled(sys.stderr))
+        try:
+            return func()
+        finally:
+            if trace_path is not None:
+                export.write_trace(capture.tracer, trace_path)
+            if metrics_path is not None:
+                export.write_metrics(capture.snapshot(), metrics_path)
+
+
 def _add_runtime_arguments(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--workers",
@@ -208,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--price-ratio", type=float, default=None)
     solve.add_argument("--strategy-step", type=int, default=1)
     _add_runtime_arguments(solve)
+    add_obs_arguments(solve)
     solve.set_defaults(func=_cmd_solve)
 
     sweep = sub.add_parser("sweep", help="sweep C^G/C^P and recommend regions")
@@ -217,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--points", type=int, default=6)
     sweep.add_argument("--strategy-step", type=int, default=2)
     _add_runtime_arguments(sweep)
+    add_obs_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     simulate = sub.add_parser("simulate", help="run the discrete-event simulator")
@@ -229,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the runtime stochastic sanitizer "
         "(equivalent to REPRO_SANITIZE=1)",
     )
+    add_obs_arguments(simulate)
     simulate.set_defaults(func=_cmd_simulate)
     return parser
 
@@ -239,7 +315,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "sanitize", False):
         sanitize_enable()
-    return args.func(args)
+    return run_with_obs(args, lambda: args.func(args))
 
 
 if __name__ == "__main__":

@@ -15,6 +15,17 @@ history, per-SC utilities, equilibrium performance parameters, welfare —
 are serialized with ``float.hex`` (no tolerance, no rounding) and hashed.
 All nine digests must equal the serial/base reference digest exactly.
 
+Two further sections extend the contract to observability:
+
+- a tenth *traced* cell replays the serial/base configuration with
+  :mod:`repro.obs` tracing and metrics fully enabled — its digest must
+  equal the reference, proving instrumentation observes without
+  participating;
+- a *metrics-merge* section runs a seed-fixed replication workload on
+  every backend with metrics enabled and requires the merged counter
+  totals (the integer-exact ``counter_view``) to be identical across
+  serial, thread, and process executors.
+
 Small scenarios are deliberate: the direct steady-state solver used for
 small chains is a pure function of the chain (warm-start seeds are
 ignored on the direct path), which is what makes bitwise identity an
@@ -39,6 +50,7 @@ import sys
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.game.best_response import BestResponder
 from repro.game.repeated_game import RepeatedGame
@@ -218,11 +230,62 @@ def _run_cell(spec: DifferentialScenario, backend: str, variant: str) -> dict:
     }
 
 
+def _run_traced_cell(spec: DifferentialScenario) -> dict:
+    """The serial/base cell again, with tracing and metrics fully on.
+
+    The digest must equal the untraced reference's — the observability
+    layer's "observes, never participates" contract, checked bitwise.
+    """
+    with obs.capture(tracing=True, metrics=True) as cap:
+        cell = _run_cell(spec, _REFERENCE[0], _REFERENCE[1])
+    cell["variant"] = "traced"
+    cell["span_count"] = cap.tracer.span_count
+    cell["counter_view"] = dict(cap.snapshot().counter_view())
+    return cell
+
+
+def _metrics_merge_counts(backend: str) -> dict[str, int]:
+    """Merged counter totals of a fixed replication workload on ``backend``.
+
+    Each replication's seed is fixed up front, so every backend performs
+    identical work; :func:`repro.obs.map_with_metrics` merges the
+    per-task snapshots in input order.  Only the integer ``counter_view``
+    is returned — histogram sums hold wall-clock floats that legitimately
+    differ between runs, while counts cannot.
+    """
+    from repro.sim.replications import replicate
+
+    with obs.capture(tracing=False, metrics=True) as cap:
+        replicate(
+            SCENARIOS["quick"].scenario,
+            replications=3,
+            horizon=400.0,
+            warmup=50.0,
+            executor=_make_executor(backend),
+        )
+    return dict(cap.snapshot().counter_view())
+
+
+def check_metrics_merge() -> dict:
+    """Compare merged counter totals across executor backends."""
+    counts = {backend: _metrics_merge_counts(backend) for backend in _BACKENDS}
+    reference = counts[_BACKENDS[0]]
+    mismatched = [
+        backend for backend in _BACKENDS[1:] if counts[backend] != reference
+    ]
+    return {
+        "counters": counts,
+        "mismatched_backends": mismatched,
+        "ok": not mismatched,
+    }
+
+
 def run_differential(spec: DifferentialScenario) -> dict:
     """Run the full backend x variant matrix; returns the JSON-able report.
 
-    The serial/base cell is the reference; every other cell must match
-    its digest exactly.
+    The serial/base cell is the reference; every other cell — the traced
+    replay included — must match its digest exactly, and the
+    metrics-merge section must agree across backends.
     """
     cells = [
         _run_cell(spec, backend, variant)
@@ -231,6 +294,8 @@ def run_differential(spec: DifferentialScenario) -> dict:
     ]
     by_key = {(cell["backend"], cell["variant"]): cell for cell in cells}
     reference = by_key[_REFERENCE]
+    cells.append(_run_traced_cell(spec))
+    metrics_merge = check_metrics_merge()
     mismatches = [
         {
             "backend": cell["backend"],
@@ -260,8 +325,9 @@ def run_differential(spec: DifferentialScenario) -> dict:
             for cell in cells
         ],
         "observables": reference["observables"],
+        "metrics_merge": metrics_merge,
         "mismatches": mismatches,
-        "ok": not mismatches,
+        "ok": not mismatches and metrics_merge["ok"],
     }
 
 
@@ -292,6 +358,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{status:4s} {cell['backend']:8s} {cell['variant']:7s} "
             f"digest={cell['digest'][:16]} evals={cell['model_evaluations']}"
         )
+    merge = report["metrics_merge"]
+    merge_status = "ok" if merge["ok"] else "FAIL"
+    print(
+        f"{merge_status:4s} metrics-merge: counter totals "
+        + (
+            "identical across backends"
+            if merge["ok"]
+            else f"diverge on {', '.join(merge['mismatched_backends'])}"
+        )
+    )
     if report["ok"]:
         print(
             f"all {len(report['cells'])} configurations bit-identical "

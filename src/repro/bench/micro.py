@@ -14,7 +14,14 @@ run:
   neighbor sharing vectors of the Fig. 7 federation (6 with ``--quick``),
   each scored for one SC through a
   :class:`~repro.market.evaluator.UtilityEvaluator` the way the best
-  responder scores trial profiles.
+  responder scores trial profiles;
+- ``obs_overhead`` — prices the :mod:`repro.obs` hooks: the cost of one
+  disabled hook call, the hook crossings a real solve performs, and the
+  implied disabled-instrumentation overhead fraction (pinned below 2%
+  by ``tests/obs/test_overhead.py``), plus the traced/untraced ratio.
+
+Every probe runs under a metrics capture, so each report entry carries
+the counters the workload produced alongside its timings.
 
 ``--reference`` runs every probe with the reference assembler and all
 caching disabled — the pre-optimization configuration — which is how the
@@ -35,6 +42,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro import obs
 from repro.bench.scenarios import (
     fig6_2sc_scenario,
     fig6_10sc_scenario,
@@ -159,10 +167,67 @@ def bench_tabu_sweep(quick: bool, reference: bool) -> dict[str, Any]:
     }
 
 
+def bench_obs_overhead(quick: bool, reference: bool) -> dict[str, Any]:
+    """Price the observability hooks.
+
+    Three measurements:
+
+    - the per-call cost of a *disabled* hook, timed over a tight loop of
+      span/inc/observe calls under :func:`repro.obs.suspended`;
+    - the hook crossings one real solve performs (spans started plus
+      metric recordings, counted by an enabled run of the same solve);
+    - the traced/untraced wall-clock ratio of that solve.
+
+    The implied disabled overhead — crossings x per-hook cost relative
+    to the untraced solve time — is the number the overhead guard test
+    pins below 2%.
+    """
+    calls = 50_000 if quick else 200_000
+    with obs.suspended():
+        start = time.perf_counter()
+        for _ in range(calls):
+            with obs.span("bench.noop"):
+                pass
+            obs.inc("bench.counter")
+            obs.observe("bench.hist", 0.5)
+        disabled_seconds = time.perf_counter() - start
+    per_hook_seconds = disabled_seconds / (3 * calls)
+
+    scenario = fig6_2sc_scenario(target_share=5, target_rate=6.0)
+
+    def solve() -> Any:
+        # A fresh model per run: no level cache carries over, so the
+        # plain and instrumented runs do identical work.
+        return _make_model(reference).evaluate_target(scenario)
+
+    with obs.suspended():
+        plain_seconds, _ = _timed(solve)
+    with obs.capture(tracing=True, metrics=True) as cap:
+        instrumented_seconds, _ = _timed(solve)
+        crossings = cap.tracer.span_count + cap.registry.recordings()
+    disabled_fraction = (
+        crossings * per_hook_seconds / plain_seconds if plain_seconds > 0 else 0.0
+    )
+    return {
+        "scenario": "fig6_2sc",
+        "hook_calls": 3 * calls,
+        "per_hook_seconds": per_hook_seconds,
+        "solve_crossings": crossings,
+        "plain_seconds": plain_seconds,
+        "instrumented_seconds": instrumented_seconds,
+        "instrumented_ratio": (
+            instrumented_seconds / plain_seconds if plain_seconds > 0 else 1.0
+        ),
+        "disabled_overhead_fraction": disabled_fraction,
+        "seconds": disabled_seconds,
+    }
+
+
 BENCHES: dict[str, Callable[[bool, bool], dict[str, Any]]] = {
     "assembly": bench_assembly,
     "fig6_evaluate": bench_fig6,
     "tabu_sweep": bench_tabu_sweep,
+    "obs_overhead": bench_obs_overhead,
 }
 
 
@@ -175,7 +240,9 @@ def run_micro(
     names = list(BENCHES) if not only else [n for n in BENCHES if n in only]
     results = {}
     for name in names:
-        results[name] = BENCHES[name](quick, reference)
+        with obs.capture(tracing=False, metrics=True) as cap:
+            results[name] = BENCHES[name](quick, reference)
+        results[name]["metrics"] = cap.snapshot().to_dict()
         print(f"{name}: {results[name]['seconds']:.3f} s", flush=True)
     return {
         "schema": SCHEMA_VERSION,

@@ -9,6 +9,11 @@ simulation points, game sections) out over N processes; ``--cache-dir``
 persists every model solve so a repeated run (or a CI smoke job with a
 warm cache) skips them entirely.  Both knobs change wall-clock only —
 tables are byte-identical to a serial, uncached run.
+
+``--trace`` / ``--metrics`` / ``--profile`` (shared with
+``python -m repro``) capture a span tree, a metrics snapshot, or a
+cProfile report of the whole benchmark run; they too leave every table
+byte-identical.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.__main__ import add_obs_arguments, run_with_obs
 from repro.analysis.sanitize import sanitize_enable
 from repro.bench import fig5, fig6, fig7, fig8
 from repro.runtime.executor import Executor, make_executor
@@ -143,6 +149,7 @@ def main(argv: list[str] | None = None) -> int:
         help="enable the runtime stochastic sanitizer "
         "(equivalent to REPRO_SANITIZE=1)",
     )
+    add_obs_arguments(parser)
     args = parser.parse_args(argv)
     if args.sanitize:
         sanitize_enable()
@@ -151,13 +158,17 @@ def main(argv: list[str] | None = None) -> int:
     output_dir = Path(args.output) if args.output else None
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        table = FIGURES[name](args.quick, executor, args.cache_dir)
-        print(table)
-        print()
-        if output_dir is not None:
-            (output_dir / f"{name}.txt").write_text(table + "\n")
-    return 0
+
+    def run_figures() -> int:
+        for name in names:
+            table = FIGURES[name](args.quick, executor, args.cache_dir)
+            print(table)
+            print()
+            if output_dir is not None:
+                (output_dir / f"{name}.txt").write_text(table + "\n")
+        return 0
+
+    return run_with_obs(args, run_figures)
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.exceptions import GameError
 from repro.game.tabu import TabuSearch
 from repro.market.evaluator import UtilityEvaluator
@@ -78,20 +79,22 @@ class BestResponder:
             trial[index] = candidate
             return self.evaluator.utility(trial, index)
 
-        if self.method == "exhaustive":
-            return self._exhaustive(objective, index, current)
-        best, best_obj, _evals = self.tabu.search(
-            self.strategy_spaces[index],
-            objective,
-            start=current,
-            executor=self.executor,
-        )
-        # Tie-break toward the incumbent: keep the current decision if it
-        # is as good as the search result.
-        if best != current and current in self.strategy_spaces[index]:
-            if objective(current) >= best_obj - _TIE_TOLERANCE:
-                return current, objective(current)
-        return best, best_obj
+        with obs.span("game.respond", sc=index, method=self.method):
+            obs.inc("game.best_response." + self.method)
+            if self.method == "exhaustive":
+                return self._exhaustive(objective, index, current)
+            best, best_obj, _evals = self.tabu.search(
+                self.strategy_spaces[index],
+                objective,
+                start=current,
+                executor=self.executor,
+            )
+            # Tie-break toward the incumbent: keep the current decision
+            # if it is as good as the search result.
+            if best != current and current in self.strategy_spaces[index]:
+                if objective(current) >= best_obj - _TIE_TOLERANCE:
+                    return current, objective(current)
+            return best, best_obj
 
     def _exhaustive(
         self, objective: Callable[[int], float], index: int, current: int

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro import obs
 from repro._validation import check_positive_int
 from repro.exceptions import GameError
 from repro.game.best_response import BestResponder
@@ -45,12 +46,17 @@ class SequentialGame:
         history: list[tuple[int, ...]] = [tuple(profile)]
 
         for round_number in range(1, self.max_rounds + 1):
-            changed = False
-            for i in range(k):
-                best, _utility = self.responder.respond(profile, i)
-                if best != profile[i]:
-                    profile[i] = best
-                    changed = True
+            with obs.span("game.round", round=round_number) as round_span:
+                changed = False
+                deltas = 0
+                for i in range(k):
+                    best, _utility = self.responder.respond(profile, i)
+                    if best != profile[i]:
+                        profile[i] = best
+                        changed = True
+                        deltas += 1
+                round_span.set(changed=deltas)
+                obs.inc("game.profile_changes", deltas)
             history.append(tuple(profile))
             if not changed:
                 return GameResult(

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro._validation import check_positive_int
 from repro.exceptions import GameError
 from repro.game.best_response import BestResponder
@@ -92,17 +93,46 @@ class RepeatedGame:
         history: list[tuple[int, ...]] = [profile]
         seen: dict[tuple[int, ...], int] = {profile: 0}
 
+        game_span = obs.span("game.run", k=k, max_rounds=self.max_rounds)
+        with game_span:
+            result = self._play(profile, history, seen, k, start_evals)
+        game_span.set(
+            rounds=result.iterations,
+            converged=result.converged,
+            cycled=result.cycled,
+        )
+        obs.inc("game.runs")
+        obs.inc("game.rounds", result.iterations)
+        return result
+
+    def _play(
+        self,
+        profile: tuple[int, ...],
+        history: list[tuple[int, ...]],
+        seen: dict[tuple[int, ...], int],
+        k: int,
+        start_evals: int,
+    ) -> GameResult:
+        """The round loop of :meth:`run` (split out so the ``game.run``
+        span can record the outcome after the result is known)."""
+        evaluator = self.responder.evaluator
         for round_number in range(1, self.max_rounds + 1):
-            if self.executor is not None and self.executor.workers > 1 and k > 1:
-                current = profile
-                responses = self.executor.map(
-                    lambda i: self.responder.respond(current, i)[0], range(k)
+            with obs.span("game.round", round=round_number) as round_span:
+                if self.executor is not None and self.executor.workers > 1 and k > 1:
+                    current = profile
+                    responses = self.executor.map(
+                        lambda i: self.responder.respond(current, i)[0], range(k)
+                    )
+                    next_profile = tuple(responses)
+                else:
+                    next_profile = tuple(
+                        self.responder.respond(profile, i)[0] for i in range(k)
+                    )
+                changed = sum(
+                    1 for a, b in zip(profile, next_profile) if a != b
                 )
-                next_profile = tuple(responses)
-            else:
-                next_profile = tuple(
-                    self.responder.respond(profile, i)[0] for i in range(k)
-                )
+                round_span.set(changed=changed)
+                obs.inc("game.profile_changes", changed)
             history.append(next_profile)
             if next_profile == profile:
                 return GameResult(

@@ -16,6 +16,7 @@ from collections.abc import Callable, Sequence
 from typing import TYPE_CHECKING
 
 from repro._validation import check_positive_int
+from repro import obs
 from repro.exceptions import GameError
 
 if TYPE_CHECKING:
@@ -108,6 +109,7 @@ class TabuSearch:
         tabu: deque[int] = deque(maxlen=self.tenure)
         tabu.append(current_idx)
 
+        moves = 0
         for _ in range(self.max_moves):
             neighborhood = [
                 idx
@@ -132,6 +134,7 @@ class TabuSearch:
                     best_obj = obj
                     best_idx = idx
                 moved = True
+                moves += 1
                 break
             if not moved:
                 break  # whole neighborhood tabu and non-improving
@@ -140,4 +143,7 @@ class TabuSearch:
             if len(value_cache) == len(ordered):
                 break
 
+        obs.inc("game.tabu.searches")
+        obs.inc("game.tabu.moves", moves)
+        obs.inc("game.tabu.evaluations", evaluations)
         return ordered[best_idx], best_obj, evaluations

@@ -23,6 +23,7 @@ import threading
 from collections.abc import MutableMapping, Sequence
 
 from repro._validation import check_in_range
+from repro import obs
 from repro.analysis import sanitize
 from repro.core.small_cloud import FederationScenario
 from repro.market.cost import BaselineMetrics, baseline_metrics, operating_cost
@@ -99,16 +100,20 @@ class UtilityEvaluator:
         key = tuple(int(s) for s in sharing)
         while True:
             with self._lock:
-                if key in self._cache:
-                    return self._cache[key]
-                event = self._pending.get(key)
-                if event is None:
-                    event = threading.Event()
-                    self._pending[key] = event
-                    owner = True
-                else:
-                    owner = False
+                cached = self._cache.get(key)
+                if cached is None:
+                    event = self._pending.get(key)
+                    if event is None:
+                        event = threading.Event()
+                        self._pending[key] = event
+                        owner = True
+                    else:
+                        owner = False
+            if cached is not None:
+                obs.inc("market.params.hit")
+                return cached
             if not owner:
+                obs.inc("market.params.dedup_wait")
                 event.wait()
                 continue  # the owner has published (or failed); re-check
             try:
@@ -119,6 +124,7 @@ class UtilityEvaluator:
                 with self._lock:
                     self._cache[key] = params
                     self.evaluations += 1
+                obs.inc("market.params.solve")
                 return params
             finally:
                 with self._lock:
@@ -140,19 +146,27 @@ class UtilityEvaluator:
         key = tuple(int(s) for s in sharing)
         target = (key, int(index))
         while True:
+            hit: str | None = None
+            result: PerformanceParams | None = None
             with self._lock:
                 if key in self._cache:
-                    return self._cache[key][index]
-                if target in self._target_cache:
-                    return self._target_cache[target]
-                event = self._target_pending.get(target)
-                if event is None:
-                    event = threading.Event()
-                    self._target_pending[target] = event
-                    owner = True
+                    hit, result = "market.target.full_hit", self._cache[key][index]
+                elif target in self._target_cache:
+                    hit, result = "market.target.hit", self._target_cache[target]
                 else:
-                    owner = False
+                    event = self._target_pending.get(target)
+                    if event is None:
+                        event = threading.Event()
+                        self._target_pending[target] = event
+                        owner = True
+                    else:
+                        owner = False
+            if hit is not None:
+                obs.inc(hit)
+                assert result is not None
+                return result
             if not owner:
+                obs.inc("market.target.dedup_wait")
                 event.wait()
                 continue  # the owner has published (or failed); re-check
             try:
@@ -164,6 +178,7 @@ class UtilityEvaluator:
                 with self._lock:
                     self._target_cache[target] = params
                     self.target_evaluations += 1
+                obs.inc("market.target.solve")
                 return params
             finally:
                 with self._lock:

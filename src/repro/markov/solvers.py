@@ -30,6 +30,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import obs
 from repro.analysis import sanitize
 from repro.exceptions import ConvergenceError, SolverError
 
@@ -141,6 +142,9 @@ def steady_state_gmres(
     warm = _usable_warm_start(x0, n)
     if warm is not None and warm[0] > 0.0:
         guess = warm[1:] / warm[0]
+        obs.inc("markov.warm_start.hit")
+    elif x0 is not None:
+        obs.inc("markov.warm_start.miss")
     tail, info = spla.gmres(
         a, b, x0=guess, rtol=tol, atol=0.0, maxiter=max_iter, M=preconditioner
     )
@@ -169,13 +173,17 @@ def stationary_power(
     warm = _usable_warm_start(x0, n)
     if warm is not None:
         pi = warm / warm.sum()
+        obs.inc("markov.warm_start.hit")
     else:
+        if x0 is not None:
+            obs.inc("markov.warm_start.miss")
         pi = np.full(n, 1.0 / n)
     for iteration in range(max_iter):
         nxt = np.asarray(pi @ p).ravel()
         delta = np.abs(nxt - pi).max()
         pi = nxt
         if delta < tol:
+            obs.inc("markov.power.iterations", iteration + 1)
             return _clean(pi)
         if iteration % 1000 == 999:
             pi = _clean(pi)  # guard against drift
@@ -222,34 +230,44 @@ def steady_state(
     solver ignores it).
     """
     q = sp.csr_matrix(q)
-    methods = {
-        "direct": lambda m: steady_state_direct(m),
-        "gmres": lambda m: steady_state_gmres(m, x0=x0),
-        "power": lambda m: steady_state_power(m, x0=x0),
-    }
-    if method in methods:
-        return methods[method](q)
-    if method != "auto":
-        raise SolverError(f"unknown steady-state method {method!r}")
-    if q.shape[0] > _LARGE_CHAIN_THRESHOLD:
-        order: list[tuple] = [
-            (
-                "power",
-                lambda m: steady_state_power(m, tol=1e-13, max_iter=100_000, x0=x0),
-            ),
-            ("direct", steady_state_direct),
-            ("gmres", lambda m: steady_state_gmres(m, x0=x0)),
-        ]
-    else:
-        order = [
-            ("direct", steady_state_direct),
-            ("gmres", lambda m: steady_state_gmres(m, x0=x0)),
-            ("power", lambda m: steady_state_power(m, x0=x0)),
-        ]
-    errors: list[str] = []
-    for name, solver in order:
-        try:
-            return solver(q)
-        except SolverError as exc:
-            errors.append(f"{name}: {exc}")
-    raise SolverError("all steady-state solvers failed: " + "; ".join(errors))
+    with obs.span("markov.steady_state", n=q.shape[0], method=method):
+        methods = {
+            "direct": lambda m: steady_state_direct(m),
+            "gmres": lambda m: steady_state_gmres(m, x0=x0),
+            "power": lambda m: steady_state_power(m, x0=x0),
+        }
+        if method in methods:
+            pi = methods[method](q)
+            obs.inc("markov.solve." + method)
+            return pi
+        if method != "auto":
+            raise SolverError(f"unknown steady-state method {method!r}")
+        if q.shape[0] > _LARGE_CHAIN_THRESHOLD:
+            order: list[tuple] = [
+                (
+                    "power",
+                    lambda m: steady_state_power(
+                        m, tol=1e-13, max_iter=100_000, x0=x0
+                    ),
+                ),
+                ("direct", steady_state_direct),
+                ("gmres", lambda m: steady_state_gmres(m, x0=x0)),
+            ]
+        else:
+            order = [
+                ("direct", steady_state_direct),
+                ("gmres", lambda m: steady_state_gmres(m, x0=x0)),
+                ("power", lambda m: steady_state_power(m, x0=x0)),
+            ]
+        errors: list[str] = []
+        for name, solver in order:
+            try:
+                pi = solver(q)
+            except SolverError as exc:
+                errors.append(f"{name}: {exc}")
+            else:
+                obs.inc("markov.solve." + name)
+                return pi
+        raise SolverError(
+            "all steady-state solvers failed: " + "; ".join(errors)
+        )

@@ -1,0 +1,142 @@
+"""Golden span-tree shapes: ``python -m repro.obs.goldens``.
+
+A golden trace pins down the *shape* of the span tree a known workload
+produces — span names, nesting, and counts, never durations or
+attributes — so a refactor that silently changes how many solves or
+rounds a game performs fails a test instead of a benchmark.
+
+Shape aggregation: a span's children are reduced to the distinct
+``(name, children-shape)`` forms with a count each, so the golden stays
+small and is invariant to timing while still detecting structural
+drift (an extra round, a lost cache hit that turns into a solve span).
+
+Check mode (the default) recomputes the shape of the quick differential
+scenario and compares it to the committed golden; ``--update``
+regenerates the golden after an *intentional* structural change::
+
+    python -m repro.obs.goldens                 # check, exit 0/1
+    python -m repro.obs.goldens --update        # rewrite the golden
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro import obs
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "DEFAULT_GOLDEN",
+    "main",
+    "span_shape",
+    "trace_quick_scenario",
+    "tracer_shape",
+]
+
+#: Where the committed golden lives, relative to the repository root
+#: (the CLI is a development tool and is documented to run from there).
+DEFAULT_GOLDEN = Path("tests") / "obs" / "goldens" / "quick_game.json"
+
+
+def span_shape(span: Span) -> dict[str, object]:
+    """The duration-free shape of one span subtree."""
+    return {"name": span.name, "children": _aggregate(span.children)}
+
+
+def _aggregate(children: list[Span]) -> list[dict[str, object]]:
+    """Distinct child shapes with counts, in first-seen order."""
+    result: list[dict[str, object]] = []
+    index: dict[str, int] = {}
+    for child in children:
+        shape = span_shape(child)
+        key = json.dumps(shape, sort_keys=True)
+        position = index.get(key)
+        if position is None:
+            index[key] = len(result)
+            result.append(
+                {
+                    "name": shape["name"],
+                    "count": 1,
+                    "children": shape["children"],
+                }
+            )
+        else:
+            entry = result[position]
+            assert isinstance(entry["count"], int)
+            entry["count"] = entry["count"] + 1
+    return result
+
+
+def tracer_shape(tracer: Tracer) -> dict[str, object]:
+    """The shape of a whole traced run."""
+    return {
+        "format": "repro.obs.golden",
+        "version": 1,
+        "span_count": tracer.span_count,
+        "roots": _aggregate(tracer.roots),
+    }
+
+
+def trace_quick_scenario() -> Tracer:
+    """Run the differential checker's quick scenario, serial, traced.
+
+    Serial and uncached-across-runs by construction (a fresh model per
+    call), so the resulting tree shape is a deterministic function of
+    the code — exactly what a golden can pin."""
+    from repro.analysis.differential import SCENARIOS, _run_cell
+
+    with obs.capture(tracing=True, metrics=False) as cap:
+        _run_cell(SCENARIOS["quick"], "serial", "base")
+    return cap.tracer
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.goldens",
+        description="check or regenerate the committed golden trace shape",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the golden instead of checking against it",
+    )
+    parser.add_argument(
+        "--path",
+        type=str,
+        default=str(DEFAULT_GOLDEN),
+        help=f"golden file location (default: {DEFAULT_GOLDEN})",
+    )
+    args = parser.parse_args(argv)
+
+    shape = tracer_shape(trace_quick_scenario())
+    path = Path(args.path)
+    if args.update:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(shape, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} ({shape['span_count']} spans)")
+        return 0
+
+    try:
+        golden = json.loads(path.read_text())
+    except OSError as exc:
+        print(f"golden unreadable ({exc}); regenerate with --update")
+        return 1
+    if golden == shape:
+        print(f"golden trace shape matches ({shape['span_count']} spans)")
+        return 0
+    print(
+        "golden trace shape MISMATCH: "
+        f"golden has {golden.get('span_count')} spans, "
+        f"current run has {shape['span_count']}. "
+        "If the structural change is intentional, regenerate with "
+        "`python -m repro.obs.goldens --update`."
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

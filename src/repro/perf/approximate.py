@@ -57,6 +57,7 @@ import scipy.sparse as sp
 if TYPE_CHECKING:
     from repro.runtime.executor import Executor
 
+from repro import obs
 from repro._validation import check_positive, require
 from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.markov.ctmc import CTMC
@@ -278,7 +279,9 @@ class ApproximateModel(PerformanceModel):
         self._assembly = assembly
         self._level_cache_size = level_cache_size
         self._level_cache: LRUCache | None = (
-            LRUCache(maxsize=level_cache_size) if level_cache_size != 0 else None
+            LRUCache(maxsize=level_cache_size, name="perf.level_cache")
+            if level_cache_size != 0
+            else None
         )
         self._warm: LRUCache = LRUCache(maxsize=16)
 
@@ -295,8 +298,11 @@ class ApproximateModel(PerformanceModel):
         """
         if target is not None and target != len(scenario) - 1:
             scenario = scenario.rotated_to_target(target)
-        level = self._build_chain(scenario)
-        return self._params_from_level(level)
+        with obs.span(
+            "perf.solve", k=len(scenario), target=len(scenario) - 1
+        ):
+            level = self._build_chain(scenario)
+            return self._params_from_level(level)
 
     def evaluate(self, scenario: FederationScenario) -> list[PerformanceParams]:
         """Evaluate every SC by rotating each into the target slot.
@@ -311,7 +317,8 @@ class ApproximateModel(PerformanceModel):
         k = len(scenario)
         executor = self.executor
         if executor is None or executor.workers <= 1 or k == 1:
-            return [self.evaluate_target(scenario, target=i) for i in range(k)]
+            with obs.span("perf.evaluate", k=k, backend="inline"):
+                return [self.evaluate_target(scenario, target=i) for i in range(k)]
         worker = ApproximateModel(
             tail_epsilon=self.tail_epsilon,
             transient_epsilon=self.transient_epsilon,
@@ -321,9 +328,12 @@ class ApproximateModel(PerformanceModel):
             level_cache_size=self._level_cache_size,
             warm_start=self.warm_start,
         )
-        return executor.map(
-            _evaluate_target_task, [(worker, scenario, i) for i in range(k)]
-        )
+        with obs.span("perf.evaluate", k=k, backend="executor"):
+            return obs.map_with_metrics(
+                executor,
+                _evaluate_target_task,
+                [(worker, scenario, i) for i in range(k)],
+            )
 
     def level_cache_stats(self) -> dict[str, int | None]:
         """Hit/miss counters of the level-prefix cache (all zero when
@@ -381,11 +391,12 @@ class ApproximateModel(PerformanceModel):
             key = (prefix, scenario.shared_by_others(i))
             cached = cache.get(key) if cache is not None else None
             if cached is None:
-                if i == 0:
-                    cached = self._build_first(scenario)
-                else:
-                    assert level is not None
-                    cached = self._build_level(scenario, i, level)
+                with obs.span("perf.level_build", level=i):
+                    if i == 0:
+                        cached = self._build_first(scenario)
+                    else:
+                        assert level is not None
+                        cached = self._build_level(scenario, i, level)
                 if cache is not None:
                     cache.put(key, cached)
             level = cached
@@ -403,6 +414,8 @@ class ApproximateModel(PerformanceModel):
         """Steady-state solve, optionally warm-started from the last
         solved chain of identical shape."""
         x0 = self._warm.get(shape_key) if self.warm_start else None
+        if self.warm_start:
+            obs.inc("perf.warm_replay.hit" if x0 is not None else "perf.warm_replay.miss")
         pi = steady_state(ctmc.generator, x0=x0)
         if self.warm_start:
             self._warm.put(shape_key, pi)

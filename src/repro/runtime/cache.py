@@ -33,6 +33,7 @@ from collections.abc import Iterator, Mapping, MutableMapping, Sequence
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro._validation import require
 from repro.analysis import sanitize
 
@@ -130,12 +131,15 @@ class DiskCache:
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
+            obs.inc("runtime.disk_cache.miss")
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             self._discard(path)
+            obs.inc("runtime.disk_cache.miss")
             return None
         if not isinstance(payload, dict) or payload.get("version") != CACHE_FORMAT_VERSION:
             self._discard(path)
+            obs.inc("runtime.disk_cache.miss")
             return None
         stored = payload.get("digest")
         expected = payload_digest(payload)
@@ -147,13 +151,16 @@ class DiskCache:
                 label=f"disk-cache[{key}]",
             )
             self._discard(path)
+            obs.inc("runtime.disk_cache.miss")
             return None
+        obs.inc("runtime.disk_cache.hit")
         return payload
 
     def store(self, key: str, payload: dict[str, Any]) -> None:
         """Atomically write ``payload`` under ``key`` with its digest."""
         payload = {"version": CACHE_FORMAT_VERSION, **payload}
         payload["digest"] = payload_digest(payload)
+        obs.inc("runtime.disk_cache.store")
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{key}.", suffix=".tmp", dir=self.root
         )
@@ -237,7 +244,7 @@ class DiskParamsCache(MutableMapping):
         self._model_key = model_fingerprint(model)
         self._size = len(scenario)
         self._memory: LRUCache[tuple[int, ...], list[PerformanceParams]] = LRUCache(
-            maxsize=memory_size
+            maxsize=memory_size, name="runtime.params_memory"
         )
 
     def _hash(self, sharing: tuple[int, ...]) -> str:
@@ -393,10 +400,12 @@ class CachedModel(PerformanceModel):
             params = _decode_params(payload)
             if params is not None and len(params) == len(scenario):
                 self.hits += 1
+                obs.inc("runtime.cached_model.hit")
                 return params
             self.store.discard(key)
         params = self.model.evaluate(scenario)
         self.misses += 1
+        obs.inc("runtime.cached_model.miss")
         self.store.store(key, {"params": [params_to_dict(p) for p in params]})
         return params
 
@@ -412,9 +421,11 @@ class CachedModel(PerformanceModel):
             params = _decode_params(payload)
             if params is not None and len(params) == 1:
                 self.hits += 1
+                obs.inc("runtime.cached_model.hit")
                 return params[0]
             self.store.discard(key)
         result = self.model.evaluate_target(scenario, index)
         self.misses += 1
+        obs.inc("runtime.cached_model.miss")
         self.store.store(key, {"params": [params_to_dict(result)]})
         return result

@@ -26,10 +26,12 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import pickle
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterator, Sequence
 from typing import TypeVar
 
+from repro import obs
 from repro._validation import check_positive_int
 from repro.analysis import sanitize
 from repro.exceptions import ConfigurationError
@@ -38,7 +40,7 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
-def _worker_bootstrap(sanitize_active: bool) -> None:
+def _worker_bootstrap(sanitize_active: bool, metrics_active: bool = False) -> None:
     """Per-process initializer run once in every spawned pool worker.
 
     The sanitizer switch is module-level state, so a worker spawned after
@@ -47,10 +49,30 @@ def _worker_bootstrap(sanitize_active: bool) -> None:
     every invariant check.  The parent captures its switch at pool
     creation and replays it here; the environment variable is also set so
     any grandchild processes inherit the setting.
+
+    The observability *metrics* switch gets the same replay: a worker
+    whose hooks stayed off would return empty snapshots and the merged
+    totals would silently undercount.  Tracing is deliberately NOT
+    replayed — spans are per-process and workers contribute metrics
+    snapshots, not span trees (see :mod:`repro.obs`).
     """
     if sanitize_active:
         os.environ[sanitize.SANITIZE_ENV_VAR] = "1"
         sanitize.sanitize_enable()
+    if metrics_active:
+        obs.obs_enable(tracing=False, metrics=True)
+
+
+def _count_batch(n_items: int) -> None:
+    """Record one dispatched batch.
+
+    Deliberately identical on every backend (the serial executor counts
+    the same batches a pool would), so merged counter totals are
+    backend-independent — the property the differential checker's
+    metrics-merge section asserts.
+    """
+    obs.inc("runtime.executor.batches")
+    obs.inc("runtime.executor.tasks", n_items)
 
 
 def default_workers() -> int:
@@ -89,7 +111,15 @@ class SerialExecutor(Executor):
     workers = 1
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        return [fn(item) for item in items]
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        with obs.span("runtime.map", backend="serial", tasks=len(items)):
+            _count_batch(len(items))
+            start = time.perf_counter()
+            results = [fn(item) for item in items]
+            obs.observe("runtime.batch_seconds", time.perf_counter() - start)
+            return results
 
     def map_unordered(
         self, fn: Callable[[T], R], items: Sequence[T]
@@ -115,10 +145,20 @@ class ThreadExecutor(Executor):
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         items = list(items)
-        if self.workers <= 1 or len(items) <= 1:
+        if len(items) <= 1:
             return [fn(item) for item in items]
-        with concurrent.futures.ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(fn, items))
+        with obs.span("runtime.map", backend="thread", tasks=len(items)):
+            _count_batch(len(items))
+            start = time.perf_counter()
+            if self.workers <= 1:
+                results = [fn(item) for item in items]
+            else:
+                with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.workers
+                ) as pool:
+                    results = list(pool.map(fn, items))
+            obs.observe("runtime.batch_seconds", time.perf_counter() - start)
+            return results
 
     def map_unordered(
         self, fn: Callable[[T], R], items: Sequence[T]
@@ -128,9 +168,15 @@ class ThreadExecutor(Executor):
             for index, item in enumerate(items):
                 yield index, fn(item)
             return
+        _count_batch(len(items))
         with concurrent.futures.ThreadPoolExecutor(max_workers=self.workers) as pool:
+            submitted = time.perf_counter()
             futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
             for future in concurrent.futures.as_completed(futures):
+                obs.observe(
+                    "runtime.task_turnaround_seconds",
+                    time.perf_counter() - submitted,
+                )
                 yield futures[future], future.result()
 
 
@@ -164,15 +210,27 @@ class ProcessExecutor(Executor):
         return concurrent.futures.ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_worker_bootstrap,
-            initargs=(sanitize.sanitize_enabled(),),
+            initargs=(sanitize.sanitize_enabled(), obs.metrics_active()),
         )
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         items = list(items)
-        if self.workers <= 1 or len(items) <= 1 or not self._picklable(fn, items):
+        if len(items) <= 1:
             return [fn(item) for item in items]
-        with self._pool() as pool:
-            return list(pool.map(fn, items, chunksize=self.chunksize(len(items))))
+        with obs.span("runtime.map", backend="process", tasks=len(items)):
+            _count_batch(len(items))
+            start = time.perf_counter()
+            if self.workers <= 1 or not self._picklable(fn, items):
+                if self.workers > 1:
+                    obs.inc("runtime.executor.pickle_fallback")
+                results = [fn(item) for item in items]
+            else:
+                with self._pool() as pool:
+                    results = list(
+                        pool.map(fn, items, chunksize=self.chunksize(len(items)))
+                    )
+            obs.observe("runtime.batch_seconds", time.perf_counter() - start)
+            return results
 
     def map_unordered(
         self, fn: Callable[[T], R], items: Sequence[T]
@@ -182,9 +240,15 @@ class ProcessExecutor(Executor):
             for index, item in enumerate(items):
                 yield index, fn(item)
             return
+        _count_batch(len(items))
         with self._pool() as pool:
+            submitted = time.perf_counter()
             futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
             for future in concurrent.futures.as_completed(futures):
+                obs.observe(
+                    "runtime.task_turnaround_seconds",
+                    time.perf_counter() - submitted,
+                )
                 yield futures[future], future.result()
 
 

@@ -38,6 +38,7 @@ from collections import OrderedDict
 from collections.abc import Callable, Hashable
 from typing import Any, Generic, TypeVar
 
+from repro import obs
 from repro._validation import require
 
 K = TypeVar("K", bound=Hashable)
@@ -50,6 +51,11 @@ class LRUCache(Generic[K, V]):
     Args:
         maxsize: capacity in entries; ``None`` means unbounded (the
             cache then degenerates to a thread-safe dict with stats).
+        name: optional metric namespace.  A named cache reports
+            ``<name>.hit`` / ``<name>.miss`` / ``<name>.eviction``
+            counters through :mod:`repro.obs` (no-ops unless metrics are
+            enabled); unnamed caches pay one ``None`` check per
+            operation and emit nothing.
 
     Attributes:
         hits: successful lookups so far.
@@ -58,11 +64,17 @@ class LRUCache(Generic[K, V]):
             already cached (zero under the single-flight discipline).
     """
 
-    def __init__(self, maxsize: int | None = 128) -> None:
+    def __init__(self, maxsize: int | None = 128, name: str | None = None) -> None:
         if maxsize is not None:
             require(int(maxsize) >= 1, "LRUCache maxsize must be >= 1 or None")
             maxsize = int(maxsize)
         self.maxsize = maxsize
+        self.name = name
+        # Metric names are precomputed so the per-operation cost of an
+        # enabled-metrics run is one counter add, not a string build.
+        self._metric_hit = f"{name}.hit" if name else None
+        self._metric_miss = f"{name}.miss" if name else None
+        self._metric_eviction = f"{name}.eviction" if name else None
         self.hits = 0  # guarded-by: _lock
         self.misses = 0  # guarded-by: _lock
         self.duplicate_builds = 0  # guarded-by: _lock
@@ -78,24 +90,33 @@ class LRUCache(Generic[K, V]):
                 value = self._data[key]
             except KeyError:
                 self.misses += 1
-                return None
-            self._data.move_to_end(key)
-            self.hits += 1
-            return value
+                hit = False
+            else:
+                self._data.move_to_end(key)
+                self.hits += 1
+                hit = True
+        if self._metric_hit is not None and self._metric_miss is not None:
+            obs.inc(self._metric_hit if hit else self._metric_miss)
+        return value if hit else None
 
-    def _put_locked(self, key: K, value: V) -> None:
-        """Insert under an already-held ``self._lock``."""
+    def _put_locked(self, key: K, value: V) -> int:
+        """Insert under an already-held ``self._lock``; returns evictions."""
         self._data[key] = value
         self._data.move_to_end(key)
+        evicted = 0
         if self.maxsize is not None:
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
+                evicted += 1
+        return evicted
 
     def put(self, key: K, value: V) -> None:
         """Insert ``value`` under ``key``, evicting the least recently
         used entry if the cache is full."""
         with self._lock:
-            self._put_locked(key, value)
+            evicted = self._put_locked(key, value)
+        if evicted and self._metric_eviction is not None:
+            obs.inc(self._metric_eviction, evicted)
 
     def get_or_create(self, key: K, factory: Callable[[], V]) -> V:
         """Return the cached value for ``key``, building it with
@@ -119,6 +140,8 @@ class LRUCache(Generic[K, V]):
                 else:
                     self._data.move_to_end(key)
                     self.hits += 1
+                    if self._metric_hit is not None:
+                        obs.inc(self._metric_hit)
                     return value
                 event = self._pending.get(key)
                 if event is None:
@@ -131,12 +154,16 @@ class LRUCache(Generic[K, V]):
             if not owner:
                 event.wait()
                 continue  # the owner has published (or failed); re-check
+            if self._metric_miss is not None:
+                obs.inc(self._metric_miss)
             try:
                 value = factory()
                 with self._lock:
                     if key in self._data:
                         self.duplicate_builds += 1
-                    self._put_locked(key, value)
+                    evicted = self._put_locked(key, value)
+                if evicted and self._metric_eviction is not None:
+                    obs.inc(self._metric_eviction, evicted)
                 return value
             finally:
                 with self._lock:
@@ -185,10 +212,14 @@ class LRUCache(Generic[K, V]):
     # -- pickling: ship configuration, not contents -------------------- #
 
     def __getstate__(self) -> dict[str, Any]:
-        return {"maxsize": self.maxsize}
+        return {"maxsize": self.maxsize, "name": self.name}
 
     def __setstate__(self, state: dict[str, Any]) -> None:
         self.maxsize = state["maxsize"]
+        self.name = state.get("name")
+        self._metric_hit = f"{self.name}.hit" if self.name else None
+        self._metric_miss = f"{self.name}.miss" if self.name else None
+        self._metric_eviction = f"{self.name}.eviction" if self.name else None
         self.hits = 0
         self.misses = 0
         self.duplicate_builds = 0

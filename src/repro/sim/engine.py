@@ -13,6 +13,7 @@ import heapq
 import itertools
 from collections.abc import Callable
 
+from repro import obs
 from repro.exceptions import SimulationError
 
 
@@ -132,4 +133,6 @@ class SimulationEngine:
                 break
             self.step()
             executed += 1
+        if executed:
+            obs.inc("sim.engine.events", executed)
         self.now = max(self.now, horizon)

@@ -33,6 +33,7 @@ from repro.queueing.sla import prob_no_forward
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RandomStreams
 from repro.sim.stats import WelfordAccumulator
+from repro import obs
 from repro.sim.trace import TraceRecorder
 from repro.workload.service import ExponentialService, ServiceDistribution
 
@@ -434,15 +435,19 @@ class FederationSimulator:
         warmup = check_non_negative(warmup, "warmup")
         if warmup >= horizon:
             raise SimulationError("warmup must be shorter than the horizon")
-        if warmup > 0.0:
-            self._measuring = False
-            self.engine.run_until(warmup)
-            self._measuring = True
-            for state in self.clouds:
-                state.reset_statistics(warmup)
-        self.engine.run_until(horizon)
-        self._record_all()
-        self._check_conservation()
+        with obs.span("sim.run", k=self.k, horizon=horizon, warmup=warmup):
+            if warmup > 0.0:
+                self._measuring = False
+                self.engine.run_until(warmup)
+                self._measuring = True
+                for state in self.clouds:
+                    state.reset_statistics(warmup)
+            self.engine.run_until(horizon)
+            self._record_all()
+            self._check_conservation()
+        if obs.metrics_active():
+            obs.inc("sim.arrivals", sum(s.arrivals for s in self.clouds))
+            obs.inc("sim.forwarded", sum(s.forwarded for s in self.clouds))
         elapsed = horizon - warmup
         results = []
         for state in self.clouds:

@@ -13,9 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro._validation import check_positive_int
 from repro.core.small_cloud import FederationScenario
 from repro.sim.federation import FederationSimulator
+from repro.sim.trace import TraceRecorder
 from repro.sim.stats import BatchMeans, ConfidenceInterval
 
 if TYPE_CHECKING:
@@ -54,9 +56,19 @@ class ReplicatedMetrics:
 def _run_replication(
     task: tuple[FederationScenario, int, float, float]
 ) -> list[SimulatedMetrics]:
-    """One replication as a pure, process-pool-friendly function."""
+    """One replication as a pure, process-pool-friendly function.
+
+    Under active tracing the replication runs with a
+    :class:`~repro.sim.trace.TraceRecorder` attached, so simulator
+    events are forwarded into the ``sim.replication`` span; the
+    recorder is otherwise omitted to keep the hot path allocation-free.
+    """
     scenario, seed, horizon, warmup = task
-    return FederationSimulator(scenario, seed=seed).run(horizon=horizon, warmup=warmup)
+    with obs.span("sim.replication", seed=seed):
+        obs.inc("sim.replications")
+        trace = TraceRecorder() if obs.tracing_active() else None
+        simulator = FederationSimulator(scenario, seed=seed, trace=trace)
+        return simulator.run(horizon=horizon, warmup=warmup)
 
 
 def replicate(
@@ -97,10 +109,15 @@ def replicate(
     ]
     seeds = replication_seeds(base_seed, replications, scheme=seed_scheme)
     tasks = [(scenario, seed, horizon, warmup) for seed in seeds]
-    if executor is not None and executor.workers > 1 and replications > 1:
-        all_results = executor.map(_run_replication, tasks)
-    else:
-        all_results = [_run_replication(task) for task in tasks]
+    with obs.span("sim.replicate", replications=replications):
+        if executor is not None and replications > 1:
+            # Routed through the executor on every backend (serial
+            # included) so batch counters and merged metric totals are
+            # backend-independent — the differential checker's
+            # metrics-merge section relies on this.
+            all_results = obs.map_with_metrics(executor, _run_replication, tasks)
+        else:
+            all_results = [_run_replication(task) for task in tasks]
     for results in all_results:
         for i, metrics in enumerate(results):
             for metric in _METRICS:

@@ -5,12 +5,19 @@ A :class:`TraceRecorder` captures a bounded list of structured events
 sequence of sharing decisions), regression tests (golden traces for a
 fixed seed), and post-hoc workload analysis (feeding waiting times to the
 phase-type fitter).
+
+When :mod:`repro.obs` tracing is active, every recorded event is also
+forwarded to the innermost open span (``obs.add_event``), so simulator
+events appear inline in exported traces under the ``sim.replication``
+span that produced them.  The forwarding is one no-op call when tracing
+is off and never alters the recorder's own contents.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro._validation import check_positive_int
 
 
@@ -53,6 +60,7 @@ class TraceRecorder:
         self.events.append(
             TraceEvent(time=time, kind=kind, fields=tuple(sorted(fields.items())))
         )
+        obs.add_event(kind, time, **fields)
 
     def __len__(self) -> int:
         return len(self.events)

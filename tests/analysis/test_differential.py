@@ -61,10 +61,15 @@ class TestFullMatrix:
         report = json.loads(out.read_text())
         assert report["ok"] is True
         assert report["mismatches"] == []
-        assert len(report["cells"]) == 9
+        # 3x3 backend/variant matrix plus the traced cell (obs on).
+        assert len(report["cells"]) == 10
+        assert any(cell.get("variant") == "traced" for cell in report["cells"])
         digests = {cell["digest"] for cell in report["cells"]}
         assert len(digests) == 1
-        assert "bit-identical" in capsys.readouterr().out
+        assert report["metrics_merge"]["ok"] is True
+        out_text = capsys.readouterr().out
+        assert "bit-identical" in out_text
+        assert "metrics-merge" in out_text
 
     def test_report_carries_reference_observables(self, tmp_path):
         out = tmp_path / "differential.json"

@@ -1,0 +1,84 @@
+"""Golden-trace regression: the span tree of the quick scenario is pinned.
+
+The committed golden (``tests/obs/goldens/quick_game.json``) records the
+duration-free *shape* of the span tree the differential checker's quick
+scenario produces — span names, nesting, and counts.  A refactor that
+changes how many solves or rounds the game performs fails here with a
+structural diff instead of silently shifting a benchmark.
+
+Regenerate after an intentional structural change::
+
+    python -m repro.obs.goldens --update
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs import goldens
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "quick_game.json"
+
+
+class TestShapeHelpers:
+    def test_span_shape_aggregates_identical_children(self):
+        with obs.capture(metrics=False) as cap:
+            with obs.span("root"):
+                for _ in range(3):
+                    with obs.span("same"):
+                        pass
+                with obs.span("different"):
+                    with obs.span("leaf"):
+                        pass
+        (root,) = cap.tracer.roots
+        shape = goldens.span_shape(root)
+        assert shape["name"] == "root"
+        assert shape["children"] == [
+            {"name": "same", "count": 3, "children": []},
+            {
+                "name": "different",
+                "count": 1,
+                "children": [{"name": "leaf", "count": 1, "children": []}],
+            },
+        ]
+
+    def test_shape_ignores_attributes_and_durations(self):
+        def tree(attr):
+            with obs.capture(metrics=False) as cap:
+                with obs.span("root", attr=attr):
+                    pass
+            return goldens.tracer_shape(cap.tracer)
+
+        assert tree(1) == tree(2)
+
+
+@pytest.mark.slow
+class TestGoldenTrace:
+    def test_quick_scenario_matches_committed_golden(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        current = goldens.tracer_shape(goldens.trace_quick_scenario())
+        assert current == golden, (
+            "span-tree shape drifted from the committed golden; if the "
+            "structural change is intentional, regenerate with "
+            "`python -m repro.obs.goldens --update`"
+        )
+
+    def test_check_cli_passes_against_committed_golden(self, capsys):
+        assert goldens.main(["--path", str(GOLDEN_PATH)]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_check_cli_fails_on_mismatch(self, tmp_path, capsys):
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({"format": "repro.obs.golden", "span_count": 0}))
+        assert goldens.main(["--path", str(stale)]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_update_writes_the_current_shape(self, tmp_path):
+        target = tmp_path / "fresh.json"
+        assert goldens.main(["--update", "--path", str(target)]) == 0
+        written = json.loads(target.read_text())
+        assert written == json.loads(GOLDEN_PATH.read_text())

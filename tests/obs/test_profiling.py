@@ -1,0 +1,92 @@
+"""Tests for per-span cProfile opt-in and the block profiler."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ConfigurationError
+from repro.obs import profiling
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    profiling.profile_disable()
+
+
+def _busy() -> int:
+    return sum(i * i for i in range(10_000))
+
+
+class TestSpanProfiling:
+    def test_armed_span_gets_profile_rows(self):
+        profiling.profile_enable({"hot"}, top_n=5)
+        with obs.capture(metrics=False) as cap:
+            with obs.span("hot"):
+                _busy()
+        (root,) = cap.tracer.roots
+        rows = root.attrs["profile"]
+        assert 0 < len(rows) <= 5
+        for row in rows:
+            assert set(row) == {
+                "function",
+                "ncalls",
+                "primitive_calls",
+                "tottime",
+                "cumtime",
+            }
+        # Sorted by cumulative time, descending.
+        cumtimes = [row["cumtime"] for row in rows]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+
+    def test_unarmed_span_has_no_profile(self):
+        profiling.profile_enable({"hot"})
+        with obs.capture(metrics=False) as cap:
+            with obs.span("cold"):
+                _busy()
+        (root,) = cap.tracer.roots
+        assert "profile" not in root.attrs
+
+    def test_no_nested_profilers_outermost_wins(self):
+        profiling.profile_enable({"outer", "inner"})
+        with obs.capture(metrics=False) as cap:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    _busy()
+        (root,) = cap.tracer.roots
+        assert "profile" in root.attrs
+        assert "profile" not in root.children[0].attrs
+
+    def test_disarm_stops_profiling(self):
+        profiling.profile_enable({"hot"})
+        profiling.profile_disable()
+        assert profiling.profiling_names() is None
+        with obs.capture(metrics=False) as cap:
+            with obs.span("hot"):
+                pass
+        (root,) = cap.tracer.roots
+        assert "profile" not in root.attrs
+
+    def test_top_n_validated(self):
+        with pytest.raises(ConfigurationError):
+            profiling.profile_enable({"hot"}, top_n=0)
+
+
+class TestBlockProfiler:
+    def test_profiled_prints_report(self):
+        stream = io.StringIO()
+        with profiling.profiled(stream, top_n=10):
+            _busy()
+        report = stream.getvalue()
+        assert "top 10 by cumulative time" in report
+        assert "function calls" in report
+
+    def test_profiled_reports_even_on_error(self):
+        stream = io.StringIO()
+        with pytest.raises(RuntimeError):
+            with profiling.profiled(stream):
+                raise RuntimeError("boom")
+        assert "cumulative" in stream.getvalue()

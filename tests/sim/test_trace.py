@@ -59,3 +59,49 @@ class TestTraceRecorder:
         event = TraceEvent(time=0.0, kind="k", fields=())
         with pytest.raises(AttributeError):
             event.kind = "other"
+
+
+class TestObsIntegration:
+    """Recorded sim events are forwarded to the active obs span."""
+
+    def test_record_forwards_to_open_span(self):
+        from repro import obs
+
+        with obs.capture(metrics=False) as cap:
+            with obs.span("sim.run"):
+                trace = TraceRecorder()
+                trace.record(1.5, "arrive", sc=0)
+        (root,) = cap.tracer.roots
+        assert root.events == [("arrive", 1.5, (("sc", 0),))]
+        # The recorder's own contents are unchanged by forwarding.
+        assert trace.events[0].as_dict() == {"time": 1.5, "kind": "arrive", "sc": 0}
+
+    def test_record_without_tracing_is_silent(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "arrive")
+        assert len(trace) == 1
+
+    def test_replication_events_appear_under_replication_span(self):
+        from repro import obs
+        from repro.bench.scenarios import fig8_game_scenario
+        from repro.sim.replications import replicate
+
+        scenario = fig8_game_scenario(2, vms=4)
+        with obs.capture(metrics=False) as cap:
+            replicate(scenario, replications=2, horizon=120.0, warmup=20.0)
+
+        (replicate_span,) = cap.tracer.roots
+        assert replicate_span.name == "sim.replicate"
+        replication_spans = [
+            child
+            for child in replicate_span.children
+            if child.name == "sim.replication"
+        ]
+        assert len(replication_spans) == 2
+        for span in replication_spans:
+            (run_span,) = span.children
+            assert run_span.name == "sim.run"
+            # The simulator auto-attached a TraceRecorder because tracing
+            # was active, so its events surface inside the span tree.
+            kinds = {kind for kind, _, _ in run_span.events}
+            assert "serve_local" in kinds or "queue" in kinds
