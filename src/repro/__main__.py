@@ -2,13 +2,19 @@
 
 Commands:
 
-- ``solve SCENARIO.json`` — run the SC-Share market loop on a scenario
-  file (see :mod:`repro.core.serialization` for the format) and print the
-  equilibrium, per-SC positions, and federation efficiency as JSON.
-- ``sweep SCENARIO.json`` — sweep the price ratio and print the
-  recommended price region per fairness objective.
-- ``simulate SCENARIO.json`` — run the discrete-event simulator and print
+- ``solve SCENARIO`` — run the SC-Share market loop on a scenario and
+  print the equilibrium, per-SC positions, and federation efficiency as
+  JSON.
+- ``sweep SCENARIO`` — sweep the price ratio and print the recommended
+  price region per fairness objective.
+- ``simulate SCENARIO`` — run the discrete-event simulator and print
   per-SC performance metrics.
+
+``SCENARIO`` is either a scenario JSON file (see
+:mod:`repro.core.serialization` for the legacy flat format and
+:mod:`repro.scenarios.schema` for the versioned one) or the name of a
+scenario-library entry (``python -m repro.scenarios list``) — so any
+library entry can drive a traced/profiled run directly.
 
 All commands accept ``--model {pooled,approximate}`` where applicable;
 ``solve`` and ``sweep`` also accept ``--workers N`` (parallel evaluation)
@@ -41,6 +47,38 @@ if TYPE_CHECKING:
     from repro.perf.base import PerformanceModel
     from repro.runtime.cache import DiskParamsCache
     from repro.runtime.executor import Executor
+    from repro.scenarios.schema import ScenarioSpec
+
+
+def _resolve_spec(ref: str) -> "ScenarioSpec | None":
+    """A versioned library spec for ``ref``, or ``None`` for legacy files.
+
+    ``ref`` may be a library scenario name, a versioned scenario file
+    (:mod:`repro.scenarios.schema`), or a legacy flat scenario file —
+    only the last returns ``None`` (callers fall back to
+    :func:`~repro.core.serialization.load_scenario`).
+    """
+    from pathlib import Path
+
+    path = Path(ref)
+    if path.exists():
+        data = json.loads(path.read_text())
+        if isinstance(data, dict) and ("schema_version" in data or "name" in data):
+            from repro.scenarios.schema import spec_from_dict
+
+            return spec_from_dict(data)
+        return None
+    from repro.scenarios.library import resolve
+
+    return resolve(ref)
+
+
+def _resolve_federation(ref: str) -> "FederationScenario":
+    """The federation named by ``ref`` (file or library entry)."""
+    spec = _resolve_spec(ref)
+    if spec is not None:
+        return spec.federation()
+    return load_scenario(ref)
 
 
 def _build_executor(args: argparse.Namespace) -> "Executor | None":
@@ -78,7 +116,7 @@ def _build_params_cache(
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.core.framework import SCShare
 
-    scenario = load_scenario(args.scenario)
+    scenario = _resolve_federation(args.scenario)
     if args.price_ratio is not None:
         scenario = scenario.with_price_ratio(args.price_ratio)
     executor = _build_executor(args)
@@ -102,7 +140,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.market.regions import analyze_regions
     from repro.bench.fig7 import ALPHAS, Fig7Row
 
-    scenario = load_scenario(args.scenario)
+    scenario = _resolve_federation(args.scenario)
     executor = _build_executor(args)
     model = _build_model(args.model, executor=executor)
     cache = _build_params_cache(args, scenario, model)
@@ -157,6 +195,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args.scenario)
+    if spec is not None:
+        # Versioned specs carry demand profiles (MMPP arrivals,
+        # phase-type service); run them through the scenario runner so
+        # the profiles actually drive the simulator.  CLI flags override
+        # the spec's run config.
+        from dataclasses import replace
+
+        from repro.scenarios.runner import simulate_spec
+
+        spec = replace(spec, run=replace(spec.run, seed=args.seed, horizon=args.horizon))
+        print(json.dumps(simulate_spec(spec), indent=2))
+        return 0
     from repro.sim.federation import FederationSimulator
 
     scenario = load_scenario(args.scenario)
@@ -274,7 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     solve = sub.add_parser("solve", help="run the market loop to equilibrium")
-    solve.add_argument("scenario", help="scenario JSON file")
+    solve.add_argument("scenario", help="scenario JSON file or library scenario name")
     solve.add_argument("--model", default="pooled", choices=["pooled", "approximate"])
     solve.add_argument("--gamma", type=float, default=0.0)
     solve.add_argument("--alpha", type=float, default=0.0)
@@ -285,7 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.set_defaults(func=_cmd_solve)
 
     sweep = sub.add_parser("sweep", help="sweep C^G/C^P and recommend regions")
-    sweep.add_argument("scenario")
+    sweep.add_argument("scenario", help="scenario JSON file or library scenario name")
     sweep.add_argument("--model", default="pooled", choices=["pooled", "approximate"])
     sweep.add_argument("--gamma", type=float, default=0.0)
     sweep.add_argument("--points", type=int, default=6)
@@ -295,7 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(func=_cmd_sweep)
 
     simulate = sub.add_parser("simulate", help="run the discrete-event simulator")
-    simulate.add_argument("scenario")
+    simulate.add_argument("scenario", help="scenario JSON file or library scenario name")
     simulate.add_argument("--horizon", type=float, default=20_000.0)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument(

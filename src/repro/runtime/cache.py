@@ -222,6 +222,11 @@ class DiskParamsCache(MutableMapping):
         memory_size: capacity of the in-memory front (``None`` for
             unbounded).  Evicted entries are still on disk, so bounding
             only trades lookup latency for memory.
+        namespace: optional extra namespace component mixed into every
+            key and payload.  The scenario library passes the scenario's
+            content hash here (``scenario:<hash>``) so runs of different
+            library entries that happen to share performance-relevant
+            fields still keep disjoint cache populations.
     """
 
     def __init__(
@@ -230,6 +235,7 @@ class DiskParamsCache(MutableMapping):
         scenario: FederationScenario,
         model: PerformanceModel,
         memory_size: int | None = None,
+        namespace: str | None = None,
     ) -> None:
         require(
             isinstance(scenario, FederationScenario),
@@ -242,6 +248,7 @@ class DiskParamsCache(MutableMapping):
         self._store = DiskCache(root)
         self._scenario_key = scenario_fingerprint(scenario, include_sharing=False)
         self._model_key = model_fingerprint(model)
+        self._namespace = str(namespace) if namespace else ""
         self._size = len(scenario)
         self._memory: LRUCache[tuple[int, ...], list[PerformanceParams]] = LRUCache(
             maxsize=memory_size, name="runtime.params_memory"
@@ -253,6 +260,7 @@ class DiskParamsCache(MutableMapping):
                 "kind": "params",
                 "scenario": self._scenario_key,
                 "model": self._model_key,
+                "namespace": self._namespace,
                 "sharing": list(sharing),
             },
             sort_keys=True,
@@ -267,6 +275,7 @@ class DiskParamsCache(MutableMapping):
             payload.get("kind") == "params"
             and payload.get("scenario") == self._scenario_key
             and payload.get("model") == self._model_key
+            and payload.get("namespace", "") == self._namespace
             and payload.get("sharing") == list(sharing)
         )
 
@@ -317,6 +326,7 @@ class DiskParamsCache(MutableMapping):
                 "kind": "params",
                 "scenario": self._scenario_key,
                 "model": self._model_key,
+                "namespace": self._namespace,
                 "sharing": list(sharing),
                 "params": [params_to_dict(p) for p in value],
             },
@@ -338,6 +348,7 @@ class DiskParamsCache(MutableMapping):
                 and payload.get("kind") == "params"
                 and payload.get("scenario") == self._scenario_key
                 and payload.get("model") == self._model_key
+                and payload.get("namespace", "") == self._namespace
                 and isinstance(payload.get("sharing"), list)
             ):
                 found.append(tuple(int(s) for s in payload["sharing"]))

@@ -1,0 +1,214 @@
+"""The scenario library: paper figures + generated corpus, one registry.
+
+Two sources feed the library:
+
+- :func:`figure_scenarios` — the paper's own experimental configurations
+  (already centralized in :mod:`repro.bench.scenarios`), re-expressed as
+  :class:`~repro.scenarios.schema.ScenarioSpec` entries under the
+  ``paper`` family.  The bench constructors stay the single source of
+  truth; this module only wraps them, so the old entry points keep
+  working unchanged.
+- :func:`~repro.scenarios.generator.generate_library` — the 120-scenario
+  generated corpus.
+
+``resolve()`` is the one lookup every CLI shares: a path to a scenario
+JSON file, or a library name.  The committed ``manifest.json`` (package
+data) pins the library's content digest; :func:`check_manifest` is the
+reproducibility gate CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.sanitize import InvariantViolation
+from repro.bench import scenarios as figures
+from repro.core.small_cloud import FederationScenario
+from repro.runtime.seeding import derive_seed
+from repro.scenarios.generator import (
+    DEFAULT_SEED,
+    generate_library,
+    library_digest,
+    library_manifest,
+)
+from repro.scenarios.schema import RunConfig, ScenarioSpec, load_spec
+
+#: The committed manifest pinning the library digest (package data).
+MANIFEST_PATH = Path(__file__).with_name("manifest.json")
+
+
+def spec_from_federation(
+    name: str,
+    federation: FederationScenario,
+    family: str = "custom",
+    description: str = "",
+    seed: int = DEFAULT_SEED,
+    model: str = "pooled",
+    strategy_step: int | None = None,
+    gamma: float = 0.0,
+) -> ScenarioSpec:
+    """Wrap a plain :class:`FederationScenario` as a library spec.
+
+    Demand defaults to Poisson/exponential at the SCs' own rates, and the
+    strategy grid is capped at roughly six points per SC unless a step is
+    given explicitly.
+    """
+    max_vms = max(c.vms for c in federation)
+    return ScenarioSpec(
+        name=name,
+        family=family,
+        description=description,
+        clouds=tuple(federation),
+        run=RunConfig(
+            seed=derive_seed(seed, name),
+            model=model,
+            gamma=gamma,
+            strategy_step=strategy_step if strategy_step is not None else max(1, max_vms // 5),
+        ),
+    )
+
+
+def figure_scenarios(seed: int = DEFAULT_SEED) -> tuple[ScenarioSpec, ...]:
+    """The paper's figure configurations as library entries (family ``paper``)."""
+    entries = [
+        spec_from_federation(
+            "paper-fig6-2sc",
+            figures.fig6_2sc_scenario(target_share=3, target_rate=7.0),
+            description="Fig. 6a/6b point: fixed SC plus swept target SC",
+            seed=seed,
+            strategy_step=2,
+        ),
+        spec_from_federation(
+            "paper-fig6-10sc",
+            figures.fig6_10sc_scenario(target_share=3, target_rate=7.0),
+            description="Fig. 6c/6d point: nine fixed SCs plus the target SC",
+            seed=seed,
+            strategy_step=2,
+        ),
+        spec_from_federation(
+            "paper-fig6-100vm",
+            figures.fig6_100vm_scenario(other_rate=70.0, target_rate=70.0),
+            description="Fig. 6e/6f point: two 100-VM SCs sharing S=10",
+            seed=seed,
+            strategy_step=20,
+        ),
+        spec_from_federation(
+            "paper-fig8-perf-k4",
+            figures.fig8_perf_scenario(n_clouds=4),
+            description="Fig. 8a point: four 10-VM SCs sharing 2 VMs apiece",
+            seed=seed,
+            strategy_step=2,
+        ),
+        spec_from_federation(
+            "paper-fig8-game-k3",
+            figures.fig8_game_scenario(n_clouds=3),
+            description="Fig. 8b point: three SCs for game-convergence timing",
+            seed=seed,
+            strategy_step=4,
+        ),
+    ]
+    for loads in sorted(figures.FIG7_LOADS):
+        entries.append(
+            spec_from_federation(
+                f"paper-fig7-{loads}",
+                figures.fig7_scenario(loads=loads),
+                description=f"Fig. 7 {loads!r} load mix, C^P=10 per VM-unit-time",
+                seed=seed,
+                strategy_step=2,
+            )
+        )
+    return tuple(
+        ScenarioSpec(
+            name=e.name,
+            family="paper",
+            description=e.description,
+            clouds=e.clouds,
+            demand=e.demand,
+            run=e.run,
+        )
+        for e in entries
+    )
+
+
+def full_library(seed: int = DEFAULT_SEED) -> tuple[ScenarioSpec, ...]:
+    """Paper figures + generated corpus, name-sorted (stable order)."""
+    specs = figure_scenarios(seed) + generate_library(seed)
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):  # pragma: no cover - generator bug guard
+        raise InvariantViolation(
+            "scenario-library", "duplicate scenario names in library", {"names": names}
+        )
+    return tuple(sorted(specs, key=lambda s: s.name))
+
+
+def library_index(seed: int = DEFAULT_SEED) -> dict[str, ScenarioSpec]:
+    """Name -> spec mapping for the full library."""
+    return {spec.name: spec for spec in full_library(seed)}
+
+
+def resolve(name_or_path: str, seed: int = DEFAULT_SEED) -> ScenarioSpec:
+    """A scenario by library name, or from a JSON file path."""
+    path = Path(name_or_path)
+    if path.suffix == ".json" or path.exists():
+        return load_spec(path)
+    index = library_index(seed)
+    if name_or_path in index:
+        return index[name_or_path]
+    raise InvariantViolation(
+        "scenario-library",
+        f"{name_or_path!r} is neither a scenario file nor a library name",
+        {"requested": name_or_path, "library_size": len(index)},
+    )
+
+
+def committed_manifest() -> dict[str, Any]:
+    """Load the committed manifest (raises if missing/corrupt)."""
+    if not MANIFEST_PATH.exists():
+        raise InvariantViolation(
+            "scenario-library",
+            f"committed manifest missing at {MANIFEST_PATH}",
+            {"path": str(MANIFEST_PATH)},
+        )
+    data = json.loads(MANIFEST_PATH.read_text())
+    if not isinstance(data, dict) or "digest" not in data or "scenarios" not in data:
+        raise InvariantViolation(
+            "scenario-library",
+            "committed manifest is malformed (needs digest + scenarios)",
+            {"path": str(MANIFEST_PATH)},
+        )
+    return data
+
+
+def check_manifest(
+    specs: tuple[ScenarioSpec, ...], manifest: dict[str, Any]
+) -> list[str]:
+    """Compare a regenerated library against a manifest; return problems."""
+    problems: list[str] = []
+    digest = library_digest(specs)
+    if digest != manifest.get("digest"):
+        problems.append(
+            f"library digest {digest} != manifest digest {manifest.get('digest')}"
+        )
+    if len(specs) != manifest.get("count"):
+        problems.append(f"library has {len(specs)} scenarios, manifest says {manifest.get('count')}")
+    by_name = {spec.name: spec for spec in specs}
+    for entry in manifest.get("scenarios", []):
+        spec = by_name.get(entry.get("name", ""))
+        if spec is None:
+            problems.append(f"manifest scenario {entry.get('name')!r} not in library")
+        elif spec.content_hash() != entry.get("hash"):
+            problems.append(f"scenario {spec.name!r} hash drifted from manifest")
+    manifest_names = {entry.get("name") for entry in manifest.get("scenarios", [])}
+    for name in by_name:
+        if name not in manifest_names:
+            problems.append(f"library scenario {name!r} missing from manifest")
+    return problems
+
+
+def write_manifest(path: str | Path = MANIFEST_PATH, seed: int = DEFAULT_SEED) -> dict[str, Any]:
+    """Regenerate the library and write its manifest to ``path``."""
+    manifest = library_manifest(full_library(seed), seed=seed)
+    Path(path).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return manifest

@@ -1,0 +1,185 @@
+"""Drive one scenario end to end: market solve or simulation.
+
+This module is the execution half of the scenario subsystem — the schema
+says *what*, the runner says *how*: build the executor/model the spec's
+:class:`~repro.scenarios.schema.RunConfig` asks for, wire the demand
+profiles into the simulator, namespace the persistent cache by the
+scenario's content hash, and hand back JSON-able results plus a
+``float.hex`` digest for bitwise cross-backend comparison (the same
+discipline :mod:`repro.analysis.differential` uses).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.scenarios.schema import ScenarioSpec
+
+if TYPE_CHECKING:
+    from repro.core.framework import SCShareOutcome
+    from repro.perf.base import PerformanceModel
+    from repro.runtime.cache import DiskParamsCache
+    from repro.runtime.executor import Executor
+
+
+def make_executor(spec: ScenarioSpec, workers: int | None = None, backend: str | None = None) -> "Executor":
+    """The executor the spec's run config (or the overrides) asks for."""
+    from repro.runtime.executor import make_executor as build
+
+    kind = backend if backend is not None else spec.run.backend
+    width = workers if workers is not None else spec.run.workers
+    return build(1 if kind == "serial" else width, kind=kind)
+
+
+def make_model(spec: ScenarioSpec, executor: "Executor | None" = None) -> "PerformanceModel":
+    """The performance model the spec's run config asks for."""
+    if spec.run.model == "approximate":
+        from repro.perf.approximate import ApproximateModel
+
+        return ApproximateModel(executor=executor)
+    from repro.perf.pooled import PooledModel
+
+    return PooledModel()
+
+
+def make_params_cache(
+    spec: ScenarioSpec, model: "PerformanceModel", cache_dir: str | None
+) -> "DiskParamsCache | None":
+    """Persistent cache namespaced by the scenario's content hash."""
+    if cache_dir is None:
+        return None
+    from repro.runtime.cache import DiskParamsCache
+
+    return DiskParamsCache(
+        cache_dir,
+        spec.federation(),
+        model,
+        namespace=f"scenario:{spec.content_hash()[:16]}",
+    )
+
+
+def solve_spec(
+    spec: ScenarioSpec,
+    workers: int | None = None,
+    backend: str | None = None,
+    cache_dir: str | None = None,
+) -> "SCShareOutcome":
+    """Run the SC-Share market loop under the spec's run config."""
+    from repro.core.framework import SCShare
+
+    executor = make_executor(spec, workers=workers, backend=backend)
+    model = make_model(spec, executor=executor)
+    runner = SCShare(
+        spec.federation(),
+        model=model,
+        gamma=spec.run.gamma,
+        strategy_step=spec.run.strategy_step,
+        params_cache=make_params_cache(spec, model, cache_dir),
+        executor=executor,
+    )
+    return runner.run(alpha=spec.run.alpha, optimum_method="ascent")
+
+
+def simulate_spec(spec: ScenarioSpec, horizon: float | None = None) -> list[dict[str, Any]]:
+    """Run the discrete-event simulator with the spec's demand profiles."""
+    import numpy as np
+
+    from repro.runtime.seeding import derive_seed
+    from repro.sim.federation import FederationSimulator
+
+    scenario = spec.federation()
+    service = None
+    if any(profile.service.kind != "exponential" for profile in spec.demand):
+        service = [
+            profile.service.build(cloud.service_rate)
+            for cloud, profile in zip(scenario, spec.demand)
+        ]
+    arrivals = None
+    if any(profile.arrival.kind != "poisson" for profile in spec.demand):
+        arrivals = [
+            profile.arrival.build(
+                cloud.arrival_rate,
+                np.random.default_rng(
+                    np.random.SeedSequence(derive_seed(spec.run.seed, f"demand[{i}]"))
+                ),
+            )
+            for i, (cloud, profile) in enumerate(zip(scenario, spec.demand))
+        ]
+    simulator = FederationSimulator(
+        scenario,
+        seed=spec.run.seed,
+        service_distributions=service,
+        arrival_processes=arrivals,
+    )
+    span = horizon if horizon is not None else spec.run.horizon
+    metrics = simulator.run(horizon=span, warmup=span * 0.05)
+    return [
+        {
+            "name": cloud.name,
+            "lent_mean": m.lent_mean,
+            "borrowed_mean": m.borrowed_mean,
+            "forward_rate": m.forward_rate,
+            "forward_probability": m.forward_probability,
+            "utilization": m.utilization,
+            "mean_wait": m.mean_wait,
+        }
+        for cloud, m in zip(scenario, metrics)
+    ]
+
+
+def outcome_observables(outcome: "SCShareOutcome") -> dict[str, Any]:
+    """Bitwise observables of a market outcome (floats as ``float.hex``)."""
+    return {
+        "equilibrium": list(outcome.equilibrium),
+        "converged": outcome.game.converged,
+        "iterations": outcome.game.iterations,
+        "welfare": float(outcome.welfare).hex(),
+        "optimum_welfare": float(outcome.optimum_welfare).hex(),
+        "efficiency": float(outcome.efficiency).hex(),
+        "utilities": [float(d.utility).hex() for d in outcome.details],
+        "costs": [float(d.cost).hex() for d in outcome.details],
+    }
+
+
+def observables_digest(observables: dict[str, Any]) -> str:
+    """sha256 of the canonical observables rendering."""
+    return hashlib.sha256(
+        json.dumps(observables, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def run_spec(
+    spec: ScenarioSpec,
+    mode: str = "solve",
+    workers: int | None = None,
+    backend: str | None = None,
+    cache_dir: str | None = None,
+) -> dict[str, Any]:
+    """Run a scenario and return a JSON-able report.
+
+    Args:
+        spec: the scenario.
+        mode: ``"solve"`` (market loop) or ``"simulate"`` (event-driven
+            simulator with the spec's demand profiles).
+        workers / backend / cache_dir: optional overrides of the spec's
+            run config.
+    """
+    from repro.core.serialization import outcome_to_dict
+
+    report: dict[str, Any] = {
+        "scenario": spec.name,
+        "hash": spec.content_hash(),
+        "mode": mode,
+    }
+    if mode == "solve":
+        outcome = solve_spec(spec, workers=workers, backend=backend, cache_dir=cache_dir)
+        observables = outcome_observables(outcome)
+        report["outcome"] = outcome_to_dict(outcome)
+        report["digest"] = observables_digest(observables)
+    elif mode == "simulate":
+        report["metrics"] = simulate_spec(spec)
+    else:
+        raise ValueError(f"unknown run mode {mode!r}")
+    return report

@@ -9,10 +9,13 @@ both the base model and those extensions:
 - :mod:`repro.workload.service` — exponential, Erlang, hyperexponential
   service distributions behind one protocol.
 - :mod:`repro.workload.phase_type` — two-moment PH fitting (Sect. VII).
+- :mod:`repro.workload.profiles` — declarative, JSON-round-trippable
+  demand profiles (arrival + service specs) used by scenario files.
 """
 
 from repro.workload.arrivals import MMPPProcess, PoissonProcess
 from repro.workload.phase_type import fit_two_moment
+from repro.workload.profiles import ArrivalSpec, DemandProfile, ServiceSpec
 from repro.workload.service import (
     ErlangService,
     ExponentialService,
@@ -21,11 +24,14 @@ from repro.workload.service import (
 )
 
 __all__ = [
+    "ArrivalSpec",
+    "DemandProfile",
     "ErlangService",
     "ExponentialService",
     "HyperExponentialService",
     "MMPPProcess",
     "PoissonProcess",
     "ServiceDistribution",
+    "ServiceSpec",
     "fit_two_moment",
 ]

@@ -1,0 +1,286 @@
+"""Declarative demand profiles: arrival + service specs as frozen data.
+
+The simulator consumes live objects (:class:`~repro.workload.arrivals.MMPPProcess`
+instances holding a ``Generator``); scenario files need plain data.  This
+module bridges the two: :class:`ArrivalSpec` and :class:`ServiceSpec` are
+frozen, JSON-round-trippable descriptions of an arrival process and a
+service-time distribution, and :class:`DemandProfile` pairs one of each
+per SC.  ``build_*`` factories turn a spec into the live object the
+simulator wants; ``mean_*`` accessors expose the closed-form first
+moments so :mod:`repro.scenarios.schema` can cross-check a profile
+against its SC's ``arrival_rate``/``service_rate``.
+
+Supported kinds:
+
+- arrivals: ``"poisson"`` (the paper's base model) and ``"mmpp"``
+  (Sect. VII — diurnal/bursty Markov-modulated demand);
+- service: ``"exponential"``, ``"erlang"``, ``"hyperexponential"``, and
+  ``"phase-fit"`` (two-moment PH fitting by target SCV, Sect. VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro._validation import (
+    check_positive,
+    check_positive_int,
+    check_probability,
+    require,
+)
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.workload.arrivals import MMPPProcess, PoissonProcess
+    from repro.workload.service import ServiceDistribution
+
+ARRIVAL_KINDS = ("poisson", "mmpp")
+SERVICE_KINDS = ("exponential", "erlang", "hyperexponential", "phase-fit")
+
+_ARRIVAL_FIELDS = ("kind", "rates", "transitions")
+_SERVICE_FIELDS = ("kind", "stages", "probabilities", "rates", "scv")
+
+
+def _as_float_tuple(values: Any, name: str) -> tuple[float, ...]:
+    if not isinstance(values, (list, tuple)):
+        raise ConfigurationError(f"{name} must be a sequence, got {type(values).__name__}")
+    return tuple(float(v) for v in values)
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """A declarative arrival process.
+
+    Attributes:
+        kind: ``"poisson"`` (rate comes from the SC's ``arrival_rate``)
+            or ``"mmpp"``.
+        rates: per-phase arrival rates (mmpp only, >= 2 phases).
+        transitions: phase-CTMC generator rows (mmpp only, ``m x m``,
+            rows summing to zero).
+    """
+
+    kind: str = "poisson"
+    rates: tuple[float, ...] = ()
+    transitions: tuple[tuple[float, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rates", tuple(float(r) for r in self.rates))
+        object.__setattr__(
+            self, "transitions", tuple(tuple(float(q) for q in row) for row in self.transitions)
+        )
+        require(self.kind in ARRIVAL_KINDS, f"unknown arrival kind {self.kind!r}")
+        if self.kind == "poisson":
+            require(not self.rates, "poisson arrivals take no per-phase rates")
+            require(not self.transitions, "poisson arrivals take no phase transitions")
+            return
+        m = len(self.rates)
+        require(m >= 2, "an MMPP needs at least two phases")
+        require(
+            len(self.transitions) == m and all(len(row) == m for row in self.transitions),
+            f"mmpp transitions must be {m}x{m}",
+        )
+        if min(self.rates) < 0.0 or max(self.rates) <= 0.0:
+            raise ConfigurationError("mmpp rates must be >= 0 with at least one > 0")
+        for i, row in enumerate(self.transitions):
+            if any(rate < 0.0 for j, rate in enumerate(row) if j != i):
+                raise ConfigurationError(f"mmpp transition row {i} has a negative rate")
+            if abs(sum(row)) > 1e-9:
+                raise ConfigurationError(f"mmpp transition row {i} does not sum to zero")
+            if -row[i] <= 0.0:
+                raise ConfigurationError(f"mmpp phase {i} is absorbing")
+
+    def stationary_phases(self) -> "np.ndarray":
+        """Stationary distribution of the phase CTMC (mmpp only)."""
+        import numpy as np
+
+        require(self.kind == "mmpp", "stationary phases are defined for mmpp only")
+        q = np.asarray(self.transitions, dtype=float)
+        m = q.shape[0]
+        # pi Q = 0, sum(pi) = 1: replace one balance column by the
+        # normalization constraint and solve the small dense system.
+        a = q.T.copy()
+        a[-1, :] = 1.0
+        b = np.zeros(m)
+        b[-1] = 1.0
+        return np.asarray(np.linalg.solve(a, b), dtype=float)
+
+    def mean_rate(self, base_rate: float) -> float:
+        """Long-run arrival rate (``base_rate`` for poisson)."""
+        if self.kind == "poisson":
+            return float(base_rate)
+        import numpy as np
+
+        return float(np.dot(self.stationary_phases(), np.asarray(self.rates)))
+
+    def build(self, base_rate: float, rng: "np.random.Generator") -> "PoissonProcess | MMPPProcess":
+        """Instantiate the live arrival process for the simulator."""
+        if self.kind == "poisson":
+            from repro.workload.arrivals import PoissonProcess
+
+            return PoissonProcess(rate=base_rate, rng=rng)
+        from repro.workload.arrivals import MMPPProcess
+
+        return MMPPProcess(rates=self.rates, generator=self.transitions, rng=rng)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a plain dictionary."""
+        data: dict[str, Any] = {"kind": self.kind}
+        if self.kind == "mmpp":
+            data["rates"] = list(self.rates)
+            data["transitions"] = [list(row) for row in self.transitions]
+        return data
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "ArrivalSpec":
+        """Deserialize; unknown keys are rejected loudly."""
+        unknown = set(data) - set(_ARRIVAL_FIELDS)
+        if unknown:
+            raise ConfigurationError(f"unknown arrival-spec fields: {sorted(unknown)}")
+        kind = data.get("kind", "poisson")
+        rates = _as_float_tuple(data.get("rates", ()), "rates")
+        raw_rows = data.get("transitions", ())
+        if not isinstance(raw_rows, (list, tuple)):
+            raise ConfigurationError("transitions must be a list of rows")
+        transitions = tuple(_as_float_tuple(row, "transitions row") for row in raw_rows)
+        return ArrivalSpec(kind=kind, rates=rates, transitions=transitions)
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """A declarative service-time distribution.
+
+    Attributes:
+        kind: one of ``"exponential"`` (rate from the SC's
+            ``service_rate``), ``"erlang"`` (``stages`` stages, mean kept
+            at ``1/service_rate``), ``"hyperexponential"`` (explicit
+            branch probabilities/rates), or ``"phase-fit"`` (two-moment
+            PH fit at the SC's mean and the target ``scv``).
+        stages: Erlang stage count (erlang only).
+        probabilities: branch probabilities (hyperexponential only).
+        rates: branch rates (hyperexponential only).
+        scv: target squared coefficient of variation (phase-fit only).
+    """
+
+    kind: str = "exponential"
+    stages: int = 0
+    probabilities: tuple[float, ...] = ()
+    rates: tuple[float, ...] = ()
+    scv: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "probabilities", tuple(float(p) for p in self.probabilities))
+        object.__setattr__(self, "rates", tuple(float(r) for r in self.rates))
+        require(self.kind in SERVICE_KINDS, f"unknown service kind {self.kind!r}")
+        if self.kind == "exponential":
+            require(
+                not self.stages and not self.probabilities and not self.rates and not self.scv,
+                "exponential service takes no extra parameters",
+            )
+        elif self.kind == "erlang":
+            check_positive_int(self.stages, "stages")
+            require(
+                not self.probabilities and not self.rates and not self.scv,
+                "erlang service takes only a stage count",
+            )
+        elif self.kind == "hyperexponential":
+            require(not self.stages and not self.scv, "hyperexponential takes branches only")
+            require(
+                len(self.probabilities) == len(self.rates) and len(self.rates) >= 1,
+                "hyperexponential needs aligned probabilities and rates",
+            )
+            for p in self.probabilities:
+                check_probability(p, "branch probability")
+            if abs(sum(self.probabilities) - 1.0) > 1e-9:
+                raise ConfigurationError("branch probabilities must sum to 1")
+            if min(self.rates) <= 0.0:
+                raise ConfigurationError("branch rates must be > 0")
+        else:  # phase-fit
+            require(
+                not self.stages and not self.probabilities and not self.rates,
+                "phase-fit takes only a target scv",
+            )
+            check_positive(self.scv, "scv")
+
+    def mean(self, base_rate: float) -> float:
+        """Mean service time implied by the spec at ``service_rate`` = ``base_rate``."""
+        check_positive(base_rate, "base_rate")
+        if self.kind == "hyperexponential":
+            return float(sum(p / r for p, r in zip(self.probabilities, self.rates)))
+        # exponential / erlang / phase-fit all pin the mean to 1/mu.
+        return 1.0 / base_rate
+
+    def build(self, base_rate: float) -> "ServiceDistribution":
+        """Instantiate the live service distribution for the simulator."""
+        if self.kind == "exponential":
+            from repro.workload.service import ExponentialService
+
+            return ExponentialService(rate=base_rate)
+        if self.kind == "erlang":
+            from repro.workload.service import ErlangService
+
+            return ErlangService(stages=self.stages, stage_rate=self.stages * base_rate)
+        if self.kind == "hyperexponential":
+            from repro.workload.service import HyperExponentialService
+
+            return HyperExponentialService(
+                probabilities=self.probabilities, rates=self.rates
+            )
+        from repro.workload.phase_type import fit_two_moment
+
+        return fit_two_moment(mean=1.0 / base_rate, scv=self.scv)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a plain dictionary."""
+        data: dict[str, Any] = {"kind": self.kind}
+        if self.kind == "erlang":
+            data["stages"] = self.stages
+        elif self.kind == "hyperexponential":
+            data["probabilities"] = list(self.probabilities)
+            data["rates"] = list(self.rates)
+        elif self.kind == "phase-fit":
+            data["scv"] = self.scv
+        return data
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "ServiceSpec":
+        """Deserialize; unknown keys are rejected loudly."""
+        unknown = set(data) - set(_SERVICE_FIELDS)
+        if unknown:
+            raise ConfigurationError(f"unknown service-spec fields: {sorted(unknown)}")
+        return ServiceSpec(
+            kind=data.get("kind", "exponential"),
+            stages=int(data.get("stages", 0)),
+            probabilities=_as_float_tuple(data.get("probabilities", ()), "probabilities"),
+            rates=_as_float_tuple(data.get("rates", ()), "rates"),
+            scv=float(data.get("scv", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class DemandProfile:
+    """One SC's demand: an arrival spec paired with a service spec."""
+
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    service: ServiceSpec = field(default_factory=ServiceSpec)
+
+    def __post_init__(self) -> None:
+        require(isinstance(self.arrival, ArrivalSpec), "arrival must be an ArrivalSpec")
+        require(isinstance(self.service, ServiceSpec), "service must be a ServiceSpec")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a plain dictionary."""
+        return {"arrival": self.arrival.to_dict(), "service": self.service.to_dict()}
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "DemandProfile":
+        """Deserialize; unknown keys are rejected loudly."""
+        unknown = set(data) - {"arrival", "service"}
+        if unknown:
+            raise ConfigurationError(f"unknown demand-profile fields: {sorted(unknown)}")
+        return DemandProfile(
+            arrival=ArrivalSpec.from_dict(data.get("arrival", {"kind": "poisson"})),
+            service=ServiceSpec.from_dict(data.get("service", {"kind": "exponential"})),
+        )

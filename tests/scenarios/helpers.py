@@ -1,0 +1,34 @@
+"""Shared fixtures for the scenario-subsystem tests."""
+
+from __future__ import annotations
+
+from repro.core.small_cloud import SmallCloud
+from repro.scenarios.schema import RunConfig, ScenarioSpec
+
+
+def tiny_cloud(name: str = "sc1", **overrides) -> SmallCloud:
+    """A 5-VM SC at moderate load — cheap to solve exactly."""
+    fields = {
+        "name": name,
+        "vms": 5,
+        "arrival_rate": 3.0,
+        "sla_bound": 0.5,
+        "public_price": 10.0,
+        "federation_price": 5.0,
+        "shared_vms": 1,
+    }
+    fields.update(overrides)
+    return SmallCloud(**fields)
+
+
+def tiny_spec(name: str = "tiny-pair", **run_overrides) -> ScenarioSpec:
+    """A two-SC scenario whose market solve finishes in milliseconds."""
+    run_fields = {"seed": 7, "strategy_step": 2}
+    run_fields.update(run_overrides)
+    return ScenarioSpec(
+        name=name,
+        family="custom",
+        description="test fixture: two small SCs",
+        clouds=(tiny_cloud("sc1"), tiny_cloud("sc2", arrival_rate=4.0)),
+        run=RunConfig(**run_fields),
+    )

@@ -1,0 +1,76 @@
+"""Generator determinism and corpus-shape guarantees."""
+
+from collections import Counter
+
+from repro.scenarios.generator import (
+    DEFAULT_SEED,
+    FAMILIES,
+    generate_library,
+    library_digest,
+    library_manifest,
+)
+from repro.scenarios.schema import SCHEMA_VERSION
+
+
+class TestDeterminism:
+    def test_same_seed_identical_digest(self):
+        first = generate_library(DEFAULT_SEED)
+        second = generate_library(DEFAULT_SEED)
+        assert library_digest(first) == library_digest(second)
+        assert [s.canonical_json() for s in first] == [
+            s.canonical_json() for s in second
+        ]
+
+    def test_different_seeds_disjoint_hashes(self):
+        a = {s.content_hash() for s in generate_library(1)}
+        b = {s.content_hash() for s in generate_library(2)}
+        assert not a & b
+
+    def test_different_seeds_different_digest(self):
+        assert library_digest(generate_library(1)) != library_digest(
+            generate_library(2)
+        )
+
+
+class TestCorpusShape:
+    def test_at_least_100_scenarios(self):
+        specs = generate_library(DEFAULT_SEED)
+        assert len(specs) >= 100
+        assert len(specs) == sum(count for _, count in FAMILIES.values())
+
+    def test_family_counts(self):
+        counts = Counter(s.family for s in generate_library(DEFAULT_SEED))
+        assert counts == {family: count for family, (_, count) in FAMILIES.items()}
+
+    def test_names_unique(self):
+        names = [s.name for s in generate_library(DEFAULT_SEED)]
+        assert len(set(names)) == len(names)
+
+    def test_mmpp_families_carry_mmpp_demand(self):
+        specs = generate_library(DEFAULT_SEED)
+        for spec in specs:
+            if spec.family in ("diurnal", "bursty"):
+                assert all(p.arrival.kind == "mmpp" for p in spec.demand)
+            if spec.family == "heavytail":
+                assert all(p.service.kind != "exponential" for p in spec.demand)
+
+    def test_run_seeds_are_derived_per_scenario(self):
+        specs = generate_library(DEFAULT_SEED)
+        seeds = [s.run.seed for s in specs]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestManifest:
+    def test_manifest_structure(self):
+        specs = generate_library(DEFAULT_SEED)
+        manifest = library_manifest(specs, seed=DEFAULT_SEED)
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["seed"] == DEFAULT_SEED
+        assert manifest["count"] == len(specs)
+        assert manifest["digest"] == library_digest(specs)
+        names = [entry["name"] for entry in manifest["scenarios"]]
+        assert names == sorted(names)
+
+    def test_digest_is_order_independent(self):
+        specs = list(generate_library(DEFAULT_SEED))
+        assert library_digest(specs) == library_digest(list(reversed(specs)))

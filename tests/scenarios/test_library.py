@@ -1,0 +1,120 @@
+"""Library registry: paper figures, resolution, committed-manifest gate."""
+
+import pytest
+
+from repro.analysis.sanitize import InvariantViolation
+from repro.scenarios.generator import DEFAULT_SEED, library_manifest
+from repro.scenarios.library import (
+    MANIFEST_PATH,
+    check_manifest,
+    committed_manifest,
+    figure_scenarios,
+    full_library,
+    library_index,
+    resolve,
+    spec_from_federation,
+)
+from repro.scenarios.schema import save_spec
+
+from tests.scenarios.helpers import tiny_spec
+
+
+class TestFigureScenarios:
+    def test_paper_family_and_known_names(self):
+        specs = figure_scenarios()
+        assert all(s.family == "paper" for s in specs)
+        names = {s.name for s in specs}
+        assert {
+            "paper-fig6-2sc",
+            "paper-fig6-10sc",
+            "paper-fig6-100vm",
+            "paper-fig7-high",
+            "paper-fig7-medium",
+            "paper-fig7-spread",
+            "paper-fig8-perf-k4",
+            "paper-fig8-game-k3",
+        } <= names
+
+    def test_fig6_2sc_matches_bench_constructor(self):
+        from repro.bench.scenarios import fig6_2sc_scenario
+
+        spec = next(s for s in figure_scenarios() if s.name == "paper-fig6-2sc")
+        assert spec.clouds == tuple(fig6_2sc_scenario(target_share=3, target_rate=7.0))
+
+    def test_spec_from_federation_caps_strategy_grid(self):
+        from repro.bench.scenarios import fig6_100vm_scenario
+
+        spec = spec_from_federation(
+            "grid-cap", fig6_100vm_scenario(other_rate=70.0, target_rate=70.0)
+        )
+        # 100-VM SCs get a step of 20 -> six grid points per SC.
+        assert spec.run.strategy_step == 20
+
+
+class TestFullLibrary:
+    def test_sorted_and_complete(self):
+        specs = full_library()
+        names = [s.name for s in specs]
+        assert names == sorted(names)
+        assert len(specs) >= 108  # 100+ generated plus the paper figures
+
+    def test_index_round_trip(self):
+        index = library_index()
+        for name, spec in list(index.items())[:5]:
+            assert spec.name == name
+
+
+class TestResolve:
+    def test_resolve_by_name(self):
+        spec = resolve("paper-fig6-2sc")
+        assert spec.name == "paper-fig6-2sc"
+
+    def test_resolve_by_path(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "tiny.json"
+        save_spec(spec, path)
+        assert resolve(str(path)) == spec
+
+    def test_resolve_unknown_name(self):
+        with pytest.raises(InvariantViolation) as excinfo:
+            resolve("no-such-scenario")
+        assert excinfo.value.invariant == "scenario-library"
+
+    def test_resolve_missing_json_path(self, tmp_path):
+        with pytest.raises(InvariantViolation):
+            resolve(str(tmp_path / "missing.json"))
+
+
+class TestManifestGate:
+    def test_committed_manifest_matches_regenerated_library(self):
+        # The reproducibility gate CI runs: regenerating the library from
+        # the committed seed must reproduce the committed digest exactly.
+        specs = full_library(DEFAULT_SEED)
+        manifest = committed_manifest()
+        assert manifest["seed"] == DEFAULT_SEED
+        assert check_manifest(specs, manifest) == []
+
+    def test_manifest_file_is_package_data(self):
+        assert MANIFEST_PATH.exists()
+        assert MANIFEST_PATH.name == "manifest.json"
+
+    def test_check_manifest_detects_digest_drift(self):
+        specs = full_library(DEFAULT_SEED)
+        manifest = library_manifest(specs, seed=DEFAULT_SEED)
+        manifest["digest"] = "0" * 64
+        problems = check_manifest(specs, manifest)
+        assert any("digest" in p for p in problems)
+
+    def test_check_manifest_detects_missing_scenario(self):
+        specs = full_library(DEFAULT_SEED)
+        manifest = library_manifest(specs, seed=DEFAULT_SEED)
+        dropped = manifest["scenarios"].pop()
+        problems = check_manifest(specs, manifest)
+        assert any(dropped["name"] in p for p in problems)
+
+    def test_check_manifest_detects_hash_drift(self):
+        specs = full_library(DEFAULT_SEED)
+        manifest = library_manifest(specs, seed=DEFAULT_SEED)
+        manifest["scenarios"][0]["hash"] = "f" * 64
+        problems = check_manifest(specs, manifest)
+        assert any("drifted" in p for p in problems)

@@ -1,0 +1,141 @@
+"""Declarative demand profiles: validation, moments, round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workload.profiles import ArrivalSpec, DemandProfile, ServiceSpec
+
+
+class TestArrivalSpec:
+    def test_poisson_default_round_trip(self):
+        spec = ArrivalSpec()
+        assert ArrivalSpec.from_dict(spec.to_dict()) == spec
+        assert spec.mean_rate(4.0) == 4.0
+
+    def test_mmpp_stationary_mean(self):
+        spec = ArrivalSpec(
+            kind="mmpp", rates=(2.0, 6.0), transitions=((-0.01, 0.01), (0.01, -0.01))
+        )
+        # Symmetric switching -> stationary (0.5, 0.5) -> mean 4.
+        assert spec.stationary_phases() == pytest.approx([0.5, 0.5])
+        assert spec.mean_rate(999.0) == pytest.approx(4.0)
+
+    def test_mmpp_asymmetric_stationary(self):
+        spec = ArrivalSpec(
+            kind="mmpp", rates=(1.0, 9.0), transitions=((-0.01, 0.01), (0.09, -0.09))
+        )
+        pi = spec.stationary_phases()
+        assert pi == pytest.approx([0.9, 0.1])
+        assert spec.mean_rate(0.0) == pytest.approx(0.9 * 1.0 + 0.1 * 9.0)
+
+    def test_mmpp_round_trip(self):
+        spec = ArrivalSpec(
+            kind="mmpp", rates=(2.0, 6.0), transitions=((-0.01, 0.01), (0.01, -0.01))
+        )
+        assert ArrivalSpec.from_dict(spec.to_dict()) == spec
+
+    def test_build_returns_live_processes(self):
+        rng = np.random.default_rng(0)
+        from repro.workload.arrivals import MMPPProcess, PoissonProcess
+
+        assert isinstance(ArrivalSpec().build(3.0, rng), PoissonProcess)
+        mmpp = ArrivalSpec(
+            kind="mmpp", rates=(2.0, 6.0), transitions=((-0.01, 0.01), (0.01, -0.01))
+        )
+        assert isinstance(mmpp.build(3.0, rng), MMPPProcess)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "weibull"},
+            {"kind": "poisson", "rates": (1.0, 2.0)},
+            {"kind": "mmpp", "rates": (2.0,), "transitions": ((-0.0,),)},
+            {"kind": "mmpp", "rates": (-1.0, 2.0), "transitions": ((-0.01, 0.01), (0.01, -0.01))},
+            {"kind": "mmpp", "rates": (1.0, 2.0), "transitions": ((-0.01, 0.02), (0.01, -0.01))},
+            {"kind": "mmpp", "rates": (1.0, 2.0), "transitions": ((0.0, 0.0), (0.01, -0.01))},
+            {"kind": "mmpp", "rates": (1.0, 2.0), "transitions": ((-0.01, 0.01),)},
+        ],
+    )
+    def test_rejections(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec(**kwargs)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec.from_dict({"kind": "poisson", "burst": 3})
+
+
+class TestServiceSpec:
+    def test_exponential_mean(self):
+        assert ServiceSpec().mean(4.0) == 0.25
+
+    def test_erlang_keeps_mean(self):
+        spec = ServiceSpec(kind="erlang", stages=3)
+        assert spec.mean(2.0) == 0.5
+        dist = spec.build(2.0)
+        assert dist.mean() == pytest.approx(0.5)
+
+    def test_hyperexponential_mean(self):
+        spec = ServiceSpec(
+            kind="hyperexponential", probabilities=(0.25, 0.75), rates=(1.0, 3.0)
+        )
+        assert spec.mean(999.0) == pytest.approx(0.25 / 1.0 + 0.75 / 3.0)
+
+    def test_phase_fit_hits_target_scv(self):
+        spec = ServiceSpec(kind="phase-fit", scv=5.0)
+        dist = spec.build(2.0)
+        assert dist.mean() == pytest.approx(0.5)
+        assert dist.scv() == pytest.approx(5.0)
+
+    @pytest.mark.parametrize(
+        "kind",
+        ["exponential", "erlang", "hyperexponential", "phase-fit"],
+    )
+    def test_round_trip(self, kind):
+        spec = {
+            "exponential": ServiceSpec(),
+            "erlang": ServiceSpec(kind="erlang", stages=4),
+            "hyperexponential": ServiceSpec(
+                kind="hyperexponential", probabilities=(0.5, 0.5), rates=(1.0, 2.0)
+            ),
+            "phase-fit": ServiceSpec(kind="phase-fit", scv=3.0),
+        }[kind]
+        assert ServiceSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "pareto"},
+            {"kind": "exponential", "stages": 2},
+            {"kind": "erlang"},
+            {"kind": "erlang", "stages": -1},
+            {"kind": "hyperexponential", "probabilities": (0.5,), "rates": (1.0, 2.0)},
+            {"kind": "hyperexponential", "probabilities": (0.6, 0.6), "rates": (1.0, 2.0)},
+            {"kind": "hyperexponential", "probabilities": (0.5, 0.5), "rates": (1.0, -2.0)},
+            {"kind": "phase-fit"},
+            {"kind": "phase-fit", "scv": -1.0},
+        ],
+    )
+    def test_rejections(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(**kwargs)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceSpec.from_dict({"kind": "erlang", "shape": 2})
+
+
+class TestDemandProfile:
+    def test_default_round_trip(self):
+        profile = DemandProfile()
+        assert DemandProfile.from_dict(profile.to_dict()) == profile
+        assert DemandProfile.from_dict({}) == profile
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DemandProfile.from_dict({"arrival": {"kind": "poisson"}, "queue": {}})
+
+    def test_type_check(self):
+        with pytest.raises(ConfigurationError):
+            DemandProfile(arrival="poisson")
