@@ -15,6 +15,14 @@ invariants mechanical:
   ``# guarded-by:`` attributes, check-then-act, lock ordering, pickle
   hooks for sync state, module-level mutable state).  Each rule has a
   stable ``RPRxxx`` code and a ``# repro: noqa[CODE]`` escape hatch.
+- :mod:`repro.analysis.dataflow` — an interprocedural dataflow/taint
+  checker (``python -m repro.analysis.dataflow src``) built on
+  :mod:`repro.analysis.summaries`: cache-key omission against
+  ``# fingerprint-input:`` declarations, unordered-iteration order
+  feeding float sums or digests, environment/thread taint reaching
+  fingerprints and persisted payloads, post-fingerprint mutation, and
+  unversioned payload formats (RPR301–RPR306).  Its ``--self-test``
+  seeds fingerprint-omission mutants and demands 100% RPR301 recall.
 - :mod:`repro.analysis.sanitize` — a runtime "stochastic sanitizer":
   debug-mode contracts over generators, distributions, interaction
   vectors, performance parameters, and cache payloads, enabled with

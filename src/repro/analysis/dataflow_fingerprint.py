@@ -1,0 +1,315 @@
+"""Fingerprint-soundness dataflow rules (RPR301, RPR304, RPR306).
+
+The system's caches are correct only while every performance-relevant
+input reaches the cache key.  These rules make that contract static:
+
+=======  ==============================================================
+Code     Contract
+=======  ==============================================================
+RPR301   Cache-key omission: every parameter of a fingerprint/key/digest
+         function, and every attribute declared ``# fingerprint-input:``
+         for it, must flow into the returned key expression.  An input
+         that never reaches the digest means two configurations that
+         differ in it share a cache entry — stale utilities served
+         silently.
+RPR304   Mutable aliasing: an object passed into a fingerprint must not
+         be mutated afterwards in the same function — the captured key
+         describes the pre-mutation state, so the cache entry and the
+         object diverge.
+RPR306   Persisted payloads carry a format version: a payload written
+         through ``json.dump``/``pickle.dump``/``write_text(json.dumps)``
+         must include a version-named constant or key, so a layout
+         change invalidates old entries instead of misreading them.
+=======  ==============================================================
+
+Suppression: ``# repro: noqa[RPR3xx]`` on the reported line.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lintbase import LintRule, Violation, attribute_chain
+from repro.analysis.summaries import (
+    FunctionInfo,
+    Project,
+    is_fingerprint_name,
+)
+
+__all__ = [
+    "FINGERPRINT_RULES",
+    "RPR301",
+    "RPR304",
+    "RPR306",
+    "check_fingerprints",
+]
+
+RPR301 = LintRule(
+    code="RPR301",
+    name="cache-key-omission",
+    summary="fingerprint input (parameter or declared attribute) never reaches the key expression",
+)
+RPR304 = LintRule(
+    code="RPR304",
+    name="aliased-fingerprint-input",
+    summary="object mutated after entering a fingerprint/cache key",
+)
+RPR306 = LintRule(
+    code="RPR306",
+    name="unversioned-persisted-payload",
+    summary="persisted payload has no format-version constant in its content",
+)
+
+#: All fingerprint-soundness rules, in code order.
+FINGERPRINT_RULES: tuple[LintRule, ...] = (RPR301, RPR304, RPR306)
+
+#: Mutations that change an already-fingerprinted object in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+
+def _violation(path: str, node: ast.AST, rule: LintRule, message: str) -> Violation:
+    return Violation(
+        path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        code=rule.code,
+        message=message,
+    )
+
+
+# -- RPR301: cache-key omission -----------------------------------------
+
+
+def required_inputs(project: Project, fn: FunctionInfo) -> list[tuple[str, str]]:
+    """The declared inputs of fingerprint function ``fn``.
+
+    Returns ``(kind, name)`` pairs: every non-self parameter of the
+    signature (``"parameter"``) plus every class attribute annotated
+    ``# fingerprint-input:`` targeting this function (``"attribute"``).
+    Both survive any edit to the function body, which is what lets the
+    mutation self-test measure recall against them.
+    """
+    inputs: list[tuple[str, str]] = [("parameter", name) for name in fn.params]
+    inputs.extend(("attribute", attr) for attr in project.declared_inputs(fn))
+    return inputs
+
+
+def _check_rpr301(project: Project, fn: FunctionInfo) -> list[Violation]:
+    if not fn.is_fingerprint:
+        return []
+    summary = project.summary(fn)
+    if not summary.returns_value:
+        return []  # reports/mutators named *_key etc. build no key value
+    inputs = required_inputs(project, fn)
+    if not inputs:
+        return []
+    sliced = project.return_slice(fn)
+    violations: list[Violation] = []
+    for kind, name in inputs:
+        present = name in sliced.params if kind == "parameter" else name in sliced.attrs
+        if present:
+            continue
+        violations.append(
+            _violation(
+                fn.path,
+                fn.node,
+                RPR301,
+                f"fingerprint function {fn.qualname} never feeds {kind} "
+                f"{name!r} into its key/digest expression; two inputs "
+                f"differing only in {name!r} would share a cache entry "
+                "(stale results served silently) — include it in the key "
+                "or suppress with a reasoned '# repro: noqa[RPR301]'",
+            )
+        )
+    return violations
+
+
+# -- RPR304: mutation after fingerprint capture -------------------------
+
+
+def _fingerprinted_names(  # repro: noqa[RPR301] - returns captured aliases, not a cache key
+    project: Project, fn: FunctionInfo, stmt: ast.stmt
+) -> list[tuple[str, str]]:
+    """Names passed by ``stmt`` into a fingerprint call: ``(name, callee)``."""
+    captured: list[tuple[str, str]] = []
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = attribute_chain(node.func)
+        called_name = chain[-1] if chain else ""
+        resolved = project.resolve_call(fn, node)
+        fingerprinty = is_fingerprint_name(called_name) or (
+            resolved is not None and resolved.is_fingerprint
+        )
+        if not fingerprinty:
+            continue
+        for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+            if isinstance(arg, ast.Name):
+                captured.append((arg.id, called_name or "<fingerprint>"))
+            elif (
+                isinstance(arg, ast.Attribute)
+                and isinstance(arg.value, ast.Name)
+                and arg.value.id in ("self", "cls")
+            ):
+                captured.append((f"self.{arg.attr}", called_name or "<fingerprint>"))
+    return captured
+
+
+def _mutated_names(stmt: ast.stmt) -> list[tuple[str, ast.AST]]:
+    """Names whose bound object ``stmt`` mutates in place (not rebinds)."""
+    mutated: list[tuple[str, ast.AST]] = []
+
+    def base_name(target: ast.expr) -> str | None:
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            base = target.value
+            if isinstance(base, ast.Name):
+                return base.id
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id in ("self", "cls")
+            ):
+                return f"self.{base.attr}"
+        return None
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            name = base_name(target)
+            if name is not None:
+                mutated.append((name, target))
+    elif isinstance(stmt, ast.AugAssign):
+        name = base_name(stmt.target)
+        if name is not None:
+            mutated.append((name, stmt.target))
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr not in _MUTATOR_METHODS:
+                continue
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name):
+                mutated.append((receiver.id, node))
+            elif (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id in ("self", "cls")
+            ):
+                mutated.append((f"self.{receiver.attr}", node))
+    return mutated
+
+
+def _rebound_names(stmt: ast.stmt) -> set[str]:
+    rebound: set[str] = set()
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    for target in targets:
+        if isinstance(target, ast.Name):
+            rebound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    rebound.add(element.id)
+    return rebound
+
+
+def _check_rpr304(project: Project, fn: FunctionInfo) -> list[Violation]:
+    statements = sorted(
+        (
+            node
+            for node in ast.walk(fn.node)
+            if isinstance(
+                node,
+                (
+                    ast.Assign,
+                    ast.AnnAssign,
+                    ast.AugAssign,
+                    ast.Expr,
+                    ast.Return,
+                    ast.Raise,
+                    ast.Assert,
+                    ast.Delete,
+                ),
+            )
+        ),
+        key=lambda node: (node.lineno, node.col_offset),
+    )
+    live: dict[str, tuple[str, int]] = {}  # name -> (fingerprint callee, line)
+    violations: list[Violation] = []
+    for stmt in statements:
+        for name in _rebound_names(stmt):
+            live.pop(name, None)  # a rebind creates a new object
+        for name, node in _mutated_names(stmt):
+            if name in live:
+                callee, captured_line = live[name]
+                violations.append(
+                    _violation(
+                        fn.path,
+                        node,
+                        RPR304,
+                        f"{name!r} is mutated after entering fingerprint "
+                        f"{callee}() on line {captured_line}; the captured "
+                        "key describes the pre-mutation object, so the "
+                        "cache entry and the live object now disagree — "
+                        "fingerprint a copy or mutate before keying",
+                    )
+                )
+                live.pop(name, None)  # report each divergence once
+        for name, callee in _fingerprinted_names(project, fn, stmt):
+            live.setdefault(name, (callee, stmt.lineno))
+    return violations
+
+
+# -- RPR306: persisted payloads carry a version marker ------------------
+
+
+def _check_rpr306(project: Project, fn: FunctionInfo) -> list[Violation]:
+    slicer = project.slicer(fn)
+    violations: list[Violation] = []
+    for call, payload in slicer.persist_calls():
+        sliced = slicer.trace(payload)
+        if sliced.has_version:
+            continue
+        violations.append(
+            _violation(
+                fn.path,
+                call,
+                RPR306,
+                f"payload persisted by {fn.qualname} carries no "
+                "format-version marker (no version-named constant, key, "
+                "or attribute flows into it); bump-and-reject is how "
+                "stale layouts stay out of the caches — add a "
+                "'*_FORMAT_VERSION' field or suppress with a reasoned "
+                "'# repro: noqa[RPR306]'",
+            )
+        )
+    return violations
+
+
+def check_fingerprints(project: Project) -> list[Violation]:  # repro: noqa[RPR302] - returns lint findings, not a digest
+    """Evaluate RPR301/RPR304/RPR306 over every function of ``project``."""
+    violations: list[Violation] = []
+    for fn in project.functions:
+        violations.extend(_check_rpr301(project, fn))
+        violations.extend(_check_rpr304(project, fn))
+        violations.extend(_check_rpr306(project, fn))
+    return violations

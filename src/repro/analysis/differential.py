@@ -307,6 +307,7 @@ def run_differential(spec: DifferentialScenario) -> dict:
     ]
     return {
         "checker": "repro.analysis.differential",
+        "format_version": 1,
         "scenario": spec.name,
         "description": spec.description,
         "reference": {

@@ -580,14 +580,18 @@ def lint_paths(
 
 
 def _parse_select(raw: str | None) -> list[str] | None:
+    """Parse ``--select``; raises :class:`ValueError` on unknown codes."""
     if raw is None:
         return None
     codes = [code.strip().upper() for code in raw.split(",") if code.strip()]
     unknown = [code for code in codes if code not in _RULE_BY_CODE]
     if unknown:
-        raise SystemExit(
+        hint = ""
+        if any(code.startswith("RPR3") for code in unknown):
+            hint = "; RPR3xx rules run through python -m repro.analysis.dataflow"
+        raise ValueError(
             f"unknown rule code(s): {', '.join(unknown)} "
-            f"(known: {', '.join(sorted(_RULE_BY_CODE))})"
+            f"(known: {', '.join(sorted(_RULE_BY_CODE))}{hint})"
         )
     return codes
 
@@ -622,12 +626,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         for rule in LINT_RULES:
             print(f"{rule.code}  {rule.name:32s} {rule.summary}")
         return 0
+    try:
+        select = _parse_select(options.select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     paths = options.paths or [Path("src")]
     missing = [str(p) for p in paths if not p.exists()]
     if missing:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
-    violations = lint_paths(paths, select=_parse_select(options.select))
+    violations = lint_paths(paths, select=select)
     for violation in violations:
         print(violation.render())
     if violations:

@@ -797,6 +797,7 @@ def run_harness(seeds: Sequence[int], threads: int) -> dict:
     checks = [check(int(seed), threads) for seed in seeds for check in _CHECKS]
     return {
         "harness": "repro.analysis.race",
+        "format_version": 1,
         "seeds": [int(seed) for seed in seeds],
         "threads": threads,
         "checks": [check.as_dict() for check in checks],

@@ -313,7 +313,9 @@ def main(argv: "list[str] | None" = None) -> int:
         out_dir = Path(args.output)
         out_dir.mkdir(parents=True, exist_ok=True)
         path = out_dir / "BENCH_micro.json"
-        path.write_text(json.dumps(report, indent=2) + "\n")
+        # Bench reports deliberately record the interpreter/platform they
+        # ran on — that is provenance, not a cache key.
+        path.write_text(json.dumps(report, indent=2) + "\n")  # repro: noqa[RPR303] - provenance metadata, not a key
         print(f"wrote {path}")
     if args.compare is not None:
         try:

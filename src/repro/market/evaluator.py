@@ -34,7 +34,11 @@ from repro.perf.params import PerformanceParams
 
 #: Cache type mapping sharing vectors to per-SC performance parameters.
 #: Plain dictionaries work; :class:`repro.runtime.cache.DiskParamsCache`
-#: is a persistent drop-in that survives process restarts.
+#: is a persistent drop-in that survives process restarts.  Persistent
+#: implementations must key on content fingerprints only — the RPR3xx
+#: dataflow lint (:mod:`repro.analysis.dataflow`) enforces that their
+#: key-building functions omit no declared input and carry no
+#: environment taint.
 ParamsCache = MutableMapping[tuple[int, ...], list[PerformanceParams]]
 
 

@@ -112,7 +112,9 @@ def write_trace(tracer: Tracer, path: str | Path) -> Path:
     if path.suffix == ".folded":
         path.write_text("\n".join(folded(tracer)) + "\n")
     elif path.name.endswith(".chrome.json"):
-        path.write_text(json.dumps(chrome_trace(tracer), indent=2) + "\n")
+        # The chrome trace_event schema is fixed by the viewer; it has
+        # no slot for our own format-version marker.
+        path.write_text(json.dumps(chrome_trace(tracer), indent=2) + "\n")  # repro: noqa[RPR306] - externally-specified format
     else:
         path.write_text(
             json.dumps(tracer_to_dict(tracer), indent=2, sort_keys=True) + "\n"
@@ -123,7 +125,10 @@ def write_trace(tracer: Tracer, path: str | Path) -> Path:
 def write_metrics(snapshot: MetricsSnapshot, path: str | Path) -> Path:
     """Write a metrics snapshot to ``path`` as JSON."""
     path = Path(path)
-    path.write_text(
-        json.dumps(snapshot.to_dict(), indent=2, sort_keys=True) + "\n"
-    )
+    payload = {
+        "format": "repro.obs.metrics",
+        "version": 1,
+        **snapshot.to_dict(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

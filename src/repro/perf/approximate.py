@@ -259,10 +259,10 @@ class ApproximateModel(PerformanceModel):
         level_cache_size: int | None = 64,
         warm_start: bool = False,
     ) -> None:
-        self.tail_epsilon = check_positive(tail_epsilon, "tail_epsilon")
-        self.transient_epsilon = check_positive(transient_epsilon, "transient_epsilon")
-        self.outcome_threshold = check_positive(outcome_threshold, "outcome_threshold")
-        self.max_outcomes = int(max_outcomes)
+        self.tail_epsilon = check_positive(tail_epsilon, "tail_epsilon")  # fingerprint-input: _config_key
+        self.transient_epsilon = check_positive(transient_epsilon, "transient_epsilon")  # fingerprint-input: _config_key
+        self.outcome_threshold = check_positive(outcome_threshold, "outcome_threshold")  # fingerprint-input: _config_key
+        self.max_outcomes = int(max_outcomes)  # fingerprint-input: _config_key
         self.executor = executor
         require(
             assembly in ("vectorized", "reference"),

@@ -246,9 +246,11 @@ class DiskParamsCache(MutableMapping):
             f"model must be a PerformanceModel, got {type(model).__name__}",
         )
         self._store = DiskCache(root)
-        self._scenario_key = scenario_fingerprint(scenario, include_sharing=False)
-        self._model_key = model_fingerprint(model)
-        self._namespace = str(namespace) if namespace else ""
+        self._scenario_key = scenario_fingerprint(  # fingerprint-input: _hash
+            scenario, include_sharing=False
+        )
+        self._model_key = model_fingerprint(model)  # fingerprint-input: _hash
+        self._namespace = str(namespace) if namespace else ""  # fingerprint-input: _hash
         self._size = len(scenario)
         self._memory: LRUCache[tuple[int, ...], list[PerformanceParams]] = LRUCache(
             maxsize=memory_size, name="runtime.params_memory"
@@ -385,7 +387,7 @@ class CachedModel(PerformanceModel):
             isinstance(model, PerformanceModel),
             f"model must be a PerformanceModel, got {type(model).__name__}",
         )
-        self.model = model
+        self.model = model  # fingerprint-input: _hash
         self.store = cache if isinstance(cache, DiskCache) else DiskCache(cache)
         self.hits = 0
         self.misses = 0

@@ -144,7 +144,13 @@ def outcome_observables(outcome: "SCShareOutcome") -> dict[str, Any]:
 
 
 def observables_digest(observables: dict[str, Any]) -> str:
-    """sha256 of the canonical observables rendering."""
+    """sha256 of the canonical observables rendering.
+
+    This digest is what the cross-backend sweep asserts bit-identical,
+    so its inputs must stay pure functions of the outcome: the RPR3xx
+    dataflow lint traces this function for environment or scheduling
+    taint (RPR303/RPR305) and omitted inputs (RPR301).
+    """
     return hashlib.sha256(
         json.dumps(observables, sort_keys=True).encode("utf-8")
     ).hexdigest()

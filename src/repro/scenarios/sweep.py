@@ -116,6 +116,7 @@ def render(rows: list[SweepRow]) -> str:
 def report_dict(rows: list[SweepRow], backends: tuple[str, ...], workers: int) -> dict[str, Any]:
     """JSON-able sweep report (the CI artifact)."""
     return {
+        "format_version": 1,
         "backends": list(backends),
         "workers": workers,
         "all_identical": all(row.identical for row in rows),

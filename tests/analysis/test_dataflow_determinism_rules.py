@@ -1,0 +1,168 @@
+"""Fixture suites for the determinism taint rules (RPR302/303/305).
+
+Every rule gets code that must be flagged, code that must pass, and a
+flagged line rescued by `# repro: noqa[CODE]`.
+"""
+
+import textwrap
+
+from repro.analysis.dataflow import analyze_sources
+
+
+def codes(source, path="src/repro/mod.py", select=None, noqa=True):
+    sources = {path: textwrap.dedent(source)}
+    return [v.code for v in analyze_sources(sources, select=select, noqa=noqa)]
+
+
+class TestRPR302UnorderedAccumulation:
+    def test_flags_sum_over_set(self):
+        src = """
+            def total(values):
+                return sum(set(values))
+        """
+        assert "RPR302" in codes(src, select=["RPR302"])
+
+    def test_flags_augmented_loop_over_set(self):
+        src = """
+            def total(values):
+                acc = 0.0
+                for v in set(values):
+                    acc += v
+                return acc
+        """
+        assert "RPR302" in codes(src, select=["RPR302"])
+
+    def test_flags_unordered_reaching_digest(self):
+        src = """
+            import hashlib
+            def content_hash(values):
+                return hashlib.sha256(str({v for v in values}).encode()).hexdigest()
+        """
+        assert "RPR302" in codes(src, select=["RPR302"])
+
+    def test_passes_sum_over_sorted_set(self):
+        src = """
+            def total(values):
+                return sum(sorted(set(values)))
+        """
+        assert codes(src, select=["RPR302"]) == []
+
+    def test_passes_order_insensitive_reductions(self):
+        src = """
+            def stats(values):
+                unique = set(values)
+                return (len(unique), min(unique), max(unique))
+        """
+        assert codes(src, select=["RPR302"]) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+            def total(values):
+                return sum(set(values))  # repro: noqa[RPR302] - integer weights, order-free
+        """
+        assert codes(src, select=["RPR302"]) == []
+
+
+class TestRPR303EnvironmentTaint:
+    def test_flags_environ_in_fingerprint(self):
+        src = """
+            import os
+            def make_key(data):
+                return f"{data}:{os.environ['HOST']}"
+        """
+        assert "RPR303" in codes(src, select=["RPR303"])
+
+    def test_flags_wall_clock_in_fingerprint(self):
+        src = """
+            import time
+            def make_key(data):
+                return f"{data}:{time.time()}"
+        """
+        assert "RPR303" in codes(src, select=["RPR303"])
+
+    def test_flags_builtin_hash_in_fingerprint(self):
+        src = """
+            def make_key(data):
+                return str(hash(data))
+        """
+        assert "RPR303" in codes(src, select=["RPR303"])
+
+    def test_flags_taint_introduced_in_callee(self):
+        src = """
+            import time
+            def stamp():
+                return time.time()
+            def make_key(data):
+                return f"{data}:{stamp()}"
+        """
+        assert "RPR303" in codes(src, select=["RPR303"])
+
+    def test_flags_tainted_argument_to_digesting_callee(self):
+        src = """
+            import hashlib
+            import time
+            def digest_of(blob):
+                return hashlib.sha256(blob).hexdigest()
+            def bad():
+                return digest_of(str(time.time()).encode())
+        """
+        assert "RPR303" in codes(src, select=["RPR303"])
+
+    def test_passes_pure_fingerprint(self):
+        src = """
+            import hashlib
+            def content_hash(data):
+                return hashlib.sha256(data.encode()).hexdigest()
+        """
+        assert codes(src, select=["RPR303"]) == []
+
+    def test_passes_clock_outside_fingerprints(self):
+        src = """
+            import time
+            def elapsed(start):
+                return time.perf_counter() - start
+        """
+        assert codes(src, select=["RPR303"]) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+            import os
+            def make_key(data):  # repro: noqa[RPR303] - host partitioning is deliberate here
+                return f"{data}:{os.environ['HOST']}"
+        """
+        assert codes(src, select=["RPR303"]) == []
+
+
+class TestRPR305BackendStateInObservables:
+    def test_flags_thread_id_in_observables(self):
+        src = """
+            import threading
+            def outcome_observables(result):
+                return {"worker": threading.get_ident(), "value": result}
+        """
+        assert "RPR305" in codes(src, select=["RPR305"])
+
+    def test_flags_pid_reaching_digest(self):
+        src = """
+            import hashlib
+            import os
+            def observables_digest(observables):
+                blob = f"{observables}:{os.getpid()}"
+                return hashlib.sha256(blob.encode()).hexdigest()
+        """
+        assert "RPR305" in codes(src, select=["RPR305"])
+
+    def test_passes_content_only_observables(self):
+        src = """
+            def outcome_observables(result):
+                return {"value": float(result).hex()}
+        """
+        assert codes(src, select=["RPR305"]) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+            import threading
+            def outcome_observables(result):  # repro: noqa[RPR305] - debug overlay, never digested
+                return {"worker": threading.get_ident(), "value": result}
+        """
+        assert codes(src, select=["RPR305"]) == []

@@ -1,0 +1,223 @@
+"""Fixture suites for the fingerprint-soundness rules (RPR301/304/306).
+
+Every rule gets code that must be flagged, code that must pass, and a
+flagged line rescued by `# repro: noqa[CODE]`.
+"""
+
+import textwrap
+
+from repro.analysis.dataflow import analyze_sources
+
+
+def codes(source, path="src/repro/mod.py", select=None, noqa=True):
+    sources = {path: textwrap.dedent(source)}
+    return [v.code for v in analyze_sources(sources, select=select, noqa=noqa)]
+
+
+class TestRPR301CacheKeyOmission:
+    def test_flags_dropped_parameter(self):
+        src = """
+            def make_key(scenario, tolerance):
+                return f"key:{scenario}"
+        """
+        assert codes(src) == ["RPR301"]
+
+    def test_passes_when_every_parameter_flows(self):
+        src = """
+            def make_key(scenario, tolerance):
+                return f"key:{scenario}:{tolerance}"
+        """
+        assert codes(src) == []
+
+    def test_passes_parameter_flowing_through_local(self):
+        src = """
+            def make_key(scenario, tolerance):
+                parts = [str(scenario)]
+                parts.append(str(tolerance))
+                return ":".join(parts)
+        """
+        assert codes(src) == []
+
+    def test_passes_guard_only_parameter(self):
+        src = """
+            def make_key(payload, include_extra=True):
+                data = {"p": str(payload)}
+                if include_extra:
+                    data["extra"] = 1
+                return str(data)
+        """
+        assert codes(src) == []
+
+    def test_flags_declared_attribute_not_flowing(self):
+        src = """
+            class C:
+                def __init__(self, a, b):
+                    self.a = a  # fingerprint-input: _hash
+                    self.b = b  # fingerprint-input: _hash
+                def _hash(self):
+                    return str(self.a)
+        """
+        assert codes(src) == ["RPR301"]
+
+    def test_passes_declared_attributes_flowing(self):
+        src = """
+            class C:
+                def __init__(self, a, b):
+                    self.a = a  # fingerprint-input: _hash
+                    self.b = b  # fingerprint-input: _hash
+                def _hash(self):
+                    return f"{self.a}:{self.b}"
+        """
+        assert codes(src) == []
+
+    def test_annotation_targeting_other_function_not_enforced_here(self):
+        src = """
+            class C:
+                def __init__(self, a):
+                    self.a = a  # fingerprint-input: other_key
+                def _hash(self):
+                    return "fixed"
+        """
+        assert codes(src) == []
+
+    def test_ignores_non_fingerprint_function(self):
+        src = """
+            def evaluate(scenario, tolerance):
+                return f"key:{scenario}"
+        """
+        assert codes(src) == []
+
+    def test_ignores_fingerprint_named_function_without_return(self):
+        src = """
+            def check_cache_key(node, rule):
+                print(node, rule)
+        """
+        assert codes(src) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+            def make_key(scenario, tolerance):  # repro: noqa[RPR301] - tolerance intentionally excluded
+                return f"key:{scenario}"
+        """
+        assert codes(src) == []
+
+    def test_noqa_disabled_for_self_test(self):
+        src = """
+            def make_key(scenario, tolerance):  # repro: noqa[RPR301]
+                return f"key:{scenario}"
+        """
+        assert codes(src, noqa=False) == ["RPR301"]
+
+
+class TestRPR304AliasedFingerprintInput:
+    def test_flags_subscript_mutation_after_capture(self):
+        src = """
+            def build(config, cache_key):
+                key = cache_key(config)
+                config["x"] = 1
+                return key
+        """
+        assert "RPR304" in codes(src, select=["RPR304"])
+
+    def test_flags_mutator_method_after_capture(self):
+        src = """
+            def build(config, make_key):
+                key = make_key(config)
+                config.update(x=1)
+                return key
+        """
+        assert "RPR304" in codes(src, select=["RPR304"])
+
+    def test_passes_mutation_before_capture(self):
+        src = """
+            def build(config, make_key):
+                config["x"] = 1
+                key = make_key(config)
+                return key
+        """
+        assert codes(src, select=["RPR304"]) == []
+
+    def test_passes_rebind_after_capture(self):
+        src = """
+            def build(config, make_key):
+                key = make_key(config)
+                config = {"fresh": True}
+                config["x"] = 1
+                return key
+        """
+        assert codes(src, select=["RPR304"]) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+            def build(config, make_key):
+                key = make_key(config)
+                config["x"] = 1  # repro: noqa[RPR304] - key captured the pre-update state on purpose
+                return key
+        """
+        assert codes(src, select=["RPR304"]) == []
+
+
+class TestRPR306UnversionedPayload:
+    def test_flags_json_dump_without_version(self):
+        src = """
+            import json
+            def save(payload, path):
+                with open(path, "w") as fh:
+                    json.dump(payload, fh)
+        """
+        assert codes(src, select=["RPR306"]) == ["RPR306"]
+
+    def test_flags_write_text_json_dumps_without_version(self):
+        src = """
+            import json
+            def save(report, path):
+                path.write_text(json.dumps(report))
+        """
+        assert codes(src, select=["RPR306"]) == ["RPR306"]
+
+    def test_passes_version_key_in_payload(self):
+        src = """
+            import json
+            def save(payload, path):
+                payload = {"format_version": 2, **payload}
+                with open(path, "w") as fh:
+                    json.dump(payload, fh)
+        """
+        assert codes(src, select=["RPR306"]) == []
+
+    def test_passes_version_added_by_subscript(self):
+        src = """
+            import json
+            def save(payload, path):
+                payload["format_version"] = 2
+                with open(path, "w") as fh:
+                    json.dump(payload, fh)
+        """
+        assert codes(src, select=["RPR306"]) == []
+
+    def test_passes_version_added_by_callee(self):
+        src = """
+            import json
+            def stamp(payload):
+                return {"schema_version": 1, **payload}
+            def save(payload, path):
+                with open(path, "w") as fh:
+                    json.dump(stamp(payload), fh)
+        """
+        assert codes(src, select=["RPR306"]) == []
+
+    def test_plain_text_write_is_not_a_payload(self):
+        src = """
+            def save(lines, path):
+                path.write_text("\\n".join(lines))
+        """
+        assert codes(src, select=["RPR306"]) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+            import json
+            def save(payload, path):
+                with open(path, "w") as fh:
+                    json.dump(payload, fh)  # repro: noqa[RPR306] - externally-specified format
+        """
+        assert codes(src, select=["RPR306"]) == []
