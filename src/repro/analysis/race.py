@@ -311,7 +311,10 @@ class _ToyModel(PerformanceModel):
         return [self._params(scenario, i) for i in range(len(scenario))]
 
     def evaluate_target(
-        self, scenario: FederationScenario, target: int
+        self,
+        scenario: FederationScenario,
+        target: int,
+        deviation: int | None = None,
     ) -> PerformanceParams:
         with self._calls_lock:
             self.target_calls += 1

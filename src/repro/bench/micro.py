@@ -15,6 +15,9 @@ run:
   each scored for one SC through a
   :class:`~repro.market.evaluator.UtilityEvaluator` the way the best
   responder scores trial profiles;
+- ``incremental`` — a warm single-SC deviation re-solve on a K-scaling
+  federation, surfacing the incremental mode's levels-reused /
+  levels-rebuilt stats and its speedup over the cold solve;
 - ``obs_overhead`` — prices the :mod:`repro.obs` hooks: the cost of one
   disabled hook call, the hook crossings a real solve performs, and the
   implied disabled-instrumentation overhead fraction (pinned below 2%
@@ -223,10 +226,63 @@ def bench_obs_overhead(quick: bool, reference: bool) -> dict[str, Any]:
     }
 
 
+def bench_incremental(quick: bool, reference: bool) -> dict[str, Any]:
+    """Price a single-SC deviation re-solve under incremental mode.
+
+    A K-scaling federation is solved once to warm the chain state, then
+    one SC's arrival rate drifts and the target is re-solved.  Under
+    ``--reference`` (cache off, monolithic) the re-solve rebuilds every
+    level; incremental mode rebuilds only the suffix at/after the
+    drifted position.  The probe surfaces the model's own
+    ``incremental_stats()`` — levels reused vs rebuilt and chain-prefix
+    hits — alongside the ``perf.incremental.*`` / ``perf.warm_replay.*``
+    counters run_micro captures for every probe.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.bench.scenarios import kscale_scenario
+    from repro.core.small_cloud import FederationScenario
+
+    k = 6 if quick else 10
+    base = kscale_scenario(k)
+    position = k - 3
+    clouds = list(base.clouds)
+    clouds[position] = dc_replace(
+        clouds[position], arrival_rate=clouds[position].arrival_rate + 0.001
+    )
+    drifted = FederationScenario(tuple(clouds))
+
+    if reference:
+        model = ApproximateModel(level_cache_size=0, mode="monolithic")
+    else:
+        model = ApproximateModel(level_cache_size=0, mode="incremental")
+    cold_seconds, _ = _timed(lambda: model.evaluate_target(base))
+    resolve_seconds, _ = _timed(
+        lambda: model.evaluate_target(drifted, deviation=position)
+    )
+    stats = (
+        model.incremental_stats()
+        if isinstance(model, ApproximateModel) and model.mode == "incremental"
+        else {}
+    )
+    return {
+        "scenario": f"kscale_{k}sc",
+        "deviation_position": position,
+        "cold_solve_seconds": cold_seconds,
+        "resolve_seconds": resolve_seconds,
+        "resolve_speedup": (
+            cold_seconds / resolve_seconds if resolve_seconds > 0 else float("inf")
+        ),
+        "incremental_stats": stats,
+        "seconds": resolve_seconds,
+    }
+
+
 BENCHES: dict[str, Callable[[bool, bool], dict[str, Any]]] = {
     "assembly": bench_assembly,
     "fig6_evaluate": bench_fig6,
     "tabu_sweep": bench_tabu_sweep,
+    "incremental": bench_incremental,
     "obs_overhead": bench_obs_overhead,
 }
 

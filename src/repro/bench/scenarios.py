@@ -143,3 +143,28 @@ def fig8_game_scenario(n_clouds: int, vms: int = 20) -> FederationScenario:
             for i in range(n_clouds)
         )
     )
+
+
+def kscale_scenario(
+    n_clouds: int, sharers: int = 4, vms: int = 3
+) -> FederationScenario:
+    """A K-scaling federation: chain length grows, level pools do not.
+
+    Only the first ``sharers`` SCs share (one VM each), so every
+    hierarchical level's pool stays bounded by ``sharers`` while the
+    chain deepens with K — the regime the sharded and incremental
+    evaluation paths exist for.  Loads are staggered slightly so no two
+    per-SC specs coincide (each level's memo key stays distinct).
+    """
+    return FederationScenario(
+        tuple(
+            SmallCloud(
+                name=f"sc{i + 1:03d}",
+                vms=vms,
+                arrival_rate=0.5 * vms + 0.01 * (i % 7),
+                sla_bound=3.0,
+                shared_vms=1 if i < sharers else 0,
+            )
+            for i in range(n_clouds)
+        )
+    )

@@ -25,9 +25,33 @@ from repro.game.tabu import TabuSearch
 from repro.market.evaluator import UtilityEvaluator
 
 if TYPE_CHECKING:
+    from repro.perf.params import PerformanceParams
     from repro.runtime.executor import Executor
 
 _TIE_TOLERANCE = 1e-12
+
+
+def _score_trial_task(
+    task: "tuple[UtilityEvaluator, tuple[int, ...], int]",
+) -> "tuple[float, PerformanceParams | None]":
+    """Score one candidate sharing vector for one SC.
+
+    Module-level (not a closure) so process executors can pickle it: the
+    evaluator ships with its solved caches but without locks or pending
+    tables, and the model solve is a pure function of the trial vector,
+    so a worker returns exactly the floats a serial scan would.  The
+    solved parameters ride back with the utility so the parent can seed
+    its own cache (:meth:`UtilityEvaluator.seed_target`) instead of
+    re-solving the winning candidate at move time.
+    """
+    evaluator, trial, index = task
+    value = evaluator.utility(trial, index, deviation=index)
+    params = (
+        evaluator.params_target(trial, index, deviation=index)
+        if trial[index] != 0
+        else None
+    )
+    return value, params
 
 
 class BestResponder:
@@ -41,10 +65,13 @@ class BestResponder:
             paper's small search distance).
         executor: optional executor used to score candidate sharing
             values concurrently (the exhaustive scan scores its whole
-            space at once; Tabu scores each neighborhood).  The objective
-            is thread-safe — it builds a private trial profile and the
-            evaluator serializes duplicate model solves — so results are
-            identical to a serial scan.
+            space at once; Tabu scores each neighborhood).  Scoring is
+            process-safe: parallel batches route through a picklable
+            module-level task instead of a closure, so process pools
+            genuinely fan out (they used to fall back to serial) and
+            thread pools share the evaluator's single-flight caches.
+            Either way results are identical to a serial scan — the
+            model solve is a pure function of the trial vector.
     """
 
     def __init__(
@@ -77,17 +104,18 @@ class BestResponder:
         def objective(candidate: int) -> float:
             trial = list(profile)
             trial[index] = candidate
-            return self.evaluator.utility(trial, index)
+            return self.evaluator.utility(trial, index, deviation=index)
 
         with obs.span("game.respond", sc=index, method=self.method):
             obs.inc("game.best_response." + self.method)
             if self.method == "exhaustive":
-                return self._exhaustive(objective, index, current)
+                return self._exhaustive(objective, index, current, profile)
             best, best_obj, _evals = self.tabu.search(
                 self.strategy_spaces[index],
                 objective,
                 start=current,
                 executor=self.executor,
+                scorer=self._batch_scorer(profile, index),
             )
             # Tie-break toward the incumbent: keep the current decision
             # if it is as good as the search result.
@@ -96,12 +124,56 @@ class BestResponder:
                     return current, objective(current)
             return best, best_obj
 
+    def _batch_scorer(
+        self, profile: list[int], index: int
+    ) -> Callable[[list[int]], list[float]]:
+        """A neighborhood scorer over candidate sharing values for SC
+        ``index``, deviating from ``profile``.
+
+        Serial (or single-candidate) batches score inline.  Parallel
+        batches go through the picklable :func:`_score_trial_task`, which
+        works on *every* executor kind: thread workers share this
+        evaluator (single-flight dedup keeps counts serial-equal), while
+        process workers solve on a shipped copy and the solved parameters
+        are seeded back into the parent cache.  The historical process
+        behavior was a silent serial fallback — the closure objective was
+        unpicklable — so process-backed neighborhood scoring is where the
+        per-Tabu-move parallelism actually comes from.
+        """
+        executor = self.executor
+
+        def score(values: list[int]) -> list[float]:
+            trials = []
+            for value in values:
+                trial = list(profile)
+                trial[index] = int(value)
+                trials.append(trial)
+            if executor is None or executor.workers <= 1 or len(trials) <= 1:
+                return [
+                    self.evaluator.utility(trial, index, deviation=index)
+                    for trial in trials
+                ]
+            tasks = [(self.evaluator, tuple(trial), index) for trial in trials]
+            results = obs.map_with_metrics(executor, _score_trial_task, tasks)
+            scored: list[float] = []
+            for trial, (value, params) in zip(trials, results):
+                if params is not None:
+                    self.evaluator.seed_target(trial, index, params)
+                scored.append(value)
+            return scored
+
+        return score
+
     def _exhaustive(
-        self, objective: Callable[[int], float], index: int, current: int
+        self,
+        objective: Callable[[int], float],
+        index: int,
+        current: int,
+        profile: list[int],
     ) -> tuple[int, float]:
         candidates = self.strategy_spaces[index]
         if self.executor is not None and self.executor.workers > 1 and len(candidates) > 1:
-            values = self.executor.map(objective, candidates)
+            values = self._batch_scorer(profile, index)([int(c) for c in candidates])
         else:
             values = [objective(candidate) for candidate in candidates]
         best_share: int | None = None

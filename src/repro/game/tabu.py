@@ -44,6 +44,7 @@ class TabuSearch:
         objective: Callable[[int], float],
         start: int | None = None,
         executor: "Executor | None" = None,
+        scorer: "Callable[[list[int]], list[float]] | None" = None,
     ) -> tuple[int, float, int]:
         """Maximize ``objective`` over ``candidates``.
 
@@ -59,6 +60,14 @@ class TabuSearch:
                 call from the executor's workers (thread executors need a
                 thread-safe objective; process executors fall back to
                 serial for non-picklable closures).
+            scorer: optional batch twin of ``objective``: maps a list of
+                candidate values to their utilities, one call per
+                neighborhood.  When provided it replaces the
+                executor-mapped closure during prefetch — the caller can
+                hand in a picklable task pipeline (the best responder
+                does), which is what lets process pools score
+                neighborhoods without the closure fallback.  The scorer
+                must return exactly what ``objective`` would, in order.
 
         Returns:
             ``(best_value, best_objective, evaluations)``.
@@ -97,6 +106,14 @@ class TabuSearch:
             missing = sorted(
                 {ordered[idx] for idx in indices if ordered[idx] not in value_cache}
             )
+            if scorer is not None:
+                if not missing:
+                    return
+                for value, result in zip(missing, scorer(missing)):
+                    if value not in value_cache:
+                        value_cache[value] = result
+                        evaluations += 1
+                return
             if executor is None or executor.workers <= 1 or len(missing) <= 1:
                 return
             for value, result in zip(missing, executor.map(objective, missing)):

@@ -135,7 +135,12 @@ class UtilityEvaluator:
                     self._pending.pop(key, None)
                 event.set()
 
-    def params_target(self, sharing: Sequence[int], index: int) -> PerformanceParams:
+    def params_target(
+        self,
+        sharing: Sequence[int],
+        index: int,
+        deviation: int | None = None,
+    ) -> PerformanceParams:
         """Performance parameters of SC ``index`` only (cached).
 
         Uses :meth:`PerformanceModel.evaluate_target`, whose contract is
@@ -146,6 +151,10 @@ class UtilityEvaluator:
         cached vector is always preferred; target solves land in a
         separate per-``(vector, index)`` cache and are counted in
         ``target_evaluations``, not ``evaluations``.
+
+        ``deviation`` is the game layer's single-SC deviation hint,
+        forwarded to the model for incremental-reuse attribution; it is
+        observational and never part of any cache key.
         """
         key = tuple(int(s) for s in sharing)
         target = (key, int(index))
@@ -175,7 +184,9 @@ class UtilityEvaluator:
                 continue  # the owner has published (or failed); re-check
             try:
                 params = self.model.evaluate_target(
-                    self.scenario.with_sharing(key), target=int(index)
+                    self.scenario.with_sharing(key),
+                    target=int(index),
+                    deviation=deviation,
                 )
                 if sanitize.sanitize_enabled():
                     sanitize.check_params(params, label=f"params[{key}][{index}]")
@@ -189,16 +200,49 @@ class UtilityEvaluator:
                     self._target_pending.pop(target, None)
                 event.set()
 
-    def cost(self, sharing: Sequence[int], index: int) -> float:
+    def seed_target(
+        self, sharing: Sequence[int], index: int, params: PerformanceParams
+    ) -> bool:
+        """Install a target solve computed elsewhere (a process-pool
+        worker scoring a best-response candidate) into the target cache.
+
+        The parameters must be exactly what :meth:`params_target` would
+        have produced — workers run the same pure model, so this holds by
+        construction.  First writer wins: if the entry is already cached
+        (a thread worker sharing this evaluator already published it),
+        the seed is dropped and not counted, keeping
+        ``target_evaluations`` equal to a serial run's count.
+
+        Returns:
+            ``True`` if the entry was inserted, ``False`` on a duplicate.
+        """
+        key = tuple(int(s) for s in sharing)
+        target = (key, int(index))
+        with self._lock:
+            if key in self._cache or target in self._target_cache:
+                obs.inc("market.target.seed_duplicate")
+                return False
+            self._target_cache[target] = params
+            self.target_evaluations += 1
+        obs.inc("market.target.seeded")
+        return True
+
+    def cost(
+        self, sharing: Sequence[int], index: int, deviation: int | None = None
+    ) -> float:
         """``C_i^{S_i}`` (Eq. 1) for SC ``index`` under ``sharing``."""
         cloud = self.scenario[index].with_shared(int(sharing[index]))
-        return operating_cost(cloud, self.params_target(sharing, index))
+        return operating_cost(cloud, self.params_target(sharing, index, deviation))
 
-    def utility(self, sharing: Sequence[int], index: int) -> float:
+    def utility(
+        self, sharing: Sequence[int], index: int, deviation: int | None = None
+    ) -> float:
         """``U_i^{S_i}`` (Eq. 2) for SC ``index`` under ``sharing``."""
         if sharing[index] == 0:
             return 0.0
-        return self._utility_from(sharing, index, self.params_target(sharing, index))
+        return self._utility_from(
+            sharing, index, self.params_target(sharing, index, deviation)
+        )
 
     def _utility_from(
         self, sharing: Sequence[int], index: int, params: PerformanceParams

@@ -23,12 +23,26 @@ class PerformanceModel(abc.ABC):
         """Return one :class:`PerformanceParams` per SC, in scenario order."""
 
     def evaluate_target(
-        self, scenario: FederationScenario, target: int
+        self,
+        scenario: FederationScenario,
+        target: int,
+        deviation: int | None = None,
     ) -> PerformanceParams:
         """Return the parameters of SC ``target`` only.
 
         The default evaluates everything and projects; subclasses that can
         evaluate a single SC more cheaply (the hierarchical approximate
         model) override this.
+
+        Args:
+            scenario: the federation (sharing vector included).
+            target: index of the SC of interest.
+            deviation: optional index of the single SC whose decision
+                changed since the caller's previous query on an otherwise
+                identical scenario.  Best-response and Tabu scans plumb
+                this through so incremental models can attribute reuse;
+                models are free to ignore it, and no model may let it
+                change results (reuse must be decided by content, not by
+                trusting the hint).
         """
         return self.evaluate(scenario)[target]

@@ -1,0 +1,111 @@
+"""Generation-synchronous sharded evaluation of the hierarchical model.
+
+:meth:`ApproximateModel.evaluate` historically parallelized over *target
+rotations*: each worker rebuilt its rotation's full chain from level 1,
+so a federation of ``K`` SCs cost ``K^2`` cold level builds even though
+rotations share long prefixes (rotation ``t`` and rotation ``t'`` agree
+on the first ``min(t, t')`` levels).  This module keeps the parallelism
+but moves the unit of work down one layer, to a single *level build*:
+
+1. Plan every rotation's chain up front as content keys
+   (:meth:`ApproximateModel._chain_keys` — config, ordered spec prefix,
+   pool size).
+2. Walk the hierarchy one *generation* (level index) at a time.  Within
+   a generation, deduplicate the rotations' keys, serve what the
+   level-prefix LRU already holds, and partition only the distinct
+   missing builds across the executor's workers — each worker owns a
+   slice of the per-SC CTMC constructions and transient couplings for
+   that generation.
+3. Exchange the solved levels between generations through the ordered
+   map interface (:func:`repro.obs.map_with_metrics`): results come back
+   in task order, are published into a keyed level table, and the next
+   generation's builds read their predecessor levels from that table.
+
+Bit-identity to the serial walk is structural, not statistical: a level
+build is a pure function of ``(solver config, rotated scenario prefix,
+pool size, predecessor level)``, and two rotations with equal keys have
+equal build inputs, so *which* rotation's scenario a worker receives
+cannot change a single float.  The differential K-sweep
+(:mod:`repro.analysis.differential`) asserts the resulting equilibrium
+digests are byte-identical to the monolithic path on every commit.
+
+The payoff is asymptotic, not just parallel: one sharded evaluate
+performs the same ``~K^2/2`` distinct builds the memoized serial walk
+does (instead of ``K^2`` cold worker builds), and the wall-clock divides
+the distinct builds of each generation across the pool.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro import obs
+from repro.perf.params import PerformanceParams
+
+if TYPE_CHECKING:
+    from repro.core.small_cloud import FederationScenario
+    from repro.perf.approximate import ApproximateModel, _Level
+    from repro.runtime.executor import Executor
+
+def _build_level_task(
+    task: "tuple[ApproximateModel, FederationScenario, int, _Level | None]",
+) -> "_Level":
+    """Build one hierarchy level (pure function of its task content)."""
+    model, scenario, index, prev = task
+    if index == 0:
+        return model._build_first(scenario)
+    assert prev is not None
+    return model._build_level(scenario, index, prev)
+
+
+def evaluate_sharded(
+    model: "ApproximateModel",
+    scenario: "FederationScenario",
+    executor: "Executor",
+) -> list[PerformanceParams]:
+    """Evaluate all ``K`` rotations with level builds sharded per
+    generation; returns exactly what the serial path returns.
+
+    The caller (:meth:`ApproximateModel.evaluate`) guarantees ``K > 1``
+    and ``executor.workers > 1``.
+    """
+    k = len(scenario)
+    rotations = [
+        scenario if i == k - 1 else scenario.rotated_to_target(i) for i in range(k)
+    ]
+    plans = [model._chain_keys(rotation) for rotation in rotations]
+    model._ensure_auto_capacity(k)
+    cache = model._level_cache
+    worker = model._worker_clone()
+    levels: "dict[tuple, _Level]" = {}
+    for g in range(k):
+        pending_keys: list[tuple] = []
+        tasks: list[object] = []
+        pending: set[tuple] = set()
+        reused = 0
+        for r in range(k):
+            key = plans[r][g]
+            if key in levels or key in pending:
+                reused += 1
+                continue
+            cached = cache.get(key) if cache is not None else None
+            if cached is not None:
+                levels[key] = cached
+                reused += 1
+                continue
+            prev = levels[plans[r][g - 1]] if g > 0 else None
+            pending_keys.append(key)
+            tasks.append((worker, rotations[r], g, prev))
+            pending.add(key)
+        if reused:
+            obs.inc("perf.sharded.level_reused", reused)
+        if not tasks:
+            continue
+        obs.inc("perf.sharded.level_built", len(tasks))
+        with obs.span("perf.shard_generation", level=g, builds=len(tasks)):
+            built = obs.map_with_metrics(executor, _build_level_task, tasks)
+        for key, solved in zip(pending_keys, built):
+            levels[key] = solved
+            if cache is not None:
+                cache.put(key, solved)
+    return [model._params_from_level(levels[plans[r][k - 1]]) for r in range(k)]

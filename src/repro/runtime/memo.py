@@ -176,6 +176,22 @@ class LRUCache(Generic[K, V]):
                     self._pending.pop(key, None)
                 event.set()
 
+    def ensure_capacity(self, minsize: int) -> None:
+        """Grow ``maxsize`` to at least ``minsize`` (monotone; never
+        shrinks, and an unbounded cache stays unbounded).
+
+        The approximate model sizes its level-prefix cache this way: one
+        federation of ``K`` SCs needs ``K`` live entries per chain and a
+        Tabu neighborhood several chains' worth, so a fixed capacity
+        that is generous at ``K=10`` thrashes at ``K=50``.  Growing is
+        always safe — capacity never affects which value a key maps to,
+        only how long it is retained."""
+        minsize = int(minsize)
+        require(minsize >= 1, "ensure_capacity minsize must be >= 1")
+        with self._lock:
+            if self.maxsize is not None and self.maxsize < minsize:
+                self.maxsize = minsize
+
     def pop(self, key: K) -> V | None:
         """Remove and return the value under ``key`` (``None`` if absent);
         never counts toward hit/miss statistics."""

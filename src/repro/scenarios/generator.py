@@ -1,6 +1,6 @@
 """Deterministic scenario-library generator.
 
-``generate_library(seed)`` emits 120 scenarios across six families that
+``generate_library(seed)`` emits 129 scenarios across seven families that
 deliberately leave the paper's symmetric comfort zone:
 
 =========  ==  ===========================================================
@@ -10,6 +10,7 @@ diurnal    15  two-phase MMPP demand alternating low/high (day/night)
 bursty     15  two-phase MMPP with rare, intense bursts (flash crowds)
 heavytail  15  non-exponential service: Erlang, explicit H2, PH-fitted
 mixed      20  combinations of all of the above
+largek      9  federation scale: K in {20, 50, 100}, few active sharers
 =========  ==  ===========================================================
 
 Every draw flows from ``numpy.random.SeedSequence([seed, family, index])``
@@ -43,7 +44,11 @@ FAMILIES: dict[str, tuple[int, int]] = {
     "bursty": (4, 15),
     "heavytail": (5, 15),
     "mixed": (6, 20),
+    "largek": (7, 9),
 }
+
+#: Federation sizes the ``largek`` family cycles through (3 draws each).
+_LARGEK_SIZES = (20, 50, 100)
 
 _VM_SIZES = (5, 10, 20, 40, 100)
 _SLA_BOUNDS = (0.1, 0.2, 0.5)
@@ -90,18 +95,21 @@ def _run_config(
     name: str,
     max_vms: int,
     alphas: tuple[float, ...] = (0.0, 1.0),
+    model: str = "pooled",
 ) -> RunConfig:
     """Deterministic run config; strategy grids stay <= 6 points per SC.
 
     Families with drawn (possibly low) price levels pin ``alphas`` to
     utilitarian scoring, where small utilities cannot push the welfare
-    to ``-inf``.
+    to ``-inf``.  ``model`` keeps the same draw order for every family:
+    it is applied after the rng consumption, so overriding it never
+    shifts another family's digests.
     """
     return RunConfig(
         seed=derive_seed(seed, name),
         backend=str(rng.choice(_BACKENDS)),
         workers=1 if rng.random() < 0.4 else 2,
-        model="pooled",
+        model=model,
         gamma=float(rng.choice((0.0, 1.0))),
         alpha=float(rng.choice(alphas)),
         strategy_step=max(1, max_vms // 5),
@@ -285,6 +293,54 @@ def _gen_mixed(rng: np.random.Generator, seed: int, index: int) -> ScenarioSpec:
     )
 
 
+def _gen_largek(rng: np.random.Generator, seed: int, index: int) -> ScenarioSpec:
+    """Federation scale without state-space scale.
+
+    K grows to 100 SCs, but only a handful of leading SCs share (unit
+    shares), so every hierarchical level's pool — which is what the
+    per-level state space grows with — stays bounded while the chain
+    length tracks K.  This is the regime the sharded and incremental
+    evaluation paths target, so run configs pin the approximate model —
+    the tier those paths accelerate.  The pooled model is NOT a cheap
+    stand-in here: its borrower fixed point couples all K clouds to one
+    small pool and stops contracting when K far exceeds the pool (the
+    damped map plus df-sane fallback leaves residuals of ~1e-2 at
+    K=100).  Full market games at this scale are deliberately outside
+    the CI smoke sweep (``smoke_subset`` defers K>10 federations to the
+    ``kscale-smoke`` job) and are long-haul interactively too — a K=20
+    game is tens of minutes on one core.  The fast surfaces for this
+    family are ``run --mode simulate`` (the event simulator is cheap at
+    any K), single ``evaluate`` calls through ``repro.bench.kscale``,
+    and the ``ksweep10``/``ksweep20`` differential matrices.
+    """
+    name = f"largek-{index:03d}"
+    k = _LARGEK_SIZES[index % len(_LARGEK_SIZES)]
+    vms = int(rng.choice((3, 4)))
+    sharers = int(rng.integers(3, 7))
+    clouds = tuple(
+        SmallCloud(
+            name=f"sc{i + 1:03d}",
+            vms=vms,
+            arrival_rate=_round(vms * rng.uniform(0.45, 0.7)),
+            sla_bound=3.0,
+            public_price=10.0,
+            federation_price=5.0,
+            shared_vms=1 if i < sharers else 0,
+        )
+        for i in range(k)
+    )
+    return ScenarioSpec(
+        name=name,
+        family="largek",
+        description=(
+            f"{k} SCs, {sharers} active unit sharers - "
+            "chain-length scaling with bounded pools"
+        ),
+        clouds=clouds,
+        run=_run_config(rng, seed, name, vms, model="approximate"),
+    )
+
+
 _GENERATORS = {
     "hetero": _gen_hetero,
     "price": _gen_price,
@@ -292,6 +348,7 @@ _GENERATORS = {
     "bursty": _gen_bursty,
     "heavytail": _gen_heavytail,
     "mixed": _gen_mixed,
+    "largek": _gen_largek,
 }
 
 

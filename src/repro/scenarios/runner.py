@@ -39,6 +39,10 @@ def make_model(spec: ScenarioSpec, executor: "Executor | None" = None) -> "Perfo
         from repro.perf.approximate import ApproximateModel
 
         return ApproximateModel(executor=executor)
+    if spec.run.model == "auto":
+        from repro.perf.auto import AutoModel
+
+        return AutoModel(executor=executor)
     from repro.perf.pooled import PooledModel
 
     return PooledModel()

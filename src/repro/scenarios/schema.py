@@ -39,8 +39,9 @@ SCHEMA_VERSION = 1
 #: Executor backends a scenario may request (see repro.runtime.executor).
 BACKENDS = ("serial", "thread", "process")
 
-#: Performance models a scenario may request.
-MODELS = ("pooled", "approximate")
+#: Performance models a scenario may request (``auto`` is the
+#: budget-driven hybrid tier, :class:`repro.perf.auto.AutoModel`).
+MODELS = ("pooled", "approximate", "auto")
 
 #: Relative tolerance for demand-profile vs. SC rate consistency.
 _RATE_TOLERANCE = 1e-6
@@ -81,7 +82,8 @@ class RunConfig:
         seed: master seed for the simulator / any stochastic component.
         backend: executor backend (``serial`` / ``thread`` / ``process``).
         workers: parallel width behind the backend.
-        model: performance model (``pooled`` / ``approximate``).
+        model: performance model (``pooled`` / ``approximate`` /
+            ``auto``).
         gamma: Eq. (2) utility exponent shared by all SCs.
         alpha: fairness level used for welfare scoring.
         strategy_step: sharing-grid step for the strategy spaces.

@@ -48,6 +48,13 @@ class SweepRow:
         require(bool(self.digests), "a sweep row needs at least one backend digest")
 
 
+#: Federations larger than this never enter the smoke subset: a full
+#: market game's cost scales with K as well as with VM counts, so a
+#: 3-VM/50-SC scenario is far more expensive than any small federation
+#: the VM-first sort would rank behind it.
+_SMOKE_MAX_K = 10
+
+
 def smoke_subset(
     specs: tuple[ScenarioSpec, ...] | list[ScenarioSpec], count: int = 4
 ) -> list[ScenarioSpec]:
@@ -55,10 +62,20 @@ def smoke_subset(
 
     Sorting by (largest SC, federation size, name) keeps the smoke run
     inside a CI budget regardless of what the generator drew.
+    Federations beyond ``_SMOKE_MAX_K`` SCs (the ``largek`` family) sort
+    behind every small one regardless of VM count — their scale
+    coverage lives in the non-blocking ``kscale-smoke`` CI job, not the
+    bitwise smoke sweep.
     """
     check_positive_int(count, "count")
     ordered = sorted(
-        specs, key=lambda s: (max(c.vms for c in s.clouds), len(s.clouds), s.name)
+        specs,
+        key=lambda s: (
+            len(s.clouds) > _SMOKE_MAX_K,
+            max(c.vms for c in s.clouds),
+            len(s.clouds),
+            s.name,
+        ),
     )
     return ordered[:count]
 

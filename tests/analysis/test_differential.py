@@ -78,3 +78,62 @@ class TestFullMatrix:
         observables = report["observables"]
         assert len(observables["params"]) == 2
         assert observables["history"][0] == [0, 0]
+
+
+class TestKsweepRegistry:
+    def test_ksweep_scenarios_registered(self):
+        for name, k in (("ksweep10", 10), ("ksweep20", 20)):
+            spec = SCENARIOS[name]
+            assert spec.matrix == "modes"
+            assert len(spec.scenario) == k
+
+    def test_ksweep_pools_stay_bounded(self):
+        # The K-sweep exists to scale chain length, not state space:
+        # whatever the strategy spaces allow, no level's pool exceeds
+        # the active-sharer count.
+        for name in ("ksweep10", "ksweep20"):
+            spec = SCENARIOS[name]
+            max_total = sum(max(space) for space in spec.strategy_spaces())
+            assert max_total <= 3
+
+    def test_ksweep_spaces_pin_inactive_scs(self):
+        spec = SCENARIOS["ksweep10"]
+        spaces = spec.strategy_spaces()
+        active = [space for space in spaces if len(space) > 1]
+        assert len(active) == 3
+        assert all(space == [0] for space in spaces[3:])
+
+    def test_matrix_field_is_validated(self):
+        import dataclasses
+
+        spec = SCENARIOS["quick"]
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, matrix="nonsense")
+
+    def test_spaces_length_is_validated(self):
+        import dataclasses
+
+        spec = SCENARIOS["quick"]
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, spaces=((0, 1),))
+
+
+@pytest.mark.slow
+class TestKsweepCells:
+    def test_mode_cells_match_reference(self):
+        # A 4-cell slice of the ksweep10 matrix: serial/monolithic as
+        # reference against each other mode and a threaded cell.  The
+        # full 9-cell matrix (including process backends) runs in the
+        # kscale-smoke CI job.
+        spec = SCENARIOS["ksweep10"]
+        reference = _run_cell(spec, "serial", "monolithic")
+        assert (
+            _run_cell(spec, "serial", "sharded")["digest"] == reference["digest"]
+        )
+        assert (
+            _run_cell(spec, "serial", "incremental")["digest"]
+            == reference["digest"]
+        )
+        assert (
+            _run_cell(spec, "thread", "sharded")["digest"] == reference["digest"]
+        )

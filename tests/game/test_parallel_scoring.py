@@ -1,0 +1,93 @@
+"""Process-safe neighborhood scoring in the best responder.
+
+The batch scorer replaces the closure objective during Tabu/exhaustive
+prefetch with a picklable module-level task, so process pools genuinely
+score neighborhoods in parallel instead of silently falling back to
+serial.  The contract: same responses, same utilities, same evaluation
+counts on every backend — parallel scoring is a performance knob, never
+a semantics knob.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.bench.scenarios import kscale_scenario
+from repro.game.best_response import BestResponder, _score_trial_task
+from repro.market.evaluator import UtilityEvaluator
+from repro.perf.approximate import ApproximateModel
+from repro.runtime.executor import ProcessExecutor, SerialExecutor, ThreadExecutor
+
+
+def make_responder(executor=None, method="tabu"):
+    scenario = kscale_scenario(5, sharers=3, vms=2)
+    evaluator = UtilityEvaluator(
+        scenario, ApproximateModel(executor=executor), gamma=0.5
+    )
+    spaces = [[0, 1, 2] if i < 3 else [0] for i in range(5)]
+    responder = BestResponder(
+        evaluator, spaces, method=method, executor=executor
+    )
+    return responder, evaluator
+
+
+def respond_all(responder):
+    profile = [1, 1, 1, 0, 0]
+    return [responder.respond(profile, index) for index in range(3)]
+
+
+class TestCrossBackendEquivalence:
+    def test_thread_matches_serial(self):
+        serial_responder, serial_eval = make_responder(SerialExecutor())
+        thread_responder, thread_eval = make_responder(ThreadExecutor(workers=3))
+        assert respond_all(thread_responder) == respond_all(serial_responder)
+        assert thread_eval.total_evaluations == serial_eval.total_evaluations
+
+    @pytest.mark.slow
+    def test_process_matches_serial(self):
+        serial_responder, serial_eval = make_responder(SerialExecutor())
+        process_responder, process_eval = make_responder(ProcessExecutor(workers=2))
+        assert respond_all(process_responder) == respond_all(serial_responder)
+        assert process_eval.total_evaluations == serial_eval.total_evaluations
+
+    def test_exhaustive_method_matches_too(self):
+        serial_responder, _ = make_responder(SerialExecutor(), method="exhaustive")
+        thread_responder, _ = make_responder(
+            ThreadExecutor(workers=3), method="exhaustive"
+        )
+        assert respond_all(thread_responder) == respond_all(serial_responder)
+
+
+class TestScoreTask:
+    def test_task_is_picklable(self):
+        _, evaluator = make_responder()
+        task = (evaluator, (1, 1, 1, 0, 0), 0)
+        clone_fn, clone_task = pickle.loads(
+            pickle.dumps((_score_trial_task, task))
+        )
+        utility, params = clone_fn(clone_task)
+        assert utility == evaluator.utility([1, 1, 1, 0, 0], 0)
+        assert params is not None
+
+    def test_zero_share_trial_returns_no_params(self):
+        _, evaluator = make_responder()
+        utility, params = _score_trial_task((evaluator, (0, 1, 1, 0, 0), 0))
+        assert params is None
+        assert utility == evaluator.utility([0, 1, 1, 0, 0], 0)
+
+    def test_no_pickle_fallback_on_process_pool(self):
+        # The counter the old closure objective used to trip: a process
+        # pool that cannot pickle its task falls back to serial and
+        # records runtime.executor.pickle_fallback.
+        _, evaluator = make_responder()
+        tasks = [
+            (evaluator, (1, 1, 1, 0, 0), 0),
+            (evaluator, (2, 1, 1, 0, 0), 0),
+        ]
+        with obs.capture(tracing=False, metrics=True) as cap:
+            ProcessExecutor(workers=2).map(_score_trial_task, tasks)
+        counters = dict(cap.snapshot().counter_view())
+        assert counters.get("runtime.executor.pickle_fallback", 0) == 0

@@ -156,3 +156,35 @@ class TestQuantities:
 
         with pytest.raises(ConfigurationError):
             UtilityEvaluator(scenario, CountingModel(), gamma=2.0)
+
+
+class TestSeedTarget:
+    def test_seed_then_query_skips_model(self, scenario):
+        model = CountingModel()
+        evaluator = UtilityEvaluator(scenario, model)
+        params = PerformanceParams(
+            lent_mean=0.1, borrowed_mean=0.2, forward_rate=0.05, utilization=0.7
+        )
+        assert evaluator.seed_target([1, 0], 0, params) is True
+        assert evaluator.params_target([1, 0], 0) == params
+        assert model.calls == 0
+        assert evaluator.target_evaluations == 1
+
+    def test_duplicate_seed_is_ignored(self, scenario):
+        evaluator = UtilityEvaluator(scenario, CountingModel())
+        params = PerformanceParams(
+            lent_mean=0.1, borrowed_mean=0.2, forward_rate=0.05, utilization=0.7
+        )
+        assert evaluator.seed_target([1, 0], 0, params) is True
+        assert evaluator.seed_target([1, 0], 0, params) is False
+        assert evaluator.target_evaluations == 1
+
+    def test_seed_after_evaluation_is_ignored(self, scenario):
+        evaluator = UtilityEvaluator(scenario, CountingModel())
+        first = evaluator.params_target([1, 0], 0)
+        replacement = PerformanceParams(
+            lent_mean=9.9, borrowed_mean=9.9, forward_rate=9.9, utilization=0.9
+        )
+        assert evaluator.seed_target([1, 0], 0, replacement) is False
+        # First writer wins: the evaluated result stays authoritative.
+        assert evaluator.params_target([1, 0], 0) == first

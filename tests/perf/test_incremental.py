@@ -1,0 +1,190 @@
+"""Incremental re-solve semantics of the approximate model.
+
+Two contracts:
+
+- **bitwise equivalence** — incremental mode reuses previously built
+  level objects, and a reused level is *the same object* a cold build
+  would have produced (level builds are pure functions of config, spec
+  prefix, and pool), so every observable stays ``float.hex``-identical
+  to a cold monolithic solve;
+- **suffix-only rebuilds** — a single-SC deviation that preserves the
+  federation's shared total (an arrival-rate or SLA drift) never
+  rebuilds a level *before* the deviating chain position: exactly the
+  prefix is reused, exactly the suffix is rebuilt.
+
+Sharing deviations move ``sum(S)`` and therefore re-key every level's
+pool; the honest scope of prefix reuse is pinned by
+``test_sharing_deviation_rebuilds_from_the_front``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.bench.scenarios import kscale_scenario
+from repro.core.small_cloud import FederationScenario
+from repro.perf.approximate import ApproximateModel
+
+
+def hex_params(params):
+    if not isinstance(params, list):
+        params = [params]
+    return [
+        (
+            float(p.lent_mean).hex(),
+            float(p.borrowed_mean).hex(),
+            float(p.forward_rate).hex(),
+            float(p.utilization).hex(),
+        )
+        for p in params
+    ]
+
+
+def drifted(scenario: FederationScenario, position: int, rate_step: float = 0.001):
+    clouds = list(scenario.clouds)
+    clouds[position] = replace(
+        clouds[position], arrival_rate=clouds[position].arrival_rate + rate_step
+    )
+    return FederationScenario(tuple(clouds))
+
+
+class TestIncrementalBitIdentity:
+    def test_evaluate_matches_monolithic(self):
+        scenario = kscale_scenario(6, sharers=3, vms=3)
+        cold = ApproximateModel(level_cache_size=0, mode="monolithic")
+        incremental = ApproximateModel(mode="incremental")
+        assert hex_params(incremental.evaluate(scenario)) == hex_params(
+            cold.evaluate(scenario)
+        )
+
+    def test_warm_resolve_matches_cold(self):
+        base = kscale_scenario(6, sharers=3, vms=3)
+        moved = drifted(base, 3)
+        incremental = ApproximateModel(level_cache_size=0, mode="incremental")
+        incremental.evaluate_target(base)
+        warm = incremental.evaluate_target(moved, deviation=3)
+        cold = ApproximateModel(level_cache_size=0).evaluate_target(moved)
+        assert hex_params(warm) == hex_params(cold)
+
+    def test_deviation_hint_never_changes_results(self):
+        base = kscale_scenario(5, sharers=3, vms=3)
+        moved = drifted(base, 2)
+        hinted = ApproximateModel(level_cache_size=0, mode="incremental")
+        hinted.evaluate_target(base)
+        unhinted = ApproximateModel(level_cache_size=0, mode="incremental")
+        unhinted.evaluate_target(base)
+        assert hex_params(hinted.evaluate_target(moved, deviation=2)) == hex_params(
+            unhinted.evaluate_target(moved)
+        )
+
+
+class TestSuffixOnlyRebuild:
+    @given(position=hyp.integers(min_value=1, max_value=4))
+    @settings(max_examples=8, deadline=None)
+    def test_rate_drift_never_rebuilds_prefix(self, position):
+        """A total-preserving deviation at position p reuses exactly the
+        p-level prefix and rebuilds exactly the K - p suffix."""
+        k = 6
+        base = kscale_scenario(k, sharers=3, vms=2)
+        model = ApproximateModel(level_cache_size=0, mode="incremental")
+        model.evaluate_target(base)
+        before = model.incremental_stats()
+        model.evaluate_target(drifted(base, position), deviation=position)
+        after = model.incremental_stats()
+        assert after["levels_reused"] - before["levels_reused"] == position
+        assert after["chain_prefix_hits"] - before["chain_prefix_hits"] == position
+        assert after["levels_rebuilt"] - before["levels_rebuilt"] == k - position
+
+    def test_prefix_levels_are_reused_verbatim(self):
+        # Object identity, not just value equality: the retained chain's
+        # leading levels are handed to the new chain untouched.
+        k, position = 6, 4
+        base = kscale_scenario(k, sharers=3, vms=2)
+        model = ApproximateModel(level_cache_size=0, mode="incremental")
+        model.evaluate_target(base)
+        first_levels = model._chains[0][1]
+        model.evaluate_target(drifted(base, position), deviation=position)
+        second_levels = model._chains[0][1]
+        for i in range(position):
+            assert second_levels[i] is first_levels[i]
+        for i in range(position, k):
+            assert second_levels[i] is not first_levels[i]
+
+    def test_sla_drift_is_total_preserving_too(self):
+        k, position = 5, 3
+        base = kscale_scenario(k, sharers=3, vms=2)
+        clouds = list(base.clouds)
+        clouds[position] = replace(
+            clouds[position], sla_bound=clouds[position].sla_bound + 0.5
+        )
+        moved = FederationScenario(tuple(clouds))
+        model = ApproximateModel(level_cache_size=0, mode="incremental")
+        model.evaluate_target(base)
+        before = model.incremental_stats()
+        model.evaluate_target(moved, deviation=position)
+        after = model.incremental_stats()
+        assert after["chain_prefix_hits"] - before["chain_prefix_hits"] == position
+
+    def test_sharing_deviation_rebuilds_from_the_front(self):
+        # Moving sum(S) re-keys every level's pool: no prefix survives.
+        # This is the documented boundary of incremental reuse, not a bug.
+        k, position = 5, 3
+        base = kscale_scenario(k, sharers=3, vms=2)
+        clouds = list(base.clouds)
+        clouds[position] = replace(clouds[position], shared_vms=1)
+        moved = FederationScenario(tuple(clouds))
+        model = ApproximateModel(level_cache_size=0, mode="incremental")
+        model.evaluate_target(base)
+        before = model.incremental_stats()
+        model.evaluate_target(moved, deviation=position)
+        after = model.incremental_stats()
+        assert after["chain_prefix_hits"] == before["chain_prefix_hits"]
+        assert after["levels_rebuilt"] - before["levels_rebuilt"] == k
+
+
+class TestChainStateHousekeeping:
+    def test_chain_state_depth_is_bounded(self):
+        from repro.perf.approximate import _CHAIN_STATE_DEPTH
+
+        base = kscale_scenario(4, sharers=2, vms=2)
+        model = ApproximateModel(level_cache_size=0, mode="incremental")
+        for step in range(_CHAIN_STATE_DEPTH + 3):
+            model.evaluate_target(drifted(base, 1, rate_step=0.001 * (step + 1)))
+        assert len(model._chains) <= _CHAIN_STATE_DEPTH
+
+    def test_pickle_resets_chain_state(self):
+        import pickle
+
+        base = kscale_scenario(4, sharers=2, vms=2)
+        model = ApproximateModel(mode="incremental")
+        model.evaluate_target(base)
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone.mode == "incremental"
+        assert clone._chains == []
+        assert clone.incremental_stats()["levels_rebuilt"] == 0
+
+    def test_monolithic_mode_keeps_no_chain_state(self):
+        base = kscale_scenario(4, sharers=2, vms=2)
+        model = ApproximateModel(mode="monolithic")
+        model.evaluate_target(base)
+        assert model._chains == []
+        stats = model.incremental_stats()
+        assert stats["levels_reused"] == 0
+        assert stats["chain_prefix_hits"] == 0
+
+
+@pytest.mark.slow
+class TestIncrementalUnderLoad:
+    def test_many_drifts_stay_bitwise_identical(self):
+        base = kscale_scenario(8, sharers=3, vms=2)
+        incremental = ApproximateModel(mode="incremental")
+        incremental.evaluate_target(base)
+        for step in range(6):
+            moved = drifted(base, 2 + step % 4, rate_step=0.002 * (step + 1))
+            warm = incremental.evaluate_target(moved)
+            cold = ApproximateModel(level_cache_size=0).evaluate_target(moved)
+            assert hex_params(warm) == hex_params(cold)

@@ -126,3 +126,35 @@ class TestThreadSafety:
             t.join()
         assert not errors
         assert len(cache) <= 32
+
+
+class TestEnsureCapacity:
+    def test_grows_capacity(self):
+        cache = LRUCache(maxsize=2)
+        cache.ensure_capacity(10)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 10
+
+    def test_never_shrinks(self):
+        cache = LRUCache(maxsize=16)
+        cache.ensure_capacity(4)
+        assert cache.maxsize == 16
+
+    def test_unbounded_stays_unbounded(self):
+        cache = LRUCache(maxsize=None)
+        cache.ensure_capacity(1000)
+        assert cache.maxsize is None
+
+    def test_keeps_existing_entries(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.ensure_capacity(8)
+        assert cache.get("a") == 1
+        assert cache.get("b") == 2
+
+    def test_rejects_non_positive_minsize(self):
+        cache = LRUCache(maxsize=2)
+        with pytest.raises(ConfigurationError):
+            cache.ensure_capacity(0)
