@@ -23,6 +23,22 @@ invariants mechanical:
   fingerprints and persisted payloads, post-fingerprint mutation, and
   unversioned payload formats (RPR301–RPR306).  Its ``--self-test``
   seeds fingerprint-omission mutants and demands 100% RPR301 recall.
+- :mod:`repro.analysis.perf_lint` — a profile-guided hot-path
+  performance lint (``python -m repro.analysis.perf_lint src``):
+  RPR401–RPR406 flag dense materialization, unvectorized element
+  loops, loop-invariant expensive calls, allocation churn, eager
+  observability formatting, and per-element lock/cache traffic — but
+  *only* inside the hot region computed by
+  :mod:`repro.analysis.hotness` (a static hotness index over the
+  may-call graph from ``# hot-path`` annotations, fused with the
+  committed cProfile evidence).  Its ``--self-test`` injects one
+  anti-pattern mutant per rule into real hot functions and demands
+  100% detection.
+- :mod:`repro.analysis.hotspots` — the hotness report and CI agreement
+  gate (``python -m repro.analysis.hotspots --check``): ranks
+  functions by fused static/profile score, re-collects the committed
+  evidence (``--collect``), and flags blind spots — code under an
+  annotated root the profiled workload never executed.
 - :mod:`repro.analysis.sanitize` — a runtime "stochastic sanitizer":
   debug-mode contracts over generators, distributions, interaction
   vectors, performance parameters, and cache payloads, enabled with
@@ -37,6 +53,10 @@ invariants mechanical:
   checker (``python -m repro.analysis.differential --scenario quick``)
   asserting bitwise-identical game results across
   serial/thread/process execution and caching variants.
+
+``python -m repro.analysis check`` runs all four static rule families
+(RPR1xx/RPR2xx/RPR3xx/RPR4xx) in one pass with a shared ``--select``
+and a common JSON report format (see :mod:`repro.analysis.__main__`).
 
 All layers are dependency-free (stdlib ``ast``/``threading`` plus
 numpy) and cheap when disabled: every sanitizer hook is guarded by one

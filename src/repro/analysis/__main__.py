@@ -1,0 +1,192 @@
+"""Umbrella CLI over every static rule family.
+
+``python -m repro.analysis check`` runs all four families in one pass:
+
+- RPR1xx/RPR2xx — domain + concurrency lint (:mod:`repro.analysis.lint`),
+- RPR3xx — interprocedural fingerprint/determinism dataflow
+  (:mod:`repro.analysis.dataflow`),
+- RPR4xx — profile-guided hot-path performance lint
+  (:mod:`repro.analysis.perf_lint`).
+
+``--select`` accepts codes from any family and routes each code to the
+checker that owns it; families with no selected codes are skipped
+entirely (the RPR3xx/RPR4xx passes build whole-project summaries, so
+skipping them matters).  ``--format json`` emits the shared
+``repro.analysis.lint-report`` payload with violations from every
+family merged and sorted; ``--list-rules`` prints one consistent table.
+
+Exit codes match the per-family CLIs: 0 clean, 1 violations, 2 usage
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis import dataflow, lint, perf_lint
+from repro.analysis.hotness import DEFAULT_PROFILE_PATH, ProfileEvidence
+from repro.analysis.lintbase import LintRule, Violation, render_json
+
+__all__ = ["main"]
+
+#: family name -> (rule table, how to run it).  Order is report order.
+_FAMILIES: tuple[tuple[str, tuple[LintRule, ...]], ...] = (
+    ("lint", lint.LINT_RULES),
+    ("dataflow", dataflow.DATAFLOW_RULES),
+    ("perf_lint", perf_lint.PERF_RULES),
+)
+
+
+def _rule_owner() -> dict[str, str]:
+    """Map every known RPR code to the family that owns it."""
+    owner: dict[str, str] = {}
+    for family, rules in _FAMILIES:
+        for rule in rules:
+            owner[rule.code] = family
+    return owner
+
+
+def _split_select(
+    raw: str | None,
+) -> dict[str, list[str] | None]:
+    """Route a shared ``--select`` to per-family code lists.
+
+    Returns ``{family: codes}`` where ``None`` means "all rules" (no
+    ``--select`` given) and a missing key means "skip this family"
+    (codes were selected, none of them belong to it).  Raises
+    :class:`ValueError` on unknown codes.
+    """
+    if raw is None:
+        return {family: None for family, _ in _FAMILIES}
+    owner = _rule_owner()
+    codes = [code.strip().upper() for code in raw.split(",") if code.strip()]
+    unknown = [code for code in codes if code not in owner]
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(owner))})"
+        )
+    routed: dict[str, list[str] | None] = {}
+    for code in codes:
+        family = owner[code]
+        bucket = routed.setdefault(family, [])
+        assert bucket is not None  # buckets are always lists here
+        bucket.append(code)
+    return routed
+
+
+def _run_family(
+    family: str,
+    paths: Sequence[Path],
+    select: list[str] | None,
+    profile: ProfileEvidence | None,
+) -> list[Violation]:
+    if family == "lint":
+        return lint.lint_paths(paths, select=select)
+    if family == "dataflow":
+        return dataflow.analyze_paths(paths, select=select)
+    return perf_lint.analyze_paths(paths, select=select, profile=profile)
+
+
+def check(
+    paths: Sequence[Path],
+    select: str | None = None,
+    profile: ProfileEvidence | None = None,
+) -> list[Violation]:
+    """Run every (selected) rule family over ``paths``; merged findings."""
+    routed = _split_select(select)
+    violations: list[Violation] = []
+    for family, _ in _FAMILIES:
+        if family not in routed:
+            continue
+        violations.extend(_run_family(family, paths, routed[family], profile))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Umbrella over the repro static checkers: domain/"
+        "concurrency lint (RPR1xx/2xx), fingerprint dataflow (RPR3xx), "
+        "and hot-path performance lint (RPR4xx).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    checker = sub.add_parser(
+        "check",
+        help="run all rule families over the given paths",
+        description="Run RPR1xx/2xx/3xx/4xx in one pass; --select routes "
+        "codes to the owning family and skips families with none selected.",
+    )
+    checker.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[Path("src")],
+        help="files or directories to check (default: src)",
+    )
+    checker.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes from any family (default: all)",
+    )
+    checker.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the combined rule table and exit",
+    )
+    checker.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="violation output format (default: text)",
+    )
+    checker.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="profile evidence for the RPR4xx hotness fusion "
+        f"(default: {DEFAULT_PROFILE_PATH} when present)",
+    )
+    checker.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="ignore committed profile evidence (annotation-only hotness)",
+    )
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        for _, rules in _FAMILIES:
+            for rule in rules:
+                print(f"{rule.code}  {rule.name:32s} {rule.summary}")
+        return 0
+    paths = options.paths or [Path("src")]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        profile = perf_lint._load_profile(options.profile, options.no_profile)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load profile: {exc}", file=sys.stderr)
+        return 2
+    try:
+        violations = check(paths, select=options.select, profile=profile)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if options.format == "json":
+        print(render_json(violations))
+        return 1 if violations else 0
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        count = len(violations)
+        print(f"found {count} violation{'s' if count != 1 else ''}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

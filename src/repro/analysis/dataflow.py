@@ -59,7 +59,7 @@ from repro.analysis.dataflow_fingerprint import (
     check_fingerprints,
     required_inputs,
 )
-from repro.analysis.lintbase import LintRule, Violation, apply_noqa
+from repro.analysis.lintbase import LintRule, Violation, apply_noqa, render_json
 from repro.analysis.summaries import (
     FunctionInfo,
     ModuleInfo,
@@ -260,7 +260,8 @@ def _parse_select(raw: str | None) -> list[str] | None:
         raise ValueError(
             f"unknown rule code(s): {', '.join(unknown)} "
             f"(known: {', '.join(sorted(_RULE_BY_CODE))}; RPR1xx/RPR2xx "
-            "run through python -m repro.analysis.lint)"
+            "run through python -m repro.analysis.lint, RPR4xx through "
+            "python -m repro.analysis.perf_lint)"
         )
     return codes
 
@@ -297,6 +298,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="seed fingerprint-omission mutants and verify RPR301 recall",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="violation output format (default: text)",
+    )
     options = parser.parse_args(argv)
     if options.list_rules:
         for rule in DATAFLOW_RULES:
@@ -315,6 +322,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if options.self_test:
         return run_self_test(paths)
     violations = analyze_paths(paths, select=select)
+    if options.format == "json":
+        print(render_json(violations))
+        return 1 if violations else 0
     for violation in violations:
         print(violation.render())
     if violations:

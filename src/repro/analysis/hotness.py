@@ -1,0 +1,440 @@
+"""Static hotness index: which functions sit on a performance-critical path.
+
+The index fuses two evidence sources over the interprocedural
+:class:`~repro.analysis.summaries.Project`:
+
+1. **Annotation roots.**  Functions carrying a ``# hot-path`` marker (on
+   the ``def`` line, a decorator line, or the comment line immediately
+   above) declare the kernels the maintainers already know dominate:
+   event comparison, level builds, solver inner loops.
+2. **Profile evidence.**  A committed cProfile capture
+   (``benchmarks/results/PROFILE_hotspots.json``, regenerated with
+   ``python -m repro.analysis.hotspots --collect``) contributes measured
+   per-function cumulative time.
+
+From the roots the index computes a may-call closure in both directions:
+
+* the **spine** — transitive *callers* of a root (the evaluate/respond/
+  run chain that sits above every kernel), and
+* the **kernel** — transitive *callees* of the roots and the spine
+  (everything executed under a hot region).
+
+Call edges come from :meth:`Project.resolve_call` plus a deliberate
+over-approximation: an unresolved method call ``recv.m(...)`` fans out to
+*every* project class defining ``m`` (capped at :data:`FANOUT_CAP`
+candidates — wildly ambiguous names carry no signal), and a bare call of
+a project class name targets that class's ``__init__``.  Over-
+approximation is the right polarity here: the consumer is a *linter*
+(``repro.analysis.perf_lint``) whose rules only fire inside hot regions,
+so an extra hot function costs a little noise while a missed one hides a
+regression.
+
+A function is **hot** when it is statically reachable as above *or* its
+profiled cumulative time exceeds ``profile_threshold`` of the workload's
+total.  Statically-hot functions that never appear in the profile are
+reported as **blind spots** — either the committed workload misses a
+path the annotations claim matters, or the annotation is stale.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro._validation import check_probability
+from repro.analysis.lintbase import attribute_chain
+from repro.analysis.summaries import FunctionInfo, Project
+
+__all__ = [
+    "DEFAULT_PROFILE_PATH",
+    "FANOUT_CAP",
+    "HOT_PATH_PATTERN",
+    "HotRecord",
+    "HotnessIndex",
+    "ProfileEntry",
+    "ProfileEvidence",
+    "PROFILE_FORMAT",
+    "PROFILE_FORMAT_VERSION",
+]
+
+#: The annotation contract: a comment containing ``# hot-path`` marks the
+#: function it precedes (or shares a line with) as a hotness root.
+HOT_PATH_PATTERN = re.compile(r"#\s*hot-path\b")
+
+#: An unresolved method name defined by more than this many project
+#: classes is too generic to contribute may-call edges.
+FANOUT_CAP = 8
+
+#: Default location of the committed profile evidence, relative to the
+#: repository root.
+DEFAULT_PROFILE_PATH = Path("benchmarks/results/PROFILE_hotspots.json")
+
+PROFILE_FORMAT = "repro.analysis.profile"
+PROFILE_FORMAT_VERSION = 1
+
+#: A profiled function must account for at least this fraction of the
+#: workload's total cumulative time to count as hot on its own.
+DEFAULT_PROFILE_THRESHOLD = 0.02
+
+
+def _norm_path(path: str) -> str:
+    """Normalize ``path`` to its ``repro/...`` suffix for cross-matching.
+
+    Profile entries record paths as seen by the interpreter while the
+    project may be indexed from a different prefix (``src/...``,
+    absolute, installed); comparing from the last ``repro/`` component
+    makes the two worlds meet.
+    """
+    posix = path.replace("\\", "/")
+    marker = posix.rfind("/repro/")
+    if marker >= 0:
+        return posix[marker + 1 :]
+    if posix.startswith("repro/"):
+        return posix
+    return posix
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One profiled project function."""
+
+    path: str
+    line: int
+    function: str
+    ncalls: int
+    tottime: float
+    cumtime: float
+
+
+@dataclass(frozen=True)
+class ProfileEvidence:
+    """A committed profile capture: workload metadata plus entries."""
+
+    workload: str
+    total_seconds: float
+    entries: tuple[ProfileEntry, ...]
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "ProfileEvidence":
+        if not isinstance(payload, dict):
+            raise ValueError("profile payload must be a JSON object")
+        if payload.get("format") != PROFILE_FORMAT:
+            raise ValueError(
+                f"not a {PROFILE_FORMAT} payload: format={payload.get('format')!r}"
+            )
+        version = payload.get("format_version")
+        if version != PROFILE_FORMAT_VERSION:
+            raise ValueError(f"unsupported profile format_version: {version!r}")
+        entries = tuple(
+            ProfileEntry(
+                path=str(raw["path"]),
+                line=int(raw["line"]),
+                function=str(raw["function"]),
+                ncalls=int(raw["ncalls"]),
+                tottime=float(raw["tottime"]),
+                cumtime=float(raw["cumtime"]),
+            )
+            for raw in payload.get("entries", ())
+        )
+        return cls(
+            workload=str(payload.get("workload", "")),
+            total_seconds=float(payload.get("total_seconds", 0.0)),
+            entries=entries,
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "ProfileEvidence":
+        return cls.from_payload(json.loads(path.read_text(encoding="utf-8")))
+
+    def ranked(self) -> list[ProfileEntry]:
+        """Entries by descending cumulative time (path/line tiebreak)."""
+        return sorted(
+            self.entries, key=lambda e: (-e.cumtime, e.path, e.line, e.function)
+        )
+
+
+@dataclass
+class HotRecord:
+    """The hotness classification of one project function."""
+
+    fn: FunctionInfo
+    #: ``"root"``, ``"spine"``, ``"kernel"`` or None (statically cold).
+    kind: str | None = None
+    #: BFS hops from the nearest root (0 for roots; None when cold).
+    depth: int | None = None
+    profile: ProfileEntry | None = None
+    #: ``cumtime / total_seconds`` of the matched profile entry.
+    profile_fraction: float = 0.0
+    #: Whether the profile alone pushes this function over the threshold.
+    profile_hot: bool = False
+
+    @property
+    def is_hot(self) -> bool:
+        return self.kind is not None or self.profile_hot
+
+    @property
+    def score(self) -> float:
+        """Ranking score: static evidence decayed by depth, plus profile."""
+        base = {"root": 2.0, "spine": 1.0, "kernel": 1.0, None: 0.0}[self.kind]
+        depth = self.depth if self.depth is not None else 0
+        return base / (1.0 + depth) + 4.0 * self.profile_fraction
+
+
+def _first_line(node: ast.AST) -> int:
+    """First source line of a function including its decorators."""
+    linenos = [node.lineno]  # type: ignore[attr-defined]
+    for dec in getattr(node, "decorator_list", []):
+        linenos.append(dec.lineno)
+    return min(linenos)
+
+
+def _is_annotated_root(fn: FunctionInfo, lines: list[str]) -> bool:
+    """Whether ``fn`` carries a ``# hot-path`` marker.
+
+    Accepted positions: any line from the first decorator to just before
+    the first body statement (which admits multi-line signatures and a
+    leading body comment), or the pure-comment line immediately above
+    the header.
+    """
+    start = _first_line(fn.node)
+    body = fn.node.body
+    header_end = body[0].lineno - 1 if body else fn.node.lineno
+    for lineno in range(start, min(header_end, len(lines)) + 1):
+        if HOT_PATH_PATTERN.search(lines[lineno - 1]):
+            return True
+    above = start - 1
+    if 0 < above <= len(lines):
+        stripped = lines[above - 1].lstrip()
+        if stripped.startswith("#") and HOT_PATH_PATTERN.search(stripped):
+            return True
+    return False
+
+
+@dataclass
+class _CallGraph:
+    """May-call adjacency over the project, keyed by (path, qualname)."""
+
+    callees: dict[tuple[str, str], set[tuple[str, str]]] = field(default_factory=dict)
+    callers: dict[tuple[str, str], set[tuple[str, str]]] = field(default_factory=dict)
+
+    def add_edge(self, src: tuple[str, str], dst: tuple[str, str]) -> None:
+        self.callees.setdefault(src, set()).add(dst)
+        self.callers.setdefault(dst, set()).add(src)
+
+
+class HotnessIndex:
+    """Static hotness classification over a :class:`Project`.
+
+    Args:
+        project: the parsed project.
+        profile: optional committed profile evidence to fuse in.
+        profile_threshold: cumtime fraction above which a profiled
+            function is hot regardless of static reachability.
+        extra_roots: additional root qualnames (``"Class.method"`` or
+            bare function names) forced hot — used by tests and the
+            mutation self-test.
+    """
+
+    def __init__(
+        self,
+        project: Project,
+        profile: ProfileEvidence | None = None,
+        *,
+        profile_threshold: float = DEFAULT_PROFILE_THRESHOLD,
+        extra_roots: tuple[str, ...] = (),
+    ) -> None:
+        self.project = project
+        self.profile = profile
+        self.profile_threshold = check_probability(
+            profile_threshold, "profile_threshold"
+        )
+        self._records: dict[tuple[str, str], HotRecord] = {
+            (fn.path, fn.qualname): HotRecord(fn=fn) for fn in project.functions
+        }
+        self._methods: dict[str, list[FunctionInfo]] = {}
+        self._inits: dict[str, list[FunctionInfo]] = {}
+        for fn in project.functions:
+            if fn.class_name is not None:
+                self._methods.setdefault(fn.name, []).append(fn)
+                if fn.name == "__init__":
+                    self._inits.setdefault(fn.class_name, []).append(fn)
+        self.graph = self._build_graph()
+        self.root_keys = self._find_roots(extra_roots)
+        self._classify()
+        if profile is not None:
+            self._fuse_profile(profile)
+
+    # -- construction ----------------------------------------------------
+
+    def _build_graph(self) -> _CallGraph:
+        graph = _CallGraph()
+        for fn in self.project.functions:
+            src = (fn.path, fn.qualname)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                for target in self._call_targets(fn, node):
+                    graph.add_edge(src, (target.path, target.qualname))
+        return graph
+
+    def _call_targets(
+        self, caller: FunctionInfo, call: ast.Call
+    ) -> list[FunctionInfo]:
+        resolved = self.project.resolve_call(caller, call)
+        if resolved is not None:
+            return [resolved]
+        chain = attribute_chain(call.func)
+        if not chain:
+            return []
+        # Bare class-name call: edge to the class's __init__ (the
+        # constructor body runs on the caller's path).
+        if len(chain) == 1 and chain[0] in self._inits:
+            return list(self._inits[chain[0]])
+        # Unresolved method call: fan out to every project class
+        # defining the name (may-call over-approximation), unless the
+        # name is so common it carries no signal.
+        candidates = self._methods.get(chain[-1], [])
+        if 1 < len(candidates) <= FANOUT_CAP:
+            return list(candidates)
+        return []
+
+    def _find_roots(self, extra_roots: tuple[str, ...]) -> set[tuple[str, str]]:
+        roots: set[tuple[str, str]] = set()
+        extras = set(extra_roots)
+        for fn in self.project.functions:
+            lines = self.project.modules[fn.path].lines
+            if fn.qualname in extras or fn.name in extras:
+                roots.add((fn.path, fn.qualname))
+            elif _is_annotated_root(fn, lines):
+                roots.add((fn.path, fn.qualname))
+        return roots
+
+    def _bfs(
+        self,
+        seeds: set[tuple[str, str]],
+        adjacency: dict[tuple[str, str], set[tuple[str, str]]],
+    ) -> dict[tuple[str, str], int]:
+        """Hop counts from ``seeds`` over ``adjacency`` (seeds at 0)."""
+        depth = {key: 0 for key in seeds}
+        frontier = deque(seeds)
+        while frontier:
+            key = frontier.popleft()
+            for nxt in adjacency.get(key, ()):
+                if nxt not in depth:
+                    depth[nxt] = depth[key] + 1
+                    frontier.append(nxt)
+        return depth
+
+    def _classify(self) -> None:
+        spine_depth = self._bfs(self.root_keys, self.graph.callers)
+        hot_seeds = set(spine_depth)
+        kernel_depth = self._bfs(hot_seeds, self.graph.callees)
+        # Callee closure of the roots alone (no spine fan-out): the code
+        # that runs *under* an annotated kernel.  Blind-spot reporting
+        # uses this tighter set; the spine closure is linter territory.
+        self._root_kernel_depth = self._bfs(self.root_keys, self.graph.callees)
+        for key, record in self._records.items():
+            if key in self.root_keys:
+                record.kind, record.depth = "root", 0
+            elif key in spine_depth:
+                record.kind, record.depth = "spine", spine_depth[key]
+            elif key in kernel_depth:
+                record.kind, record.depth = "kernel", kernel_depth[key]
+
+    def _fuse_profile(self, profile: ProfileEvidence) -> None:
+        by_key: dict[tuple[str, str], list[HotRecord]] = {}
+        for record in self._records.values():
+            norm = _norm_path(record.fn.path)
+            by_key.setdefault((norm, record.fn.name), []).append(record)
+        total = profile.total_seconds
+        for entry in profile.entries:
+            candidates = by_key.get((_norm_path(entry.path), entry.function), [])
+            record = self._nearest(candidates, entry.line)
+            if record is None:
+                continue
+            # Keep the heaviest entry when a function is profiled under
+            # several code objects (decorator wrappers, reloads).
+            if record.profile is not None and record.profile.cumtime >= entry.cumtime:
+                continue
+            record.profile = entry
+            record.profile_fraction = entry.cumtime / total if total > 0 else 0.0
+            record.profile_hot = record.profile_fraction >= self.profile_threshold
+
+    @staticmethod
+    def _nearest(candidates: list[HotRecord], line: int) -> HotRecord | None:
+        """The candidate whose header is closest to the profiled line.
+
+        ``co_firstlineno`` points at the first decorator (CPython), the
+        ``def`` line otherwise; same-named methods of different classes
+        disambiguate by proximity.
+        """
+        best: HotRecord | None = None
+        best_gap = 10**9
+        for record in candidates:
+            start = _first_line(record.fn.node)
+            gap = abs(start - line)
+            if gap < best_gap:
+                best, best_gap = record, gap
+        return best
+
+    # -- queries ---------------------------------------------------------
+
+    def record(self, fn: FunctionInfo) -> HotRecord:
+        return self._records[(fn.path, fn.qualname)]
+
+    def is_hot(self, fn: FunctionInfo) -> bool:
+        return self._records[(fn.path, fn.qualname)].is_hot
+
+    def roots(self) -> list[FunctionInfo]:
+        return sorted(
+            (self._records[key].fn for key in self.root_keys),
+            key=lambda fn: (fn.path, fn.qualname),
+        )
+
+    def hot(self) -> list[HotRecord]:
+        """All hot records, best score first (deterministic tiebreak)."""
+        return sorted(
+            (r for r in self._records.values() if r.is_hot),
+            key=lambda r: (-r.score, r.fn.path, r.fn.qualname),
+        )
+
+    def records(self) -> list[HotRecord]:
+        return sorted(
+            self._records.values(), key=lambda r: (r.fn.path, r.fn.qualname)
+        )
+
+    def blind_spots(self, max_depth: int = 2) -> list[HotRecord]:
+        """Functions under an annotated root the profile never saw.
+
+        Restricted to the callee closure of the *roots* (within
+        ``max_depth`` hops): this is code the annotations claim runs
+        inside a kernel, so "the committed workload never executed it"
+        is actionable — a stale annotation, or a workload gap (e.g. the
+        quick workload solving every chain directly and never reaching
+        the power-iteration path).  The full spine/kernel closure is
+        deliberately over-approximate and would drown the signal.  Empty
+        when no profile evidence was supplied.
+        """
+        if self.profile is None:
+            return []
+        return [
+            r
+            for r in self.hot()
+            if r.profile is None
+            and self._root_kernel_depth.get((r.fn.path, r.fn.qualname), 10**9)
+            <= max_depth
+        ]
+
+    def profile_ranked(self) -> list[tuple[ProfileEntry, HotRecord | None]]:
+        """Profile entries by cumtime, each paired with its function."""
+        if self.profile is None:
+            return []
+        matched = {id(r.profile): r for r in self._records.values() if r.profile}
+        out: list[tuple[ProfileEntry, HotRecord | None]] = []
+        for entry in self.profile.ranked():
+            out.append((entry, matched.get(id(entry))))
+        return out

@@ -1,0 +1,366 @@
+"""Hotspot report: static hotness vs. committed profile evidence.
+
+``python -m repro.analysis.hotspots`` ranks project functions by the
+:class:`~repro.analysis.hotness.HotnessIndex` score, cross-checks the
+static classification against the committed cProfile capture, and flags
+**blind spots** — functions the annotations/closure claim are hot but
+the profiled workload never executed (a stale annotation, or a workload
+that misses a path the tree says matters).
+
+``--collect`` regenerates the committed evidence
+(``benchmarks/results/PROFILE_hotspots.json``) by profiling the quick
+reference workload: the differential quick scenario's equilibrium cell
+(exercising the market/game/perf/markov spine) plus a deep-backlog
+federation simulation (exercising the event-heap roots).
+
+``--check`` is the CI agreement gate: every profiled top-5 function must
+be statically hot (exit 1 otherwise) — the annotations, the call-graph
+closure, and the measured reality are not allowed to drift apart
+silently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.analysis.hotness import (
+    DEFAULT_PROFILE_PATH,
+    HotnessIndex,
+    HotRecord,
+    PROFILE_FORMAT,
+    PROFILE_FORMAT_VERSION,
+    ProfileEvidence,
+    _norm_path,
+)
+from repro.analysis.summaries import Project, load_sources
+
+__all__ = [
+    "build_index",
+    "check_agreement",
+    "collect_profile",
+    "main",
+    "render_report",
+]
+
+#: How many profiled entries the agreement gate inspects.
+_TOP_CHECK = 5
+
+
+def build_index(
+    paths: Sequence[Path], profile: ProfileEvidence | None
+) -> HotnessIndex:
+    return HotnessIndex(Project(load_sources(paths)), profile)
+
+
+# -- collection ----------------------------------------------------------
+
+
+def _profile_workload() -> None:
+    """The quick reference workload the committed evidence profiles.
+
+    Deliberately spans both halves of the system: the market/game spine
+    (equilibrium of the differential quick scenario, touching evaluator,
+    approximate level builds, interaction coupling, and the Markov
+    solvers) and the event-heap simulator under a deep backlog (touching
+    ``Event.__lt__``, ``SimulationEngine.step``, ``_CloudState.record``).
+    """
+    from repro.analysis.differential import SCENARIOS, _run_cell
+    from repro.core.small_cloud import FederationScenario, SmallCloud
+    from repro.sim.federation import FederationSimulator
+
+    _run_cell(SCENARIOS["quick"], "serial", "base")
+    scenario = FederationScenario(
+        clouds=(
+            SmallCloud(
+                name="sc1",
+                vms=2,
+                arrival_rate=6.0,
+                sla_bound=50.0,
+                federation_price=0.4,
+            ),
+            SmallCloud(
+                name="sc2",
+                vms=2,
+                arrival_rate=5.5,
+                sla_bound=50.0,
+                federation_price=0.4,
+            ),
+        )
+    )
+    FederationSimulator(scenario, seed=7).run(horizon=4000.0, warmup=100.0)
+
+
+def collect_profile(workload: str = "quick-game+sim") -> dict:
+    """Run the workload under cProfile; return the evidence payload."""
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    try:
+        _profile_workload()
+    finally:
+        profiler.disable()
+    total_seconds = time.perf_counter() - started
+    entries = []
+    for stat in profiler.getstats():  # type: ignore[attr-defined]
+        code = stat.code
+        if isinstance(code, str):  # builtins render as strings
+            continue
+        if code.co_name.startswith("<"):
+            continue  # lambdas/comprehensions; cost shows in their callers
+        norm = _norm_path(code.co_filename)
+        if not norm.startswith("repro/"):
+            continue
+        if norm == "repro/analysis/hotspots.py":
+            continue  # the collection harness is not the subject
+        entries.append(
+            {
+                "path": norm,
+                "line": int(code.co_firstlineno),
+                "function": code.co_name,
+                "ncalls": int(stat.callcount),
+                # cProfile's totaltime is inclusive of callees (cumtime);
+                # inlinetime is the function's own cost (tottime).
+                "tottime": float(stat.inlinetime),
+                "cumtime": float(stat.totaltime),
+            }
+        )
+    entries.sort(key=lambda e: (-e["cumtime"], e["path"], e["line"]))
+    return {
+        "format": PROFILE_FORMAT,
+        "format_version": PROFILE_FORMAT_VERSION,
+        "workload": workload,
+        "total_seconds": total_seconds,
+        "entries": entries,
+    }
+
+
+# -- report --------------------------------------------------------------
+
+
+def _fmt_record(record: HotRecord) -> str:
+    fn = record.fn
+    kind = record.kind or "-"
+    depth = str(record.depth) if record.depth is not None else "-"
+    if record.profile is not None:
+        cum = f"{record.profile.cumtime:8.3f}s"
+        frac = f"{100.0 * record.profile_fraction:5.1f}%"
+    else:
+        cum, frac = "       -", "    -"
+    return (
+        f"{kind:6s} d={depth:2s} {cum} {frac}  "
+        f"{fn.qualname}  ({fn.path}:{fn.node.lineno})"
+    )
+
+
+def check_agreement(index: HotnessIndex, top: int = _TOP_CHECK) -> list[str]:
+    """Mismatches between the profiled top-``top`` and static hotness.
+
+    Returns one message per profiled top function that is statically
+    cold — the acceptance gate is an empty list.
+    """
+    problems: list[str] = []
+    for entry, record in index.profile_ranked()[:top]:
+        if record is None:
+            problems.append(
+                f"profiled function {entry.function} ({entry.path}:{entry.line}) "
+                "matches no project function"
+            )
+        elif record.kind is None:
+            problems.append(
+                f"statically cold function in profiled top {top}: "
+                f"{record.fn.qualname} ({entry.path}:{entry.line}, "
+                f"cumtime {entry.cumtime:.3f}s)"
+            )
+    return problems
+
+
+def render_report(
+    index: HotnessIndex, top: int, stream: TextIO
+) -> None:
+    roots = index.roots()
+    print(f"hotness roots ({len(roots)} annotated # hot-path):", file=stream)
+    for fn in roots:
+        print(f"  {fn.qualname}  ({fn.path}:{fn.node.lineno})", file=stream)
+    hot = index.hot()
+    print(
+        f"\ntop {min(top, len(hot))} of {len(hot)} hot functions "
+        "(kind, depth, profile cumtime, share):",
+        file=stream,
+    )
+    for record in hot[:top]:
+        print(f"  {_fmt_record(record)}", file=stream)
+    if index.profile is not None:
+        print(
+            f"\nprofiled top {_TOP_CHECK} "
+            f"(workload {index.profile.workload!r}, "
+            f"{index.profile.total_seconds:.2f}s total):",
+            file=stream,
+        )
+        for entry, record in index.profile_ranked()[:_TOP_CHECK]:
+            name = record.fn.qualname if record else entry.function
+            kind = record.kind if record and record.kind else "COLD"
+            print(
+                f"  {entry.cumtime:8.3f}s {kind:6s} {name} "
+                f"({entry.path}:{entry.line})",
+                file=stream,
+            )
+        problems = check_agreement(index)
+        if problems:
+            print("\nagreement check FAILED:", file=stream)
+            for problem in problems:
+                print(f"  {problem}", file=stream)
+        else:
+            print(
+                f"\nagreement check OK: profiled top {_TOP_CHECK} "
+                "are all statically hot",
+                file=stream,
+            )
+        spots = index.blind_spots()
+        print(f"\nblind spots (statically hot, never profiled): {len(spots)}", file=stream)
+        for record in spots[:top]:
+            fn = record.fn
+            print(
+                f"  {record.kind:6s} {fn.qualname}  ({fn.path}:{fn.node.lineno})",
+                file=stream,
+            )
+        if len(spots) > top:
+            print(f"  ... and {len(spots) - top} more", file=stream)
+    else:
+        print(
+            "\nno profile evidence loaded (run --collect, or pass --profile); "
+            "static classification only",
+            file=stream,
+        )
+
+
+def _json_report(index: HotnessIndex, top: int) -> dict:
+    def record_payload(record: HotRecord) -> dict:
+        return {
+            "qualname": record.fn.qualname,
+            "path": record.fn.path,
+            "line": record.fn.node.lineno,
+            "kind": record.kind,
+            "depth": record.depth,
+            "profile_cumtime": (
+                record.profile.cumtime if record.profile else None
+            ),
+            "profile_fraction": record.profile_fraction,
+            "score": record.score,
+        }
+
+    return {
+        "format": "repro.analysis.hotspots-report",
+        "format_version": 1,
+        "roots": [fn.qualname for fn in index.roots()],
+        "hot": [record_payload(r) for r in index.hot()[:top]],
+        "blind_spots": [record_payload(r) for r in index.blind_spots()],
+        "agreement_problems": check_agreement(index),
+    }
+
+
+# -- CLI -----------------------------------------------------------------
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.hotspots",
+        description="Rank functions by static hotness, cross-check the "
+        "classification against committed profile evidence, and flag "
+        "statically-hot-but-never-profiled blind spots.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[Path("src")],
+        help="files or directories to index (default: src)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        help=f"profile evidence JSON (default: {DEFAULT_PROFILE_PATH})",
+    )
+    parser.add_argument(
+        "--collect",
+        action="store_true",
+        help="run the quick reference workload under cProfile and write "
+        "fresh evidence instead of reporting",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help=f"where --collect writes (default: {DEFAULT_PROFILE_PATH})",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="how many hot functions to list (default: 20)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every profiled top-5 function is statically "
+        "hot (the CI agreement gate)",
+    )
+    options = parser.parse_args(argv)
+    paths = options.paths or [Path("src")]
+    if options.collect:
+        payload = collect_profile()
+        out = Path(options.output) if options.output else DEFAULT_PROFILE_PATH
+        out.parent.mkdir(parents=True, exist_ok=True)
+        # Profile evidence is a measurement, not a fingerprint: elapsed
+        # wall-clock is the payload's *content* (like bench provenance).
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")  # repro: noqa[RPR303]
+        print(
+            f"collected {len(payload['entries'])} entries "
+            f"({payload['total_seconds']:.2f}s workload) -> {out}"
+        )
+        return 0
+    profile_path = Path(options.profile) if options.profile else DEFAULT_PROFILE_PATH
+    profile: ProfileEvidence | None = None
+    if profile_path.exists():
+        try:
+            profile = ProfileEvidence.load(profile_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load profile: {exc}", file=sys.stderr)
+            return 2
+    elif options.profile is not None or options.check:
+        print(f"error: no profile evidence at {profile_path}", file=sys.stderr)
+        return 2
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    index = build_index(paths, profile)
+    if options.check:
+        problems = check_agreement(index)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if not problems:
+            print(
+                f"agreement OK: profiled top {_TOP_CHECK} are statically hot"
+            )
+        return 1 if problems else 0
+    if options.format == "json":
+        print(json.dumps(_json_report(index, options.top), indent=2))
+    else:
+        render_report(index, options.top, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,7 +60,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.concurrency import CONCURRENCY_RULES, check_concurrency
-from repro.analysis.lintbase import LintRule, Violation, apply_noqa
+from repro.analysis.lintbase import LintRule, Violation, apply_noqa, render_json
 
 __all__ = [
     "LINT_RULES",
@@ -589,6 +589,8 @@ def _parse_select(raw: str | None) -> list[str] | None:
         hint = ""
         if any(code.startswith("RPR3") for code in unknown):
             hint = "; RPR3xx rules run through python -m repro.analysis.dataflow"
+        elif any(code.startswith("RPR4") for code in unknown):
+            hint = "; RPR4xx rules run through python -m repro.analysis.perf_lint"
         raise ValueError(
             f"unknown rule code(s): {', '.join(unknown)} "
             f"(known: {', '.join(sorted(_RULE_BY_CODE))}{hint})"
@@ -621,6 +623,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="print the rule table and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="violation output format (default: text)",
+    )
     options = parser.parse_args(argv)
     if options.list_rules:
         for rule in LINT_RULES:
@@ -637,6 +645,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
     violations = lint_paths(paths, select=select)
+    if options.format == "json":
+        print(render_json(violations))
+        return 1 if violations else 0
     for violation in violations:
         print(violation.render())
     if violations:

@@ -11,6 +11,7 @@ each other.
 from __future__ import annotations
 
 import ast
+import json
 import re
 from dataclasses import dataclass
 
@@ -19,6 +20,7 @@ __all__ = [
     "Violation",
     "apply_noqa",
     "attribute_chain",
+    "render_json",
     "suppressed_codes",
 ]
 
@@ -85,6 +87,26 @@ def apply_noqa(violations: list[Violation], source: str) -> list[Violation]:
         elif suppressed and violation.code not in suppressed:
             kept.append(violation)
     return kept
+
+
+def render_json(violations: list[Violation]) -> str:
+    """Machine-readable report shared by every lint CLI's ``--format json``."""
+    payload = {
+        "format": "repro.analysis.lint-report",
+        "format_version": 1,
+        "count": len(violations),
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "code": v.code,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
 
 
 def attribute_chain(node: ast.AST) -> list[str]:

@@ -1,0 +1,923 @@
+"""Hot-path performance lint (RPR401-RPR406).
+
+The rules only fire *inside hot regions* as classified by
+:class:`~repro.analysis.hotness.HotnessIndex` (annotation roots +
+may-call closure + committed profile evidence), which keeps the signal
+high: a ``.toarray()`` in a cold admin helper is fine; the same call in
+a solver inner loop is a silent 10x.
+
+Rules
+-----
+
+RPR401
+    Dense materialization of a sparse matrix (``.toarray()`` /
+    ``.todense()``) anywhere in a hot function.  Densifying turns the
+    O(nnz) sparse pipeline into O(n^2) memory traffic.
+RPR402
+    A per-element Python ``for`` loop over an ndarray whose body is pure
+    element arithmetic (no calls, no loop-carried reads) — the shape
+    NumPy vectorizes directly.  Loops that call helpers per element or
+    carry values across iterations are *not* flagged; the restriction is
+    what keeps Fox-Glynn stepping and dict-building reductions clean.
+RPR403
+    A loop-invariant expensive call — fingerprint/key/hash construction
+    (:data:`~repro.analysis.summaries.FINGERPRINT_NAME`) or a deep
+    (>= 3 links) attribute-chain call — inside a hot loop.  Invariance
+    is proven syntactically: no name the call reads is bound by the
+    innermost loop.  Hoist it one level out.
+RPR404
+    Allocation churn in a hot function: string ``+=`` in a loop,
+    a ``range()`` loop that only ``.append()``\\ s to a list initialized
+    empty (build it with a comprehension or preallocate), or
+    ``list.pop(0)`` FIFO discipline (O(n) per pop — use
+    ``collections.deque.popleft``).
+RPR405
+    An ``obs``/logging call whose message is eagerly formatted
+    (f-string, ``+`` concatenation, ``%``, ``.format``) without an
+    enable-flag guard.  Formatting runs even when tracing/metrics are
+    disabled; hot paths must pass constants or guard with
+    ``obs.tracing_active()`` / ``obs.metrics_active()``.
+RPR406
+    Per-element lock acquisition (``with <lock>:`` inside a loop) or a
+    per-element cache lookup (``<cache>.get(...)`` in a loop) where the
+    batch APIs (``get_or_create``, ``map_with_metrics``) already exist.
+
+Suppression uses the shared per-line protocol:
+``# repro: noqa[RPR401]`` with a reason comment.
+
+The mutation self-test (``--self-test``) injects each anti-pattern into
+every ``# hot-path``-annotated function of the analyzed tree and demands
+100% detection — measured recall on real code, not assumed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence, TextIO
+
+from repro.analysis.hotness import (
+    DEFAULT_PROFILE_PATH,
+    HotnessIndex,
+    ProfileEvidence,
+)
+from repro.analysis.lintbase import (
+    LintRule,
+    Violation,
+    apply_noqa,
+    attribute_chain,
+    render_json,
+)
+from repro.analysis.summaries import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    is_fingerprint_name,
+    load_sources,
+)
+
+__all__ = [
+    "PERF_RULES",
+    "MutantOutcome",
+    "analyze_paths",
+    "analyze_sources",
+    "main",
+    "run_self_test",
+]
+
+#: Every RPR4xx rule, in code order.
+PERF_RULES: tuple[LintRule, ...] = (
+    LintRule(
+        "RPR401",
+        "hot-dense-materialization",
+        "sparse matrix densified (.toarray/.todense) in a hot function",
+    ),
+    LintRule(
+        "RPR402",
+        "hot-elementwise-loop",
+        "per-element Python loop over an ndarray that vectorizes directly",
+    ),
+    LintRule(
+        "RPR403",
+        "hot-loop-invariant-call",
+        "loop-invariant expensive call (key/hash/deep chain) in a hot loop",
+    ),
+    LintRule(
+        "RPR404",
+        "hot-allocation-churn",
+        "string +=, append-only range loop, or list.pop(0) churn in hot code",
+    ),
+    LintRule(
+        "RPR405",
+        "hot-eager-format",
+        "eagerly formatted obs/log message without an enable-flag guard",
+    ),
+    LintRule(
+        "RPR406",
+        "hot-per-element-locking",
+        "per-element lock/cache access in a loop where a batch API exists",
+    ),
+)
+
+_RULE_BY_CODE = {rule.code: rule for rule in PERF_RULES}
+
+_DENSIFIERS = frozenset({"toarray", "todense"})
+_OBS_HEADS = frozenset({"obs", "logging", "logger", "log"})
+_OBS_TAILS = frozenset(
+    {
+        "inc",
+        "observe",
+        "gauge",
+        "add_event",
+        "span",
+        "event",
+        "debug",
+        "info",
+        "warning",
+        "error",
+        "exception",
+        "log",
+    }
+)
+_GUARD_TAILS = frozenset(
+    {"tracing_active", "metrics_active", "profiling_active", "enabled", "is_enabled"}
+)
+_LOCK_NAME = re.compile(r"(lock|mutex|sem)", re.IGNORECASE)
+_CACHE_NAME = re.compile(r"(cache|memo)", re.IGNORECASE)
+
+#: Attribute chains at least this long count as "deep" for RPR403.
+_DEEP_CHAIN = 3
+
+#: Cheap O(1) container/synchronization operations: a deep chain ending
+#: in one of these is not an "expensive call" (RPR403), however long the
+#: chain — re-checking them per iteration is often the algorithm.
+_CHEAP_TAILS = frozenset(
+    {
+        "get",
+        "pop",
+        "popitem",
+        "popleft",
+        "setdefault",
+        "move_to_end",
+        "append",
+        "appendleft",
+        "add",
+        "update",
+        "remove",
+        "discard",
+        "clear",
+        "extend",
+        "insert",
+        "items",
+        "keys",
+        "values",
+        "wait",
+        "set",
+        "acquire",
+        "release",
+    }
+)
+
+
+def _numpy_aliases(module: ModuleInfo) -> set[str]:
+    aliases = {
+        alias
+        for alias, target in module.import_aliases.items()
+        if target == "numpy" or target.startswith("numpy.")
+    }
+    aliases.update(
+        local
+        for local, (target, _name) in module.imported_names.items()
+        if target == "numpy" or target.startswith("numpy.")
+    )
+    return aliases
+
+
+def _assigned_names(node: ast.AST) -> set[str]:
+    """Every plain name bound by statements under ``node``."""
+    names: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            names.add(sub.id)
+        elif isinstance(sub, ast.NamedExpr) and isinstance(sub.target, ast.Name):
+            names.add(sub.target.id)
+    return names
+
+
+def _loaded_names(node: ast.AST) -> set[str]:
+    return {
+        sub.id
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+    }
+
+
+@dataclass
+class _Loop:
+    node: ast.For | ast.While
+    bound: set[str] = field(default_factory=set)
+
+
+class _HotFunctionChecker:
+    """Applies RPR401-406 to one hot function."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        out: list[Violation],
+    ) -> None:
+        self.module = module
+        self.fn = fn
+        self.out = out
+        self.numpy = _numpy_aliases(module)
+        self.loops: list[_Loop] = []
+        self.guard_depth = 0
+        self.str_names: set[str] = set()
+        self.ndarray_names: set[str] = set()
+        self.empty_lists: set[str] = set()
+        self._prepass()
+
+    # -- prepass: local type facts --------------------------------------
+
+    def _prepass(self) -> None:
+        for node in ast.walk(self.fn.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                self.str_names.add(target.id)
+            elif isinstance(value, ast.JoinedStr):
+                self.str_names.add(target.id)
+            elif isinstance(value, ast.List) and not value.elts:
+                self.empty_lists.add(target.id)
+            elif isinstance(value, ast.Call):
+                chain = attribute_chain(value.func)
+                if chain and (
+                    chain[0] in self.numpy or chain[-1] in _DENSIFIERS
+                ):
+                    self.ndarray_names.add(target.id)
+        for arg in (
+            *self.fn.node.args.posonlyargs,
+            *self.fn.node.args.args,
+            *self.fn.node.args.kwonlyargs,
+        ):
+            if arg.annotation is not None:
+                try:
+                    rendered = ast.unparse(arg.annotation)
+                except Exception:  # pragma: no cover - defensive
+                    continue
+                if "ndarray" in rendered or "NDArray" in rendered:
+                    self.ndarray_names.add(arg.arg)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.out.append(
+            Violation(
+                path=self.fn.path,
+                line=getattr(node, "lineno", self.fn.node.lineno),
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=f"{message} [in hot function {self.fn.qualname}]",
+            )
+        )
+
+    def _is_guarded(self, test: ast.expr) -> bool:
+        for sub in ast.walk(test):
+            chain = attribute_chain(
+                sub.func if isinstance(sub, ast.Call) else sub
+            )
+            if chain and (
+                chain[-1] in _GUARD_TAILS or chain[-1].endswith("_active")
+            ):
+                return True
+        return False
+
+    # -- walk ------------------------------------------------------------
+
+    def check(self) -> None:
+        for stmt in self.fn.node.body:
+            self._visit(stmt)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            return  # nested scopes run elsewhere; out of this rule set
+        if isinstance(node, ast.For):
+            self._check_elementwise(node)
+            self._check_append_only(node)
+            self._visit(node.iter)  # header evaluates once, outside the loop
+            self.loops.append(_Loop(node=node, bound=self._loop_bound(node)))
+            for stmt in (*node.body, *node.orelse):
+                self._visit(stmt)
+            self.loops.pop()
+            return
+        if isinstance(node, ast.While):
+            self.loops.append(_Loop(node=node, bound=self._loop_bound(node)))
+            self._visit(node.test)
+            for stmt in (*node.body, *node.orelse):
+                self._visit(stmt)
+            self.loops.pop()
+            return
+        if isinstance(node, ast.If):
+            guarded = self._is_guarded(node.test)
+            self._visit(node.test)
+            if guarded:
+                self.guard_depth += 1
+            for stmt in node.body:
+                self._visit(stmt)
+            if guarded:
+                self.guard_depth -= 1
+            for stmt in node.orelse:
+                self._visit(stmt)
+            return
+        if isinstance(node, ast.With):
+            if self.loops and isinstance(self.loops[-1].node, ast.For):
+                self._check_lock_in_loop(node)
+            for item in node.items:
+                self._visit(item.context_expr)
+            for stmt in node.body:
+                self._visit(stmt)
+            return
+        if isinstance(node, ast.AugAssign):
+            self._check_str_concat(node)
+        if isinstance(node, ast.Call):
+            self._check_call(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _loop_bound(self, node: ast.For | ast.While) -> set[str]:
+        bound: set[str] = set()
+        if isinstance(node, ast.For):
+            bound |= _assigned_names(node.target)
+        for stmt in (*node.body, *getattr(node, "orelse", ())):
+            bound |= _assigned_names(stmt)
+        return bound
+
+    # -- RPR401 / RPR403 / RPR404(c) / RPR405 / RPR406(b) on calls -------
+
+    def _check_call(self, call: ast.Call) -> None:
+        chain = attribute_chain(call.func)
+        # Attribute checks use ``attr`` directly: the receiver may be any
+        # expression (``qt[1:, 0].toarray()``), not just a name chain.
+        attr = call.func.attr if isinstance(call.func, ast.Attribute) else None
+        if attr in _DENSIFIERS:
+            self._flag(
+                call,
+                "RPR401",
+                f"dense materialization '.{attr}()' on the hot path; "
+                "keep the sparse pipeline (or justify with a noqa reason)",
+            )
+        if (
+            attr == "pop"
+            and call.args
+            and isinstance(call.args[0], ast.Constant)
+            and call.args[0].value == 0
+        ):
+            self._flag(
+                call,
+                "RPR404",
+                "list.pop(0) is O(n) per pop; use collections.deque.popleft()",
+            )
+        # Per-element reasoning (RPR403/RPR406) applies to ``for`` loops;
+        # ``while`` retry/convergence loops (single-flight re-checks,
+        # fixed-point iteration) re-evaluate state by design.
+        if self.loops and chain and isinstance(self.loops[-1].node, ast.For):
+            self._check_invariant_call(call, chain)
+            self._check_cache_in_loop(call, chain)
+        self._check_eager_format(call, chain)
+
+    def _check_invariant_call(self, call: ast.Call, chain: list[str]) -> None:
+        expensive = is_fingerprint_name(chain[-1]) or (
+            len(chain) >= _DEEP_CHAIN and chain[-1] not in _CHEAP_TAILS
+        )
+        if not expensive:
+            return
+        bound = self.loops[-1].bound
+        if _loaded_names(call) & bound:
+            return
+        kind = (
+            "fingerprint/key construction"
+            if is_fingerprint_name(chain[-1])
+            else "deep attribute-chain call"
+        )
+        self._flag(
+            call,
+            "RPR403",
+            f"loop-invariant {kind} '{'.'.join(chain)}(...)'; "
+            "hoist it out of the loop",
+        )
+
+    def _check_cache_in_loop(self, call: ast.Call, chain: list[str]) -> None:
+        if chain[-1] != "get" or len(chain) < 2:
+            return
+        receiver = chain[-2]
+        if not _CACHE_NAME.search(receiver):
+            return
+        if self._writes_receiver(receiver):
+            return  # check-then-fill memo: the lookup IS the cache discipline
+        self._flag(
+            call,
+            "RPR406",
+            f"per-element cache lookup '{'.'.join(chain)}(...)' in a loop; "
+            "batch through get_or_create/map_with_metrics",
+        )
+
+    def _writes_receiver(self, receiver: str) -> bool:
+        """Whether the function stores into ``receiver`` anywhere.
+
+        ``recv[key] = ...``, ``recv.put(...)`` or ``recv.setdefault(...)``
+        mark a check-then-fill memo over ``receiver``; its per-element
+        ``.get`` is the caching discipline itself, not a missed batch.
+        """
+        for node in ast.walk(self.fn.node):
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, ast.Store)
+                and attribute_chain(node.value)[-1:] == [receiver]
+            ):
+                return True
+            if isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if (
+                    len(chain) >= 2
+                    and chain[-1] in ("put", "setdefault")
+                    and chain[-2] == receiver
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _is_eager_format(node: ast.expr) -> bool:
+        if isinstance(node, ast.JoinedStr):
+            return any(isinstance(v, ast.FormattedValue) for v in node.values)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Mod):
+                left = node.left
+                return isinstance(left, ast.Constant) and isinstance(left.value, str)
+            if isinstance(node.op, ast.Add):
+                return any(
+                    (isinstance(side, ast.Constant) and isinstance(side.value, str))
+                    or isinstance(side, ast.JoinedStr)
+                    for side in (node.left, node.right)
+                )
+        if isinstance(node, ast.Call):
+            chain = attribute_chain(node.func)
+            return bool(chain) and chain[-1] == "format" and len(chain) >= 2
+        return False
+
+    def _check_eager_format(self, call: ast.Call, chain: list[str]) -> None:
+        if not chain or len(chain) < 2:
+            return
+        if chain[0] not in _OBS_HEADS or chain[-1] not in _OBS_TAILS:
+            return
+        if self.guard_depth > 0:
+            return
+        values = list(call.args) + [kw.value for kw in call.keywords]
+        for value in values:
+            if self._is_eager_format(value):
+                self._flag(
+                    call,
+                    "RPR405",
+                    f"eagerly formatted message in '{'.'.join(chain)}(...)'; "
+                    "pass a constant name or guard with "
+                    "obs.tracing_active()/obs.metrics_active()",
+                )
+                return
+
+    # -- RPR402: trivially vectorizable element loop ---------------------
+
+    def _iterates_ndarray(self, node: ast.For) -> str | None:
+        """The ndarray name ``node`` iterates (directly or via range)."""
+        iter_node = node.iter
+        if isinstance(iter_node, ast.Name) and iter_node.id in self.ndarray_names:
+            return iter_node.id
+        if not (isinstance(iter_node, ast.Call) and not iter_node.keywords):
+            return None
+        chain = attribute_chain(iter_node.func)
+        if chain != ["range"] or len(iter_node.args) != 1:
+            return None
+        arg = iter_node.args[0]
+        if (
+            isinstance(arg, ast.Call)
+            and attribute_chain(arg.func) == ["len"]
+            and len(arg.args) == 1
+            and isinstance(arg.args[0], ast.Name)
+            and arg.args[0].id in self.ndarray_names
+        ):
+            return arg.args[0].id
+        if isinstance(arg, ast.Subscript):
+            chain = attribute_chain(arg.value)
+            if (
+                len(chain) == 2
+                and chain[1] == "shape"
+                and chain[0] in self.ndarray_names
+            ):
+                return chain[0]
+        return None
+
+    def _check_elementwise(self, node: ast.For) -> None:
+        array = self._iterates_ndarray(node)
+        if array is None or node.orelse:
+            return
+        stores: set[str] = set()
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                return
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    return  # helper calls per element: not trivially vectorizable
+            if isinstance(stmt, ast.Assign):
+                stores |= _assigned_names(stmt)
+        # A plain-Assign target read back in the body is a loop-carried
+        # dependency (recurrence); AugAssign accumulators reduce fine.
+        for stmt in node.body:
+            value = stmt.value
+            if _loaded_names(value) & stores:
+                return
+        self._flag(
+            node,
+            "RPR402",
+            f"per-element Python loop over ndarray '{array}' with pure "
+            "arithmetic body; use a vectorized NumPy expression",
+        )
+
+    # -- RPR404(a,b) -----------------------------------------------------
+
+    def _check_str_concat(self, node: ast.AugAssign) -> None:
+        if not self.loops or not isinstance(node.op, ast.Add):
+            return
+        if isinstance(node.target, ast.Name) and node.target.id in self.str_names:
+            self._flag(
+                node,
+                "RPR404",
+                f"string '+=' on '{node.target.id}' in a hot loop is O(n^2); "
+                "collect parts and ''.join() once",
+            )
+
+    def _check_append_only(self, node: ast.For) -> None:
+        if node.orelse or len(node.body) != 1:
+            return
+        stmt = node.body[0]
+        if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+            return
+        chain = attribute_chain(stmt.value.func)
+        if len(chain) != 2 or chain[-1] != "append":
+            return
+        if chain[0] not in self.empty_lists:
+            return
+        iter_chain = (
+            attribute_chain(node.iter.func)
+            if isinstance(node.iter, ast.Call)
+            else []
+        )
+        if iter_chain != ["range"]:
+            return
+        self._flag(
+            node,
+            "RPR404",
+            f"range loop only appends to '{chain[0]}'; build it with a list "
+            "comprehension (known size, one allocation)",
+        )
+
+    # -- RPR406(a) -------------------------------------------------------
+
+    def _check_lock_in_loop(self, node: ast.With) -> None:
+        for item in node.items:
+            expr = item.context_expr
+            target = expr.func if isinstance(expr, ast.Call) else expr
+            chain = attribute_chain(target)
+            if chain and _LOCK_NAME.search(chain[-1]):
+                self._flag(
+                    node,
+                    "RPR406",
+                    f"lock '{'.'.join(chain)}' acquired per loop iteration; "
+                    "acquire once outside the loop or use a batch API",
+                )
+                return
+
+
+# -- analysis entry points -----------------------------------------------
+
+
+def analyze_sources(
+    sources: Mapping[str, str],
+    select: Sequence[str] | None = None,
+    noqa: bool = True,
+    parsed: Mapping[str, ast.Module] | None = None,
+    profile: ProfileEvidence | None = None,
+    extra_roots: tuple[str, ...] = (),
+) -> list[Violation]:
+    """Run RPR401-406 over the hot regions of ``sources``.
+
+    Args:
+        sources: mapping of file path to module source text.
+        select: optional rule codes to keep (default: all).
+        noqa: honour ``# repro: noqa[...]`` suppressions (the mutation
+            self-test disables this so suppressions cannot mask a miss).
+        parsed: optional pre-parsed trees, keyed by path.
+        profile: committed profile evidence fused into the hotness index.
+        extra_roots: extra root qualnames forced hot (tests/self-test).
+    """
+    project = Project(sources, parsed=parsed)
+    index = HotnessIndex(project, profile, extra_roots=extra_roots)
+    violations: list[Violation] = []
+    for fn in project.functions:
+        if not index.is_hot(fn):
+            continue
+        _HotFunctionChecker(project.modules[fn.path], fn, violations).check()
+    if noqa:
+        by_path: dict[str, list[Violation]] = {}
+        for violation in violations:
+            by_path.setdefault(violation.path, []).append(violation)
+        violations = []
+        for path, group in by_path.items():
+            violations.extend(apply_noqa(group, sources.get(path, "")))
+    if select is not None:
+        wanted = {code.upper() for code in select}
+        violations = [v for v in violations if v.code in wanted]
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    select: Sequence[str] | None = None,
+    noqa: bool = True,
+    profile: ProfileEvidence | None = None,
+) -> list[Violation]:
+    """Analyze every ``.py`` file under ``paths``."""
+    return analyze_sources(
+        load_sources(paths), select=select, noqa=noqa, profile=profile
+    )
+
+
+# -- mutation self-test --------------------------------------------------
+
+
+@dataclass
+class MutantOutcome:
+    """One injected anti-pattern mutant and whether its rule caught it."""
+
+    path: str
+    qualname: str
+    code: str
+    caught: bool
+
+    def render(self) -> str:
+        status = "caught" if self.caught else "MISSED"
+        return (
+            f"self-test: {self.path}:{self.qualname} :: inject {self.code} "
+            f"-> {status}"
+        )
+
+
+#: Injection snippets per rule.  ``{np}`` is the module's NumPy alias.
+#: Names are ``___``-prefixed so mutants cannot collide with real
+#: bindings; mutants are parsed and linted, never executed.
+_SNIPPETS: dict[str, tuple[str | None, tuple[str, ...]]] = {
+    "RPR401": (None, ("___dense = ___matrix.toarray()",)),
+    "RPR402": (
+        "numpy",
+        (
+            "___arr = {np}.zeros(16)",
+            "___acc = 0.0",
+            "for ___i in range(len(___arr)):",
+            "    ___acc += ___arr[___i] * 2.0",
+        ),
+    ),
+    "RPR403": (
+        None,
+        (
+            "for ___i in range(8):",
+            "    ___k = ___scope.___registry.make_cache_key()",
+        ),
+    ),
+    "RPR404": (
+        None,
+        (
+            "___buf = ''",
+            "for ___i in range(8):",
+            "    ___buf += 'x'",
+        ),
+    ),
+    "RPR405": ("obs", ("obs.inc('___probe.' + ___label)",)),
+    "RPR406": (
+        None,
+        (
+            "for ___i in range(8):",
+            "    with ___page_lock:",
+            "        ___val = ___i",
+        ),
+    ),
+}
+
+
+def _module_requirement_met(module: ModuleInfo, requirement: str | None) -> bool:
+    if requirement is None:
+        return True
+    if requirement == "numpy":
+        return bool(_numpy_aliases(module))
+    if requirement == "obs":
+        return "obs" in module.imported_names or "obs" in module.import_aliases
+    return False  # pragma: no cover - unknown requirement
+
+
+def _inject(module: ModuleInfo, fn: FunctionInfo, lines: tuple[str, ...]) -> str | None:
+    """Module source with ``lines`` spliced before ``fn``'s first statement."""
+    body = fn.node.body
+    if not body or body[0].lineno <= fn.node.lineno:
+        return None  # one-liner def; nowhere to splice
+    insert_at = body[0].lineno  # 1-based line of the first statement
+    src_lines = module.source.splitlines(keepends=True)
+    first = src_lines[insert_at - 1]
+    indent = first[: len(first) - len(first.lstrip())]
+    np_alias = next(iter(sorted(_numpy_aliases(module))), "np")
+    spliced = [indent + line.format(np=np_alias) + "\n" for line in lines]
+    return "".join(src_lines[: insert_at - 1] + spliced + src_lines[insert_at - 1 :])
+
+
+def run_self_test(paths: Sequence[Path], stream: TextIO | None = None) -> int:
+    """Inject each anti-pattern into every annotated hot root; demand 100%.
+
+    Each file is analyzed in isolation per mutant (the ``# hot-path``
+    annotation survives injection, so the target function is a root of
+    its own single-file hotness index) — measured recall on the real
+    hot functions, one small re-index per mutant.
+    """
+    if stream is None:
+        stream = sys.stdout
+    sources = load_sources(paths)
+    outcomes: list[MutantOutcome] = []
+    skipped: list[str] = []
+    for path in sorted(sources):
+        baseline = Project({path: sources[path]})
+        index = HotnessIndex(baseline)
+        roots = [fn for fn in baseline.functions if index.record(fn).kind == "root"]
+        module = baseline.modules.get(path)
+        if module is None or not roots:
+            continue
+        for fn in roots:
+            fn_line = fn.node.body[0].lineno if fn.node.body else fn.node.lineno
+            for code, (requirement, lines) in sorted(_SNIPPETS.items()):
+                if not _module_requirement_met(module, requirement):
+                    skipped.append(f"{path}:{fn.qualname} {code} (missing import)")
+                    continue
+                mutated = _inject(module, fn, lines)
+                if mutated is None:
+                    skipped.append(f"{path}:{fn.qualname} {code} (one-line def)")
+                    continue
+                findings = analyze_sources({path: mutated}, noqa=False)
+                span = range(fn_line, fn_line + len(lines) + 1)
+                caught = any(
+                    v.code == code and v.line in span for v in findings
+                )
+                outcomes.append(
+                    MutantOutcome(
+                        path=path, qualname=fn.qualname, code=code, caught=caught
+                    )
+                )
+    for outcome in outcomes:
+        print(outcome.render(), file=stream)
+    for entry in skipped:
+        print(f"self-test: skipped: {entry}", file=stream)
+    caught_count = sum(1 for outcome in outcomes if outcome.caught)
+    total = len(outcomes)
+    percent = 100.0 * caught_count / total if total else 0.0
+    print(
+        f"self-test: {caught_count}/{total} injected anti-pattern mutants "
+        f"caught ({percent:.0f}%)",
+        file=stream,
+    )
+    if total == 0:
+        print("self-test: no # hot-path annotated functions found", file=stream)
+        return 1
+    return 0 if caught_count == total else 1
+
+
+# -- CLI -----------------------------------------------------------------
+
+
+def _parse_select(raw: str | None) -> list[str] | None:
+    """Parse ``--select``; raises :class:`ValueError` on unknown codes."""
+    if raw is None:
+        return None
+    codes = [code.strip().upper() for code in raw.split(",") if code.strip()]
+    unknown = [code for code in codes if code not in _RULE_BY_CODE]
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(_RULE_BY_CODE))}; RPR1xx/RPR2xx "
+            "run through python -m repro.analysis.lint and RPR3xx through "
+            "python -m repro.analysis.dataflow)"
+        )
+    return codes
+
+
+def _load_profile(option: str | None, disabled: bool) -> ProfileEvidence | None:
+    if disabled:
+        return None
+    if option is not None:
+        return ProfileEvidence.load(Path(option))
+    if DEFAULT_PROFILE_PATH.exists():
+        return ProfileEvidence.load(DEFAULT_PROFILE_PATH)
+    return None
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code (0 clean, 1
+    violations or self-test misses, 2 usage error)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.perf_lint",
+        description="Hot-path performance lint (RPR401-RPR406): dense "
+        "materialization, unvectorized element loops, loop-invariant "
+        "expensive calls, allocation churn, eager trace formatting, and "
+        "per-element locking — applied only inside statically/profile-"
+        "classified hot regions.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[Path("src")],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated RPR4xx codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="inject each anti-pattern into annotated hot functions and "
+        "verify 100%% detection",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="violation output format (default: text)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="profile evidence JSON to fuse into the hotness index "
+        f"(default: {DEFAULT_PROFILE_PATH} when present)",
+    )
+    parser.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="static hotness only; ignore committed profile evidence",
+    )
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        for rule in PERF_RULES:
+            print(f"{rule.code}  {rule.name:32s} {rule.summary}")
+        return 0
+    try:
+        select = _parse_select(options.select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    paths = options.paths or [Path("src")]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    if options.self_test:
+        return run_self_test(paths)
+    try:
+        profile = _load_profile(options.profile, options.no_profile)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load profile: {exc}", file=sys.stderr)
+        return 2
+    violations = analyze_paths(paths, select=select, profile=profile)
+    if options.format == "json":
+        print(render_json(violations))
+    else:
+        for violation in violations:
+            print(violation.render())
+    if violations:
+        count = len(violations)
+        print(f"found {count} violation{'s' if count != 1 else ''}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

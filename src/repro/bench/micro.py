@@ -21,7 +21,14 @@ run:
 - ``obs_overhead`` — prices the :mod:`repro.obs` hooks: the cost of one
   disabled hook call, the hook crossings a real solve performs, and the
   implied disabled-instrumentation overhead fraction (pinned below 2%
-  by ``tests/obs/test_overhead.py``), plus the traced/untraced ratio.
+  by ``tests/obs/test_overhead.py``), plus the traced/untraced ratio;
+- ``sim_fifo`` — prices the simulator's FIFO queue discipline: an
+  end-to-end deep-backlog federation simulation, plus a steady-state
+  FIFO replay at the backlog depth comparing ``list.pop(0)`` (the
+  RPR404 anti-pattern the perf lint flagged) against the
+  ``deque.popleft()`` the simulator now uses.  At equilibrium depths
+  the end-to-end delta is within run-to-run noise — the replay is what
+  pins the asymptotic mechanism.
 
 Every probe runs under a metrics capture, so each report entry carries
 the counters the workload produced alongside its timings.
@@ -278,12 +285,97 @@ def bench_incremental(quick: bool, reference: bool) -> dict[str, Any]:
     }
 
 
+def bench_sim_fifo(quick: bool, reference: bool) -> dict[str, Any]:
+    """Price the simulator's FIFO queue discipline.
+
+    Two measurements:
+
+    - an end-to-end deep-backlog federation simulation (every cloud
+      overloaded and forwarding, so the wait queues stay populated) —
+      the workload whose profile evidence drives the hot-path lint;
+    - a steady-state FIFO replay at a representative backlog depth:
+      prefill to the depth, then alternate push/pop, timed once with a
+      ``list`` using ``pop(0)`` (the RPR404 anti-pattern
+      ``_CloudState.queue_arrival_times`` used to be) and once with a
+      ``deque`` using ``popleft()`` (what it is now).
+
+    The sim-level numbers are honest — at the depths the Erlang
+    forwarding bound sustains, pop cost is a small fraction of event
+    handling, so the end-to-end delta sits within noise; the replay
+    isolates the O(n)-vs-O(1) mechanism the triage fix removed.
+    ``--reference`` changes nothing here: the queue discipline is not
+    configurable, the replay always times both.
+    """
+    from collections import deque
+
+    from repro.core.small_cloud import FederationScenario, SmallCloud
+    from repro.sim.federation import FederationSimulator
+
+    scenario = FederationScenario(
+        clouds=(
+            SmallCloud(
+                name="sc1",
+                vms=2,
+                arrival_rate=6.0,
+                sla_bound=50.0,
+                federation_price=0.4,
+            ),
+            SmallCloud(
+                name="sc2",
+                vms=2,
+                arrival_rate=5.5,
+                sla_bound=50.0,
+                federation_price=0.4,
+            ),
+        )
+    )
+    horizon = 1000.0 if quick else 4000.0
+    sim_seconds, result = _timed(
+        lambda: FederationSimulator(scenario, seed=7).run(
+            horizon=horizon, warmup=100.0
+        )
+    )
+    total_forwarded = sum(m.forwarded for m in result)
+
+    depth = 512 if quick else 2048
+    ops = 20_000 if quick else 100_000
+
+    def replay(queue: Any, pop: Callable[[], float]) -> float:
+        for i in range(depth):
+            queue.append(float(i))
+        start = time.perf_counter()
+        for i in range(ops):
+            queue.append(float(i))
+            pop()
+        return time.perf_counter() - start
+
+    as_list: list[float] = []
+    list_seconds = replay(as_list, lambda: as_list.pop(0))
+    as_deque: deque[float] = deque()
+    deque_seconds = replay(as_deque, as_deque.popleft)
+    return {
+        "scenario": "deep_backlog_2sc",
+        "horizon": horizon,
+        "sim_seconds": sim_seconds,
+        "jobs_forwarded": total_forwarded,
+        "replay_depth": depth,
+        "replay_ops": ops,
+        "list_pop0_seconds": list_seconds,
+        "deque_popleft_seconds": deque_seconds,
+        "replay_speedup": (
+            list_seconds / deque_seconds if deque_seconds > 0 else float("inf")
+        ),
+        "seconds": sim_seconds,
+    }
+
+
 BENCHES: dict[str, Callable[[bool, bool], dict[str, Any]]] = {
     "assembly": bench_assembly,
     "fig6_evaluate": bench_fig6,
     "tabu_sweep": bench_tabu_sweep,
     "incremental": bench_incremental,
     "obs_overhead": bench_obs_overhead,
+    "sim_fifo": bench_sim_fifo,
 }
 
 

@@ -91,6 +91,9 @@ class BestResponder:
         self.method = method
         self.tabu = tabu if tabu is not None else TabuSearch()
         self.executor = executor
+        # Metric name built once here: respond() is hot, and per-call
+        # string concatenation formats eagerly even with metrics off.
+        self._respond_metric = "game.best_response." + method
 
     def respond(self, sharing: Sequence[int], index: int) -> tuple[int, float]:
         """Best sharing value for SC ``index`` given the profile ``sharing``.
@@ -107,7 +110,7 @@ class BestResponder:
             return self.evaluator.utility(trial, index, deviation=index)
 
         with obs.span("game.respond", sc=index, method=self.method):
-            obs.inc("game.best_response." + self.method)
+            obs.inc(self._respond_metric)
             if self.method == "exhaustive":
                 return self._exhaustive(objective, index, current, profile)
             best, best_obj, _evals = self.tabu.search(

@@ -88,7 +88,9 @@ def steady_state_direct(q: sp.spmatrix) -> np.ndarray:
         return np.array([1.0])
     qt = sp.csc_matrix(q.transpose())
     a = qt[1:, 1:]
-    b = -qt[1:, 0].toarray().ravel()
+    # Densifying one n-1 column (the RHS the solver needs dense anyway)
+    # is O(n), not an O(n^2) matrix materialization.
+    b = -qt[1:, 0].toarray().ravel()  # repro: noqa[RPR401]
     try:
         lu = spla.splu(sp.csc_matrix(a))
         tail = lu.solve(b)
@@ -129,7 +131,8 @@ def steady_state_gmres(
         return np.array([1.0])
     qt = sp.csc_matrix(q.transpose())
     a = sp.csc_matrix(qt[1:, 1:])
-    b = -qt[1:, 0].toarray().ravel()
+    # One dense n-1 column for the RHS: O(n), not a matrix blow-up.
+    b = -qt[1:, 0].toarray().ravel()  # repro: noqa[RPR401]
     preconditioner = None
     try:
         ilu = spla.spilu(a, drop_tol=1e-6, fill_factor=20)
@@ -157,6 +160,7 @@ def steady_state_gmres(
     return pi
 
 
+# hot-path: power-iteration inner loop; dominates chain solves
 def stationary_power(
     p: sp.spmatrix,
     tol: float = 1e-12,
@@ -217,6 +221,13 @@ def steady_state_power(
 # typically wins by orders of magnitude and falls through cleanly if not.
 _LARGE_CHAIN_THRESHOLD = 20_000
 
+#: Pre-built per-solver metric names: steady_state is hot, and building
+#: "markov.solve." + name on every call formats eagerly even with
+#: metrics disabled (RPR405).
+_SOLVE_METRICS = {
+    name: "markov.solve." + name for name in ("direct", "gmres", "power")
+}
+
 
 def steady_state(
     q: sp.spmatrix, method: str = "auto", x0: np.ndarray | None = None
@@ -238,7 +249,7 @@ def steady_state(
         }
         if method in methods:
             pi = methods[method](q)
-            obs.inc("markov.solve." + method)
+            obs.inc(_SOLVE_METRICS[method])
             return pi
         if method != "auto":
             raise SolverError(f"unknown steady-state method {method!r}")
@@ -266,7 +277,7 @@ def steady_state(
             except SolverError as exc:
                 errors.append(f"{name}: {exc}")
             else:
-                obs.inc("markov.solve." + name)
+                obs.inc(_SOLVE_METRICS[name])
                 return pi
         raise SolverError(
             "all steady-state solvers failed: " + "; ".join(errors)

@@ -55,6 +55,12 @@ APPROXIMATE_ACCURACY_FLOOR = 0.01
 #: forward means nothing to misprice); treated as "pooled suffices".
 _NEGLIGIBLE_FORWARDING = 1e-12
 
+#: Pre-built per-tier metric names: _pick runs once per model query, and
+#: an f-string there formats eagerly even with metrics disabled (RPR405).
+_TIER_METRICS = {
+    name: f"perf.auto.{name}" for name in ("pooled", "approximate", "detailed")
+}
+
 
 @dataclass(frozen=True)
 class ErrorBudget:
@@ -190,7 +196,7 @@ class AutoModel(PerformanceModel):
         name = self.select(scenario)
         with self._counts_lock:
             self._counts[name] += 1
-        obs.inc(f"perf.auto.{name}")
+        obs.inc(_TIER_METRICS[name])
         return name, self._tier(name)
 
     def selection_counts(self) -> dict[str, int]:

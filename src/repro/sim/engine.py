@@ -45,6 +45,7 @@ class Event:
         self.callback = callback
         self.cancelled = False
 
+    # hot-path: every heap push/pop compares events; see analysis.hotness
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
             return self.time < other.time
@@ -101,6 +102,7 @@ class SimulationEngine:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
 
+    # hot-path: the event dispatch loop; one call per simulated event
     def step(self) -> bool:
         """Execute the next live event.  Returns False if none remain."""
         while self._heap:

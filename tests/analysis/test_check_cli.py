@@ -1,0 +1,154 @@
+"""The umbrella `python -m repro.analysis check` CLI and cross-family
+`--select` routing, plus the per-family CLIs' shared JSON format and
+cross-referencing unknown-code hints.
+"""
+
+import json
+import textwrap
+
+from repro.analysis import dataflow, lint, perf_lint
+from repro.analysis.__main__ import _split_select, check, main
+from repro.analysis.lintbase import Violation, render_json
+
+CLEAN = """
+def helper(x):
+    return x + 1
+"""
+
+# One violation per family: RPR101 (unseeded randomness), RPR306
+# (unversioned persisted payload), RPR401 (densify in a hot function).
+MULTI_FAMILY = """
+import json
+import numpy as np
+
+
+def sample():
+    return np.random.random()
+
+
+def persist(path, payload):
+    path.write_text(json.dumps({"data": payload}))
+
+
+# hot-path
+def solve(q):
+    return q.toarray()
+"""
+
+
+def write(tmp_path, source, name="mod.py"):
+    target = tmp_path / "repro"
+    target.mkdir(exist_ok=True)
+    path = target / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestSelectRouting:
+    def test_no_select_runs_every_family(self):
+        routed = _split_select(None)
+        assert routed == {"lint": None, "dataflow": None, "perf_lint": None}
+
+    def test_codes_route_to_owning_family(self):
+        routed = _split_select("RPR101,RPR301,RPR401,RPR405")
+        assert routed == {
+            "lint": ["RPR101"],
+            "dataflow": ["RPR301"],
+            "perf_lint": ["RPR401", "RPR405"],
+        }
+
+    def test_family_without_selected_codes_is_skipped(self):
+        routed = _split_select("RPR404")
+        assert routed == {"perf_lint": ["RPR404"]}
+
+    def test_unknown_code_raises_with_known_list(self):
+        try:
+            _split_select("RPR999")
+        except ValueError as exc:
+            assert "RPR999" in str(exc) and "RPR101" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestCheck:
+    def test_clean_tree_is_clean(self, tmp_path):
+        write(tmp_path, CLEAN)
+        assert check([tmp_path]) == []
+
+    def test_families_merge_sorted(self, tmp_path):
+        write(tmp_path, MULTI_FAMILY)
+        violations = check([tmp_path])
+        codes = [v.code for v in violations]
+        assert "RPR101" in codes and "RPR306" in codes and "RPR401" in codes
+        assert [(v.path, v.line, v.col, v.code) for v in violations] == sorted(
+            (v.path, v.line, v.col, v.code) for v in violations
+        )
+
+    def test_select_limits_to_one_family(self, tmp_path):
+        write(tmp_path, MULTI_FAMILY)
+        assert [v.code for v in check([tmp_path], select="RPR401")] == ["RPR401"]
+
+
+class TestUmbrellaCLI:
+    def test_list_rules_covers_all_families(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (*lint.LINT_RULES, *dataflow.DATAFLOW_RULES, *perf_lint.PERF_RULES):
+            assert rule.code in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, CLEAN)
+        assert main(["check", str(tmp_path)]) == 0
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        write(tmp_path, MULTI_FAMILY)
+        assert main(["check", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR101" in out and "RPR401" in out
+
+    def test_unknown_code_exits_two(self, tmp_path, capsys):
+        write(tmp_path, CLEAN)
+        assert main(["check", "--select", "RPR999", str(tmp_path)]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "nope")]) == 2
+
+    def test_json_format_is_shared_report(self, tmp_path, capsys):
+        write(tmp_path, MULTI_FAMILY)
+        assert main(["check", "--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro.analysis.lint-report"
+        assert payload["format_version"] == 1
+        assert payload["count"] == len(payload["violations"]) > 0
+
+
+class TestFamilyCLIsShareConventions:
+    def test_lint_hints_perf_family(self, capsys):
+        assert lint.main(["--select", "RPR401", "src"]) == 2
+        assert "perf_lint" in capsys.readouterr().err
+
+    def test_dataflow_hints_perf_family(self, capsys):
+        assert dataflow.main(["--select", "RPR404", "src"]) == 2
+        assert "perf_lint" in capsys.readouterr().err
+
+    def test_perf_lint_hints_other_families(self, capsys):
+        assert perf_lint.main(["--select", "RPR101", "src"]) == 2
+        err = capsys.readouterr().err
+        assert "repro.analysis.lint" in err and "dataflow" in err
+
+    def test_json_format_agrees_across_clis(self, tmp_path, capsys):
+        write(tmp_path, CLEAN)
+        for cli in (lint.main, dataflow.main, perf_lint.main):
+            assert cli(["--format", "json", str(tmp_path)]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["format"] == "repro.analysis.lint-report"
+            assert payload["count"] == 0
+
+    def test_render_json_roundtrip(self):
+        violation = Violation(
+            path="src/repro/mod.py", line=3, col=1, code="RPR401", message="m"
+        )
+        payload = json.loads(render_json([violation]))
+        assert payload["violations"][0]["code"] == "RPR401"
+        assert payload["violations"][0]["line"] == 3

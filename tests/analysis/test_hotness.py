@@ -1,0 +1,362 @@
+"""Unit tests for the static hotness index.
+
+Covers the annotation contract, the two-direction may-call closure
+(spine/kernel), the unresolved-call fan-out cap, profile fusion, and
+blind-spot reporting.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.hotness import (
+    FANOUT_CAP,
+    HotnessIndex,
+    ProfileEvidence,
+    _norm_path,
+)
+from repro.analysis.summaries import Project
+
+
+def index_of(source, path="src/repro/mod.py", profile=None, extra_roots=()):
+    project = Project({path: textwrap.dedent(source)})
+    return HotnessIndex(project, profile, extra_roots=tuple(extra_roots))
+
+
+def kinds(index):
+    return {r.fn.qualname: r.kind for r in index.records()}
+
+
+def payload(entries, total=10.0):
+    return {
+        "format": "repro.analysis.profile",
+        "format_version": 1,
+        "workload": "test",
+        "total_seconds": total,
+        "entries": entries,
+    }
+
+
+class TestAnnotationContract:
+    def test_comment_line_above_def(self):
+        idx = index_of(
+            """
+            # hot-path
+            def kernel(x):
+                return x
+            """
+        )
+        assert kinds(idx)["kernel"] == "root"
+
+    def test_comment_on_def_line(self):
+        idx = index_of(
+            """
+            def kernel(x):  # hot-path
+                return x
+            """
+        )
+        assert kinds(idx)["kernel"] == "root"
+
+    def test_comment_on_decorator_line(self):
+        idx = index_of(
+            """
+            import functools
+
+            @functools.lru_cache  # hot-path
+            def kernel(x):
+                return x
+            """
+        )
+        assert kinds(idx)["kernel"] == "root"
+
+    def test_leading_body_comment_counts(self):
+        # The scan runs to the first body statement (multi-line
+        # signatures), so a leading body comment is a valid position.
+        idx = index_of(
+            """
+            def kernel(x):
+                # hot-path
+                return x
+            """
+        )
+        assert kinds(idx)["kernel"] == "root"
+
+    def test_comment_after_first_statement_is_not_a_marker(self):
+        idx = index_of(
+            """
+            def kernel(x):
+                y = x + 1
+                # hot-path mentioned too late to be a header marker
+                return y
+            """
+        )
+        assert kinds(idx)["kernel"] is None
+
+    def test_hyphenless_words_do_not_match(self):
+        idx = index_of(
+            """
+            # the hot pathway is elsewhere
+            def kernel(x):
+                return x
+            """
+        )
+        assert kinds(idx)["kernel"] is None
+
+
+class TestClosure:
+    SRC = """
+        # hot-path
+        def root(x):
+            return helper(x)
+
+        def helper(x):
+            return leaf(x)
+
+        def leaf(x):
+            return x + 1
+
+        def driver(x):
+            return root(x)
+
+        def outer(x):
+            return driver(x)
+
+        def unrelated(x):
+            return x
+    """
+
+    def test_spine_and_kernel_classification(self):
+        got = kinds(index_of(self.SRC))
+        assert got["root"] == "root"
+        assert got["driver"] == "spine"
+        assert got["outer"] == "spine"
+        assert got["helper"] == "kernel"
+        assert got["leaf"] == "kernel"
+        assert got["unrelated"] is None
+
+    def test_depths_count_bfs_hops(self):
+        idx = index_of(self.SRC)
+        by_name = {r.fn.qualname: r for r in idx.records()}
+        assert by_name["root"].depth == 0
+        assert by_name["driver"].depth == 1
+        assert by_name["outer"].depth == 2
+        assert by_name["helper"].depth == 1
+        assert by_name["leaf"].depth == 2
+
+    def test_hot_ranking_is_deterministic_and_root_first(self):
+        idx = index_of(self.SRC)
+        hot = idx.hot()
+        assert hot[0].fn.qualname == "root"
+        assert [r.fn.qualname for r in hot] == [
+            r.fn.qualname for r in index_of(self.SRC).hot()
+        ]
+
+    def test_extra_roots_by_bare_name(self):
+        idx = index_of(self.SRC, extra_roots=("unrelated",))
+        assert kinds(idx)["unrelated"] == "root"
+
+
+class TestCallTargets:
+    def test_unresolved_method_fans_out_to_defining_classes(self):
+        idx = index_of(
+            """
+            class A:
+                def solve(self):
+                    return 1
+
+            class B:
+                def solve(self):
+                    return 2
+
+            # hot-path
+            def run(model):
+                return model.solve()
+            """
+        )
+        got = kinds(idx)
+        assert got["A.solve"] == "kernel"
+        assert got["B.solve"] == "kernel"
+
+    def test_fanout_cap_drops_too_generic_names(self):
+        classes = "\n".join(
+            f"class C{i}:\n    def solve(self):\n        return {i}\n"
+            for i in range(FANOUT_CAP + 1)
+        )
+        idx = index_of(
+            classes
+            + """
+# hot-path
+def run(model):
+    return model.solve()
+"""
+        )
+        got = kinds(idx)
+        assert all(got[f"C{i}.solve"] is None for i in range(FANOUT_CAP + 1))
+
+    def test_bare_class_call_targets_init(self):
+        idx = index_of(
+            """
+            class Model:
+                def __init__(self):
+                    self.state = 0
+
+            # hot-path
+            def run():
+                return Model()
+            """
+        )
+        assert kinds(idx)["Model.__init__"] == "kernel"
+
+
+class TestProfileFusion:
+    SRC = """
+        # hot-path
+        def root(x):
+            return helper(x)
+
+        def helper(x):
+            return x
+
+        def elsewhere(x):
+            return x
+    """
+
+    def test_matched_entry_sets_fraction(self):
+        profile = ProfileEvidence.from_payload(
+            payload(
+                [
+                    {
+                        "path": "repro/mod.py",
+                        "line": 2,
+                        "function": "root",
+                        "ncalls": 3,
+                        "tottime": 1.0,
+                        "cumtime": 5.0,
+                    }
+                ]
+            )
+        )
+        idx = index_of(self.SRC, profile=profile)
+        record = next(r for r in idx.records() if r.fn.qualname == "root")
+        assert record.profile is not None
+        assert record.profile_fraction == pytest.approx(0.5)
+
+    def test_profile_alone_makes_cold_function_hot(self):
+        profile = ProfileEvidence.from_payload(
+            payload(
+                [
+                    {
+                        "path": "repro/mod.py",
+                        "line": 8,
+                        "function": "elsewhere",
+                        "ncalls": 1,
+                        "tottime": 2.0,
+                        "cumtime": 2.0,
+                    }
+                ]
+            )
+        )
+        idx = index_of(self.SRC, profile=profile)
+        record = next(r for r in idx.records() if r.fn.qualname == "elsewhere")
+        assert record.kind is None
+        assert record.profile_hot
+        assert record.is_hot
+
+    def test_below_threshold_profile_does_not_make_hot(self):
+        profile = ProfileEvidence.from_payload(
+            payload(
+                [
+                    {
+                        "path": "repro/mod.py",
+                        "line": 8,
+                        "function": "elsewhere",
+                        "ncalls": 1,
+                        "tottime": 0.01,
+                        "cumtime": 0.01,
+                    }
+                ]
+            )
+        )
+        idx = index_of(self.SRC, profile=profile)
+        record = next(r for r in idx.records() if r.fn.qualname == "elsewhere")
+        assert not record.is_hot
+
+    def test_blind_spots_are_unprofiled_root_closure(self):
+        profile = ProfileEvidence.from_payload(
+            payload(
+                [
+                    {
+                        "path": "repro/mod.py",
+                        "line": 2,
+                        "function": "root",
+                        "ncalls": 3,
+                        "tottime": 1.0,
+                        "cumtime": 5.0,
+                    }
+                ]
+            )
+        )
+        idx = index_of(self.SRC, profile=profile)
+        assert [r.fn.qualname for r in idx.blind_spots()] == ["helper"]
+
+    def test_no_profile_means_no_blind_spots(self):
+        assert index_of(self.SRC).blind_spots() == []
+
+    def test_profile_ranked_pairs_entries_with_records(self):
+        profile = ProfileEvidence.from_payload(
+            payload(
+                [
+                    {
+                        "path": "repro/mod.py",
+                        "line": 2,
+                        "function": "root",
+                        "ncalls": 3,
+                        "tottime": 1.0,
+                        "cumtime": 5.0,
+                    },
+                    {
+                        "path": "repro/other.py",
+                        "line": 1,
+                        "function": "ghost",
+                        "ncalls": 1,
+                        "tottime": 9.0,
+                        "cumtime": 9.0,
+                    },
+                ]
+            )
+        )
+        idx = index_of(self.SRC, profile=profile)
+        ranked = idx.profile_ranked()
+        assert [e.function for e, _ in ranked] == ["ghost", "root"]
+        assert ranked[0][1] is None  # no matching project function
+        assert ranked[1][1].fn.qualname == "root"
+
+
+class TestProfilePayloadValidation:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="format"):
+            ProfileEvidence.from_payload({"format": "something-else"})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError, match="format_version"):
+            ProfileEvidence.from_payload(
+                {"format": "repro.analysis.profile", "format_version": 99}
+            )
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            ProfileEvidence.from_payload([1, 2, 3])
+
+
+class TestPathNormalization:
+    def test_suffix_from_src_prefix(self):
+        assert _norm_path("src/repro/sim/engine.py") == "repro/sim/engine.py"
+
+    def test_suffix_from_absolute_path(self):
+        assert (
+            _norm_path("/opt/x/site-packages/repro/sim/engine.py")
+            == "repro/sim/engine.py"
+        )
+
+    def test_windows_separators(self):
+        assert _norm_path("src\\repro\\mod.py") == "repro/mod.py"

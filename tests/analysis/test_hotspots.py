@@ -1,0 +1,171 @@
+"""The hotspots report: ranking, the agreement gate, and collection."""
+
+import io
+import json
+import textwrap
+
+from repro.analysis import hotspots
+from repro.analysis.hotness import ProfileEvidence
+from repro.analysis.hotspots import (
+    build_index,
+    check_agreement,
+    collect_profile,
+    main,
+    render_report,
+)
+
+SRC = """
+# hot-path
+def root(x):
+    return helper(x)
+
+
+def helper(x):
+    return x
+
+
+def cold(x):
+    return x
+"""
+
+
+def project_file(tmp_path):
+    target = tmp_path / "repro"
+    target.mkdir()
+    path = target / "mod.py"
+    path.write_text(textwrap.dedent(SRC))
+    return path
+
+
+def profile_payload(entries, total=10.0):
+    return {
+        "format": "repro.analysis.profile",
+        "format_version": 1,
+        "workload": "test",
+        "total_seconds": total,
+        "entries": entries,
+    }
+
+
+def entry(function, line, cumtime, path="repro/mod.py"):
+    return {
+        "path": path,
+        "line": line,
+        "function": function,
+        "ncalls": 1,
+        "tottime": cumtime,
+        "cumtime": cumtime,
+    }
+
+
+def write_profile(tmp_path, entries):
+    path = tmp_path / "profile.json"
+    path.write_text(json.dumps(profile_payload(entries)))
+    return path
+
+
+class TestAgreement:
+    def test_hot_top_entries_agree(self, tmp_path):
+        src = project_file(tmp_path)
+        profile = ProfileEvidence.from_payload(
+            profile_payload([entry("root", 2, 5.0), entry("helper", 7, 4.0)])
+        )
+        index = build_index([src], profile)
+        assert check_agreement(index) == []
+
+    def test_statically_cold_top_entry_is_a_problem(self, tmp_path):
+        src = project_file(tmp_path)
+        profile = ProfileEvidence.from_payload(
+            profile_payload([entry("cold", 11, 9.0)])
+        )
+        index = build_index([src], profile)
+        problems = check_agreement(index)
+        assert len(problems) == 1 and "statically cold" in problems[0]
+
+    def test_unmatched_top_entry_is_a_problem(self, tmp_path):
+        src = project_file(tmp_path)
+        profile = ProfileEvidence.from_payload(
+            profile_payload([entry("ghost", 1, 9.0, path="repro/other.py")])
+        )
+        index = build_index([src], profile)
+        problems = check_agreement(index)
+        assert len(problems) == 1 and "matches no project function" in problems[0]
+
+
+class TestReport:
+    def test_text_report_sections(self, tmp_path):
+        src = project_file(tmp_path)
+        profile = ProfileEvidence.from_payload(
+            profile_payload([entry("root", 2, 5.0)])
+        )
+        index = build_index([src], profile)
+        stream = io.StringIO()
+        render_report(index, top=10, stream=stream)
+        out = stream.getvalue()
+        assert "hotness roots (1 annotated # hot-path)" in out
+        assert "agreement check OK" in out
+        assert "blind spots" in out and "helper" in out
+
+    def test_text_report_without_profile(self, tmp_path):
+        src = project_file(tmp_path)
+        index = build_index([src], None)
+        stream = io.StringIO()
+        render_report(index, top=10, stream=stream)
+        assert "no profile evidence loaded" in stream.getvalue()
+
+
+class TestCli:
+    def test_check_exits_zero_on_agreement(self, tmp_path, capsys):
+        src = project_file(tmp_path)
+        prof = write_profile(tmp_path, [entry("root", 2, 5.0)])
+        assert main([str(src), "--profile", str(prof), "--check"]) == 0
+        assert "agreement OK" in capsys.readouterr().out
+
+    def test_check_exits_one_on_mismatch(self, tmp_path, capsys):
+        src = project_file(tmp_path)
+        prof = write_profile(tmp_path, [entry("cold", 11, 9.0)])
+        assert main([str(src), "--profile", str(prof), "--check"]) == 1
+        assert "statically cold" in capsys.readouterr().err
+
+    def test_check_without_profile_exits_two(self, tmp_path, capsys):
+        src = project_file(tmp_path)
+        missing = tmp_path / "nope.json"
+        assert main([str(src), "--profile", str(missing), "--check"]) == 2
+
+    def test_malformed_profile_exits_two(self, tmp_path, capsys):
+        src = project_file(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "wrong"}))
+        assert main([str(src), "--profile", str(bad)]) == 2
+
+    def test_json_report_payload(self, tmp_path, capsys):
+        src = project_file(tmp_path)
+        prof = write_profile(tmp_path, [entry("root", 2, 5.0)])
+        assert main([str(src), "--profile", str(prof), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro.analysis.hotspots-report"
+        assert payload["roots"] == ["root"]
+        assert payload["agreement_problems"] == []
+        assert [r["qualname"] for r in payload["blind_spots"]] == ["helper"]
+
+
+class TestCollect:
+    def test_collect_writes_versioned_payload(self, tmp_path, monkeypatch, capsys):
+        # The real workload takes seconds; collection mechanics are what
+        # this test pins (filtering, format, sort order).
+        monkeypatch.setattr(hotspots, "_profile_workload", lambda: sum(range(100)))
+        payload = collect_profile(workload="noop")
+        assert payload["format"] == "repro.analysis.profile"
+        assert payload["format_version"] == 1
+        assert payload["workload"] == "noop"
+        assert payload["total_seconds"] >= 0.0
+        # A no-op workload touches no repro/ code objects.
+        assert payload["entries"] == []
+
+    def test_collect_cli_writes_output(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(hotspots, "_profile_workload", lambda: None)
+        out = tmp_path / "PROFILE.json"
+        assert main(["--collect", "--output", str(out)]) == 0
+        written = json.loads(out.read_text())
+        assert written["format"] == "repro.analysis.profile"
+        assert "collected" in capsys.readouterr().out

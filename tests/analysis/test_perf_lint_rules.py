@@ -1,0 +1,422 @@
+"""Fixture suites for the hot-path performance rules (RPR401-406).
+
+Every rule gets code that must be flagged, code that must pass, and a
+flagged line rescued by `# repro: noqa[CODE]`.  All fixtures annotate
+the function under test with `# hot-path` — the rules only fire in hot
+regions, which the gating tests at the bottom pin directly.
+"""
+
+import textwrap
+
+from repro.analysis.perf_lint import analyze_sources
+
+
+def codes(source, path="src/repro/mod.py", select=None, noqa=True, extra_roots=()):
+    sources = {path: textwrap.dedent(source)}
+    return [
+        v.code
+        for v in analyze_sources(
+            sources, select=select, noqa=noqa, extra_roots=extra_roots
+        )
+    ]
+
+
+class TestRPR401DenseMaterialization:
+    def test_flags_toarray_in_hot_function(self):
+        src = """
+            # hot-path
+            def solve(q):
+                return q.toarray()
+        """
+        assert codes(src) == ["RPR401"]
+
+    def test_flags_todense_on_subscript_receiver(self):
+        src = """
+            # hot-path
+            def solve(qt):
+                return qt[1:, 0].todense()
+        """
+        assert codes(src) == ["RPR401"]
+
+    def test_passes_sparse_pipeline(self):
+        src = """
+            # hot-path
+            def solve(q):
+                return q.transpose().tocsr()
+        """
+        assert codes(src) == []
+
+    def test_noqa_rescues_flagged_line(self):
+        src = """
+            # hot-path
+            def solve(q):
+                return q.toarray()  # repro: noqa[RPR401]
+        """
+        assert codes(src) == []
+
+
+class TestRPR402ElementwiseLoop:
+    def test_flags_pure_arithmetic_range_loop(self):
+        src = """
+            import numpy as np
+
+            # hot-path
+            def accumulate():
+                arr = np.zeros(16)
+                acc = 0.0
+                for i in range(len(arr)):
+                    acc += arr[i] * 2.0
+                return acc
+        """
+        assert codes(src) == ["RPR402"]
+
+    def test_flags_direct_iteration_over_ndarray(self):
+        src = """
+            import numpy as np
+
+            # hot-path
+            def total():
+                arr = np.ones(8)
+                acc = 0.0
+                for value in arr:
+                    acc += value
+                return acc
+        """
+        assert codes(src) == ["RPR402"]
+
+    def test_passes_loop_calling_helper_per_element(self):
+        src = """
+            import numpy as np
+
+            # hot-path
+            def accumulate(helper):
+                arr = np.zeros(16)
+                acc = 0.0
+                for i in range(len(arr)):
+                    acc += helper(arr[i])
+                return acc
+        """
+        assert codes(src) == []
+
+    def test_passes_loop_carried_recurrence(self):
+        src = """
+            import numpy as np
+
+            # hot-path
+            def recur():
+                arr = np.zeros(16)
+                prev = 0.0
+                for i in range(len(arr)):
+                    prev = arr[i] + prev * 0.5
+                return prev
+        """
+        assert codes(src) == []
+
+    def test_noqa_rescues_flagged_loop(self):
+        src = """
+            import numpy as np
+
+            # hot-path
+            def accumulate():
+                arr = np.zeros(16)
+                acc = 0.0
+                for i in range(len(arr)):  # repro: noqa[RPR402]
+                    acc += arr[i] * 2.0
+                return acc
+        """
+        assert codes(src) == []
+
+
+class TestRPR403LoopInvariantCall:
+    def test_flags_invariant_key_construction(self):
+        src = """
+            # hot-path
+            def walk(scope):
+                out = []
+                for i in range(8):
+                    k = scope.registry.make_cache_key()
+                    out.append((i, k))
+                return out
+        """
+        assert codes(src) == ["RPR403"]
+
+    def test_passes_call_depending_on_loop_variable(self):
+        src = """
+            # hot-path
+            def walk(scope):
+                out = []
+                for i in range(8):
+                    k = scope.registry.make_cache_key(i)
+                    out.append((i, k))
+                return out
+        """
+        assert codes(src) == []
+
+    def test_passes_while_retry_loop(self):
+        src = """
+            # hot-path
+            def spin(scope):
+                while True:
+                    k = scope.registry.make_cache_key()
+                    if k:
+                        return k
+        """
+        assert codes(src) == []
+
+    def test_passes_cheap_deep_chain(self):
+        src = """
+            # hot-path
+            def drain(state, items):
+                out = []
+                for item in items:
+                    out.append(state.buffers.pending.get())
+                return out
+        """
+        assert codes(src) == []
+
+    def test_noqa_rescues_flagged_line(self):
+        src = """
+            # hot-path
+            def walk(scope):
+                out = []
+                for i in range(8):
+                    k = scope.registry.make_cache_key()  # repro: noqa[RPR403]
+                    out.append((i, k))
+                return out
+        """
+        assert codes(src) == []
+
+
+class TestRPR404AllocationChurn:
+    def test_flags_string_concat_in_loop(self):
+        src = """
+            # hot-path
+            def join(parts):
+                buf = ''
+                for part in parts:
+                    buf += part
+                return buf
+        """
+        assert codes(src) == ["RPR404"]
+
+    def test_flags_list_pop_zero(self):
+        src = """
+            # hot-path
+            def drain(queue):
+                return queue.pop(0)
+        """
+        assert codes(src) == ["RPR404"]
+
+    def test_flags_append_only_range_loop(self):
+        src = """
+            # hot-path
+            def build(n):
+                out = []
+                for i in range(n):
+                    out.append(i * 2)
+                return out
+        """
+        assert codes(src) == ["RPR404"]
+
+    def test_passes_deque_popleft_and_join(self):
+        src = """
+            # hot-path
+            def drain(queue, parts):
+                first = queue.popleft()
+                return first + ''.join(parts)
+        """
+        assert codes(src) == []
+
+    def test_passes_pop_without_index(self):
+        src = """
+            # hot-path
+            def drain(queue):
+                return queue.pop()
+        """
+        assert codes(src) == []
+
+    def test_noqa_rescues_flagged_line(self):
+        src = """
+            # hot-path
+            def drain(queue):
+                return queue.pop(0)  # repro: noqa[RPR404]
+        """
+        assert codes(src) == []
+
+
+class TestRPR405EagerFormat:
+    def test_flags_concatenated_metric_name(self):
+        src = """
+            from repro import obs
+
+            # hot-path
+            def tick(name):
+                obs.inc('metric.' + name)
+        """
+        assert codes(src) == ["RPR405"]
+
+    def test_flags_fstring_message(self):
+        src = """
+            from repro import obs
+
+            # hot-path
+            def tick(name):
+                obs.inc(f'metric.{name}')
+        """
+        assert codes(src) == ["RPR405"]
+
+    def test_passes_constant_metric_name(self):
+        src = """
+            from repro import obs
+
+            # hot-path
+            def tick():
+                obs.inc('metric.fixed')
+        """
+        assert codes(src) == []
+
+    def test_passes_guarded_formatting(self):
+        src = """
+            from repro import obs
+
+            # hot-path
+            def tick(name):
+                if obs.metrics_active():
+                    obs.inc(f'metric.{name}')
+        """
+        assert codes(src) == []
+
+    def test_passes_prebuilt_name_lookup(self):
+        src = """
+            from repro import obs
+
+            NAMES = {'a': 'metric.a'}
+
+            # hot-path
+            def tick(kind):
+                obs.inc(NAMES[kind])
+        """
+        assert codes(src) == []
+
+    def test_noqa_rescues_flagged_line(self):
+        src = """
+            from repro import obs
+
+            # hot-path
+            def tick(name):
+                obs.inc('metric.' + name)  # repro: noqa[RPR405]
+        """
+        assert codes(src) == []
+
+
+class TestRPR406PerElementLocking:
+    def test_flags_lock_acquired_per_iteration(self):
+        src = """
+            # hot-path
+            def drain(items, page_lock, handle):
+                for item in items:
+                    with page_lock:
+                        handle(item)
+        """
+        assert codes(src) == ["RPR406"]
+
+    def test_flags_cache_get_per_element(self):
+        src = """
+            # hot-path
+            def lookup(keys, cache):
+                out = []
+                for key in keys:
+                    out.append(cache.get(key))
+                return out
+        """
+        assert codes(src) == ["RPR406"]
+
+    def test_passes_check_then_fill_memo(self):
+        src = """
+            # hot-path
+            def lookup(keys, cache, compute):
+                out = []
+                for key in keys:
+                    val = cache.get(key)
+                    if val is None:
+                        val = compute(key)
+                        cache[key] = val
+                    out.append(val)
+                return out
+        """
+        assert codes(src) == []
+
+    def test_passes_lock_outside_loop(self):
+        src = """
+            # hot-path
+            def drain(items, page_lock, handle):
+                with page_lock:
+                    for item in items:
+                        handle(item)
+        """
+        assert codes(src) == []
+
+    def test_passes_while_retry_under_lock(self):
+        src = """
+            # hot-path
+            def settle(page_lock, state):
+                while True:
+                    with page_lock:
+                        if state.ready:
+                            return state.value
+        """
+        assert codes(src) == []
+
+    def test_noqa_rescues_flagged_line(self):
+        src = """
+            # hot-path
+            def drain(items, page_lock, handle):
+                for item in items:
+                    with page_lock:  # repro: noqa[RPR406]
+                        handle(item)
+        """
+        assert codes(src) == []
+
+
+class TestHotRegionGating:
+    COLD = """
+        def solve(q):
+            return q.toarray()
+    """
+
+    def test_cold_function_not_flagged(self):
+        assert codes(self.COLD) == []
+
+    def test_extra_roots_force_hotness(self):
+        assert codes(self.COLD, extra_roots=("solve",)) == ["RPR401"]
+
+    def test_callee_of_hot_root_is_checked(self):
+        src = """
+            # hot-path
+            def outer(q):
+                return inner(q)
+
+            def inner(q):
+                return q.toarray()
+        """
+        assert codes(src) == ["RPR401"]
+
+    def test_caller_of_hot_root_is_checked(self):
+        src = """
+            def outer(q):
+                return inner(q).toarray()
+
+            # hot-path
+            def inner(q):
+                return q
+        """
+        assert codes(src) == ["RPR401"]
+
+    def test_select_filters_codes(self):
+        src = """
+            # hot-path
+            def churn(queue, q):
+                head = queue.pop(0)
+                return head, q.toarray()
+        """
+        assert codes(src, select=["RPR401"]) == ["RPR401"]

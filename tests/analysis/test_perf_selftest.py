@@ -1,0 +1,146 @@
+"""The perf-lint mutation self-test: RPR401-406 recall is measured.
+
+`run_self_test` injects each anti-pattern snippet into every
+`# hot-path`-annotated function of the analyzed tree and demands every
+injection is detected.  These tests wire it into pytest, pin the 100%
+bar on the real repository tree, and cover the injection machinery.
+"""
+
+import io
+import textwrap
+from pathlib import Path
+
+from repro.analysis.perf_lint import _SNIPPETS, _inject, run_self_test
+from repro.analysis.summaries import Project
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+FULLY_EQUIPPED = """
+import numpy as np
+
+from repro import obs
+
+
+# hot-path
+def kernel(x):
+    y = x + 1
+    return y
+"""
+
+
+def write_module(tmp_path, source, name="mod.py"):
+    target = tmp_path / "repro"
+    target.mkdir(exist_ok=True)
+    path = target / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestInjection:
+    def test_snippet_spliced_before_first_statement(self):
+        proj = Project({"src/repro/mod.py": textwrap.dedent(FULLY_EQUIPPED)})
+        module = proj.modules["src/repro/mod.py"]
+        fn = next(f for f in proj.functions if f.name == "kernel")
+        mutated = _inject(module, fn, _SNIPPETS["RPR401"][1])
+        assert mutated is not None
+        lines = mutated.splitlines()
+        body_start = fn.node.body[0].lineno - 1
+        assert lines[body_start].strip() == "___dense = ___matrix.toarray()"
+        assert "# hot-path" in mutated  # annotation survives the splice
+
+    def test_numpy_alias_substitution(self):
+        src = """
+        import numpy as xp
+
+        # hot-path
+        def kernel(x):
+            return x
+        """
+        proj = Project({"src/repro/mod.py": textwrap.dedent(src)})
+        module = proj.modules["src/repro/mod.py"]
+        fn = next(f for f in proj.functions if f.name == "kernel")
+        mutated = _inject(module, fn, _SNIPPETS["RPR402"][1])
+        assert mutated is not None
+        assert "xp.zeros(16)" in mutated
+
+    def test_one_line_def_has_nowhere_to_splice(self):
+        src = """
+        # hot-path
+        def kernel(x): return x
+        """
+        proj = Project({"src/repro/mod.py": textwrap.dedent(src)})
+        module = proj.modules["src/repro/mod.py"]
+        fn = next(f for f in proj.functions if f.name == "kernel")
+        assert _inject(module, fn, _SNIPPETS["RPR401"][1]) is None
+
+
+class TestRunSelfTest:
+    def test_all_six_rules_detected_on_equipped_module(self, tmp_path):
+        write_module(tmp_path, FULLY_EQUIPPED)
+        stream = io.StringIO()
+        assert run_self_test([tmp_path], stream=stream) == 0
+        output = stream.getvalue()
+        assert "6/6" in output and "(100%)" in output
+        assert "MISSED" not in output
+
+    def test_missing_imports_skip_gated_rules(self, tmp_path):
+        write_module(
+            tmp_path,
+            """
+            # hot-path
+            def kernel(x):
+                y = x + 1
+                return y
+            """,
+        )
+        stream = io.StringIO()
+        assert run_self_test([tmp_path], stream=stream) == 0
+        output = stream.getvalue()
+        # RPR402 needs a numpy alias, RPR405 an obs import.
+        assert "4/4" in output
+        assert output.count("missing import") == 2
+
+    def test_tree_without_hot_functions_fails(self, tmp_path):
+        write_module(
+            tmp_path,
+            """
+            def helper(x):
+                return x
+            """,
+        )
+        stream = io.StringIO()
+        assert run_self_test([tmp_path], stream=stream) == 1
+        assert "no # hot-path annotated functions" in stream.getvalue()
+
+    def test_noqa_cannot_mask_a_miss(self, tmp_path):
+        # Suppressions are disabled during the self-test: a function-wide
+        # noqa blanket would otherwise hide a real recall gap.
+        write_module(
+            tmp_path,
+            """
+            # hot-path
+            def kernel(q):
+                return q.toarray()  # repro: noqa[RPR401]
+            """,
+        )
+        stream = io.StringIO()
+        assert run_self_test([tmp_path], stream=stream) == 0
+        assert "MISSED" not in stream.getvalue()
+
+    def test_repository_mutants_all_caught(self):
+        stream = io.StringIO()
+        assert run_self_test([REPO_SRC], stream=stream) == 0
+        output = stream.getvalue()
+        assert "(100%)" in output
+        assert "MISSED" not in output
+        # The annotated kernels must all contribute mutants.
+        assert "SimulationEngine.step" in output
+        assert "stationary_power" in output
+        assert "_CloudState.record" in output
+
+    def test_cli_flag_runs_self_test(self, capsys):
+        from repro.analysis.perf_lint import main
+
+        assert main(["--self-test", str(REPO_SRC / "repro" / "sim")]) == 0
+        out = capsys.readouterr().out
+        assert "(100%)" in out
