@@ -10,12 +10,23 @@ Shape aggregation: a span's children are reduced to the distinct
 small and is invariant to timing while still detecting structural
 drift (an extra round, a lost cache hit that turns into a solve span).
 
-Check mode (the default) recomputes the shape of the quick differential
-scenario and compares it to the committed golden; ``--update``
-regenerates the golden after an *intentional* structural change::
+Two goldens are registered (:data:`GOLDENS`): ``quick_game`` pins the
+differential checker's quick scenario, and ``failure_outage`` pins a
+failure-injected federation run — including the per-span *event-kind
+counts* (``failure_start``, ``outage_flush``, ``outage_forward``,
+``failure_end``, ...) the simulator's trace recorder forwards into the
+``sim.run`` span, so a refactor that silently drops or duplicates
+failure transitions fails a test.  Event counts appear in a shape only
+when a span actually carries events, so event-free goldens keep their
+historical byte-for-byte form.
 
-    python -m repro.obs.goldens                 # check, exit 0/1
-    python -m repro.obs.goldens --update        # rewrite the golden
+Check mode (the default) recomputes every registered golden and compares
+it to the committed file; ``--update`` regenerates after an
+*intentional* structural change::
+
+    python -m repro.obs.goldens                 # check all, exit 0/1
+    python -m repro.obs.goldens --golden failure_outage --update
+    python -m repro.obs.goldens --update        # rewrite every golden
 """
 
 from __future__ import annotations
@@ -30,8 +41,10 @@ from repro.obs.tracing import Span, Tracer
 
 __all__ = [
     "DEFAULT_GOLDEN",
+    "GOLDENS",
     "main",
     "span_shape",
+    "trace_failure_outage",
     "trace_quick_scenario",
     "tracer_shape",
 ]
@@ -40,10 +53,24 @@ __all__ = [
 #: (the CLI is a development tool and is documented to run from there).
 DEFAULT_GOLDEN = Path("tests") / "obs" / "goldens" / "quick_game.json"
 
+_GOLDEN_DIR = DEFAULT_GOLDEN.parent
+
 
 def span_shape(span: Span) -> dict[str, object]:
-    """The duration-free shape of one span subtree."""
-    return {"name": span.name, "children": _aggregate(span.children)}
+    """The duration-free shape of one span subtree.
+
+    When the span carries point events (the simulator's forwarded trace
+    events), their per-kind counts join the shape under ``"events"`` —
+    timing- and attribute-free, like everything else here.  Spans
+    without events serialize exactly as they did before the key existed.
+    """
+    shape: dict[str, object] = {"name": span.name, "children": _aggregate(span.children)}
+    if span.events:
+        counts: dict[str, int] = {}
+        for kind, _time, _fields in span.events:
+            counts[kind] = counts.get(kind, 0) + 1
+        shape["events"] = counts
+    return shape
 
 
 def _aggregate(children: list[Span]) -> list[dict[str, object]]:
@@ -56,13 +83,14 @@ def _aggregate(children: list[Span]) -> list[dict[str, object]]:
         position = index.get(key)
         if position is None:
             index[key] = len(result)
-            result.append(
-                {
-                    "name": shape["name"],
-                    "count": 1,
-                    "children": shape["children"],
-                }
-            )
+            entry: dict[str, object] = {
+                "name": shape["name"],
+                "count": 1,
+                "children": shape["children"],
+            }
+            if "events" in shape:
+                entry["events"] = shape["events"]
+            result.append(entry)
         else:
             entry = result[position]
             assert isinstance(entry["count"], int)
@@ -93,28 +121,50 @@ def trace_quick_scenario() -> Tracer:
     return cap.tracer
 
 
-def main(argv: "list[str] | None" = None) -> int:
-    """CLI entry point."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.obs.goldens",
-        description="check or regenerate the committed golden trace shape",
-    )
-    parser.add_argument(
-        "--update",
-        action="store_true",
-        help="rewrite the golden instead of checking against it",
-    )
-    parser.add_argument(
-        "--path",
-        type=str,
-        default=str(DEFAULT_GOLDEN),
-        help=f"golden file location (default: {DEFAULT_GOLDEN})",
-    )
-    args = parser.parse_args(argv)
+def trace_failure_outage() -> Tracer:
+    """Run a fixed failure-injected federation, serial, traced.
 
-    shape = tracer_shape(trace_quick_scenario())
-    path = Path(args.path)
-    if args.update:
+    A two-SC federation with one mid-run outage on the loaded SC, run
+    with a :class:`~repro.sim.trace.TraceRecorder` attached so every
+    simulator event (``failure_start``, ``outage_flush``,
+    ``outage_forward``, ``serve_borrowed``, ``failure_end``, ...)
+    forwards into the ``sim.run`` span.  Fixed seed and horizon make the
+    per-kind event counts a deterministic function of the code — a
+    change in failure semantics shifts the counts and fails the golden.
+    """
+    from repro.core.small_cloud import FederationScenario, SmallCloud
+    from repro.sim.failures import FailureWindow
+    from repro.sim.federation import FederationSimulator
+    from repro.sim.trace import TraceRecorder
+
+    scenario = FederationScenario(
+        (
+            SmallCloud(name="busy", vms=5, arrival_rate=4.5, shared_vms=2, sla_bound=0.5),
+            SmallCloud(name="calm", vms=5, arrival_rate=2.0, shared_vms=2, sla_bound=0.5),
+        )
+    )
+    failures = (FailureWindow(kind="outage", sc=0, start=40.0, end=90.0),)
+    with obs.capture(tracing=True, metrics=False) as cap:
+        # Seed chosen so the outage hits a non-empty queue: the golden
+        # pins the flush path (outage_flush) alongside the other kinds.
+        simulator = FederationSimulator(
+            scenario, seed=2028, trace=TraceRecorder(), failures=failures
+        )
+        simulator.run(horizon=150.0, warmup=10.0)
+    return cap.tracer
+
+
+#: Registered goldens: name -> (committed path, tracer factory).
+GOLDENS: "dict[str, tuple[Path, Callable[[], Tracer]]]" = {
+    "quick_game": (DEFAULT_GOLDEN, trace_quick_scenario),
+    "failure_outage": (_GOLDEN_DIR / "failure_outage.json", trace_failure_outage),
+}
+
+
+def _run_golden(name: str, path: Path, update: bool) -> int:
+    """Check or rewrite one golden.  Returns a process exit code."""
+    shape = tracer_shape(GOLDENS[name][1]())
+    if update:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(shape, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path} ({shape['span_count']} spans)")
@@ -126,16 +176,54 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"golden unreadable ({exc}); regenerate with --update")
         return 1
     if golden == shape:
-        print(f"golden trace shape matches ({shape['span_count']} spans)")
+        print(f"golden trace shape matches ({name}, {shape['span_count']} spans)")
         return 0
     print(
-        "golden trace shape MISMATCH: "
+        f"golden trace shape MISMATCH ({name}): "
         f"golden has {golden.get('span_count')} spans, "
         f"current run has {shape['span_count']}. "
         "If the structural change is intentional, regenerate with "
         "`python -m repro.obs.goldens --update`."
     )
     return 1
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.goldens",
+        description="check or regenerate the committed golden trace shapes",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the goldens instead of checking against them",
+    )
+    parser.add_argument(
+        "--golden",
+        choices=sorted(GOLDENS),
+        default=None,
+        help="limit to one golden (default: all; --path implies quick_game)",
+    )
+    parser.add_argument(
+        "--path",
+        type=str,
+        default=None,
+        help=f"override the golden file location (default: {DEFAULT_GOLDEN})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.path is not None:
+        # Historical single-golden interface: an explicit --path selects
+        # one golden (quick_game unless --golden says otherwise) at a
+        # caller-chosen location.
+        name = args.golden or "quick_game"
+        return _run_golden(name, Path(args.path), args.update)
+    names = [args.golden] if args.golden else list(GOLDENS)
+    worst = 0
+    for name in names:
+        worst = max(worst, _run_golden(name, GOLDENS[name][0], args.update))
+    return worst
 
 
 if __name__ == "__main__":

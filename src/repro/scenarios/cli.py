@@ -108,6 +108,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             workers=args.workers,
             backend=args.backend,
             cache_dir=args.cache_dir,
+            step_mode=args.step_mode,
         )
         print(json.dumps(report, indent=2))
         return 0
@@ -212,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="override run-config backend",
     )
     run.add_argument("--cache-dir", default=None, help="persistent model-solution cache")
+    run.add_argument(
+        "--step-mode",
+        choices=["event", "batched", "three_phase"],
+        default="event",
+        help="simulator stepping mode for --mode simulate (all bit-identical)",
+    )
     add_obs_arguments(run)
     run.set_defaults(func=_cmd_run)
 

@@ -1,6 +1,6 @@
 """Deterministic scenario-library generator.
 
-``generate_library(seed)`` emits 129 scenarios across seven families that
+``generate_library(seed)`` emits 141 scenarios across eight families that
 deliberately leave the paper's symmetric comfort zone:
 
 =========  ==  ===========================================================
@@ -11,6 +11,7 @@ bursty     15  two-phase MMPP with rare, intense bursts (flash crowds)
 heavytail  15  non-exponential service: Erlang, explicit H2, PH-fitted
 mixed      20  combinations of all of the above
 largek      9  federation scale: K in {20, 50, 100}, few active sharers
+failure    12  injected outage/limplock/flash-crowd windows (robustness)
 =========  ==  ===========================================================
 
 Every draw flows from ``numpy.random.SeedSequence([seed, family, index])``
@@ -31,6 +32,7 @@ import numpy as np
 from repro.core.small_cloud import SmallCloud
 from repro.runtime.seeding import derive_seed
 from repro.scenarios.schema import SCHEMA_VERSION, RunConfig, ScenarioSpec
+from repro.sim.failures import FailureWindow
 from repro.workload.profiles import ArrivalSpec, DemandProfile, ServiceSpec
 
 #: Master seed of the committed library (the paper's publication date).
@@ -45,7 +47,12 @@ FAMILIES: dict[str, tuple[int, int]] = {
     "heavytail": (5, 15),
     "mixed": (6, 20),
     "largek": (7, 9),
+    "failure": (8, 12),
 }
+
+#: Failure classes the ``failure`` family cycles through (4 draws each;
+#: the last scenario of each cycle block compounds two classes).
+_FAILURE_KINDS = ("outage", "limplock", "flash_crowd")
 
 #: Federation sizes the ``largek`` family cycles through (3 draws each).
 _LARGEK_SIZES = (20, 50, 100)
@@ -341,6 +348,57 @@ def _gen_largek(rng: np.random.Generator, seed: int, index: int) -> ScenarioSpec
     )
 
 
+def _draw_window(
+    rng: np.random.Generator, kind: str, sc: int, horizon: float
+) -> FailureWindow:
+    """One failure window well inside the measured span of ``horizon``."""
+    start = _round(rng.uniform(0.15, 0.5) * horizon)
+    duration = _round(rng.uniform(0.1, 0.25) * horizon)
+    factor = 1.0
+    if kind == "limplock":
+        factor = _round(rng.uniform(2.0, 6.0))
+    elif kind == "flash_crowd":
+        factor = _round(rng.uniform(1.5, 4.0))
+    return FailureWindow(
+        kind=kind, sc=sc, start=start, end=_round(start + duration), factor=factor
+    )
+
+
+def _gen_failure(rng: np.random.Generator, seed: int, index: int) -> ScenarioSpec:
+    """Robustness probes: healthy federations with injected failures.
+
+    Cycles outage -> limplock -> flash_crowd; every fourth scenario
+    compounds two different classes on two different SCs (a partner dies
+    *while* another is limping, the hard case for the borrowing market).
+    """
+    name = f"failure-{index:03d}"
+    k = int(rng.integers(3, 6))
+    vms = int(rng.choice((10, 20)))
+    clouds = tuple(
+        _draw_cloud(rng, f"sc{i + 1}", vms, sla_bound=0.5) for i in range(k)
+    )
+    horizon = 2_000.0
+    kind = _FAILURE_KINDS[index % 3]
+    target = int(rng.integers(0, k))
+    windows = [_draw_window(rng, kind, target, horizon)]
+    compound = index % 4 == 3
+    if compound:
+        other_kind = _FAILURE_KINDS[(index + 1) % 3]
+        other_sc = int(rng.integers(0, k - 1))
+        if other_sc >= target:
+            other_sc += 1
+        windows.append(_draw_window(rng, other_kind, other_sc, horizon))
+    kinds = "+".join(sorted({w.kind for w in windows}))
+    return ScenarioSpec(
+        name=name,
+        family="failure",
+        description=f"{k} SCs under injected {kinds} windows (robustness probe)",
+        clouds=clouds,
+        failures=tuple(windows),
+        run=_run_config(rng, seed, name, vms, alphas=(0.0,)),
+    )
+
+
 _GENERATORS = {
     "hetero": _gen_hetero,
     "price": _gen_price,
@@ -349,6 +407,7 @@ _GENERATORS = {
     "heavytail": _gen_heavytail,
     "mixed": _gen_mixed,
     "largek": _gen_largek,
+    "failure": _gen_failure,
 }
 
 

@@ -86,8 +86,15 @@ def solve_spec(
     return runner.run(alpha=spec.run.alpha, optimum_method="ascent")
 
 
-def simulate_spec(spec: ScenarioSpec, horizon: float | None = None) -> list[dict[str, Any]]:
-    """Run the discrete-event simulator with the spec's demand profiles."""
+def simulate_spec(
+    spec: ScenarioSpec, horizon: float | None = None, step_mode: str = "event"
+) -> list[dict[str, Any]]:
+    """Run the discrete-event simulator with the spec's demand profiles.
+
+    The spec's failure schedule (if any) is injected; ``step_mode``
+    selects the engine path (all modes are bit-identical, so the choice
+    only affects wall-clock).
+    """
     import numpy as np
 
     from repro.runtime.seeding import derive_seed
@@ -116,6 +123,8 @@ def simulate_spec(spec: ScenarioSpec, horizon: float | None = None) -> list[dict
         seed=spec.run.seed,
         service_distributions=service,
         arrival_processes=arrivals,
+        step_mode=step_mode,
+        failures=spec.failures or None,
     )
     span = horizon if horizon is not None else spec.run.horizon
     metrics = simulator.run(horizon=span, warmup=span * 0.05)
@@ -166,6 +175,7 @@ def run_spec(
     workers: int | None = None,
     backend: str | None = None,
     cache_dir: str | None = None,
+    step_mode: str = "event",
 ) -> dict[str, Any]:
     """Run a scenario and return a JSON-able report.
 
@@ -175,6 +185,7 @@ def run_spec(
             simulator with the spec's demand profiles).
         workers / backend / cache_dir: optional overrides of the spec's
             run config.
+        step_mode: engine stepping mode for ``simulate`` runs.
     """
     from repro.core.serialization import outcome_to_dict
 
@@ -189,7 +200,7 @@ def run_spec(
         report["outcome"] = outcome_to_dict(outcome)
         report["digest"] = observables_digest(observables)
     elif mode == "simulate":
-        report["metrics"] = simulate_spec(spec)
+        report["metrics"] = simulate_spec(spec, step_mode=step_mode)
     else:
         raise ValueError(f"unknown run mode {mode!r}")
     return report

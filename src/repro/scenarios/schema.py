@@ -31,6 +31,7 @@ from repro.analysis.sanitize import InvariantViolation
 from repro.core.serialization import cloud_from_dict, cloud_to_dict
 from repro.core.small_cloud import FederationScenario, SmallCloud
 from repro.exceptions import ConfigurationError
+from repro.sim.failures import FailureWindow, validate_schedule, window_from_dict
 from repro.workload.profiles import DemandProfile
 
 #: Bump on any layout change; loaders reject other versions loudly.
@@ -67,6 +68,7 @@ _SPEC_FIELDS = (
     "clouds",
     "demand",
     "run",
+    "failures",
 )
 
 
@@ -167,6 +169,10 @@ class ScenarioSpec:
         clouds: the federation's SC entities, in order.
         demand: one demand profile per SC, aligned with ``clouds``.
         run: execution configuration.
+        failures: optional failure-injection schedule (see
+            :mod:`repro.sim.failures`).  Serialized only when non-empty,
+            so failure-free scenarios keep their pre-existing content
+            hashes.
         schema_version: layout version; must equal :data:`SCHEMA_VERSION`.
     """
 
@@ -176,6 +182,7 @@ class ScenarioSpec:
     description: str = ""
     demand: tuple[DemandProfile, ...] = ()
     run: RunConfig = field(default_factory=RunConfig)
+    failures: tuple[FailureWindow, ...] = ()
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -217,6 +224,21 @@ class ScenarioSpec:
             FederationScenario(clouds)
         except ConfigurationError as error:
             raise _reject("scenario-schema", str(error), {"name": self.name}) from error
+        failures = tuple(self.failures)
+        object.__setattr__(self, "failures", failures)
+        if failures:
+            try:
+                validate_schedule(failures, len(clouds))
+                for window in failures:
+                    if window.end > float(self.run.horizon):
+                        raise ConfigurationError(
+                            f"failure window ends at {window.end}, past the "
+                            f"run horizon {self.run.horizon}"
+                        )
+            except ConfigurationError as error:
+                raise _reject(
+                    "scenario-failure-schedule", str(error), {"name": self.name}
+                ) from error
         self._check_demand_consistency()
 
     def _check_demand_consistency(self) -> None:
@@ -251,8 +273,13 @@ class ScenarioSpec:
         return FederationScenario(self.clouds)
 
     def to_dict(self) -> dict[str, Any]:
-        """Serialize to a plain dictionary."""
-        return {
+        """Serialize to a plain dictionary.
+
+        The ``failures`` key appears only when the schedule is non-empty:
+        failure-free scenarios serialize exactly as they did before the
+        field existed, keeping the library's content hashes stable.
+        """
+        data = {
             "schema_version": self.schema_version,
             "name": self.name,
             "family": self.family,
@@ -261,6 +288,9 @@ class ScenarioSpec:
             "demand": [p.to_dict() for p in self.demand],
             "run": self.run.to_dict(),
         }
+        if self.failures:
+            data["failures"] = [w.to_dict() for w in self.failures]
+        return data
 
     def canonical_json(self) -> str:
         """Canonical byte-stable JSON rendering (sorted keys, no spaces)."""
@@ -299,11 +329,12 @@ def spec_from_dict(data: dict[str, Any]) -> ScenarioSpec:
     try:
         clouds = tuple(cloud_from_dict(c) for c in data["clouds"])
         demand = tuple(DemandProfile.from_dict(p) for p in data.get("demand", ()))
+        failures = tuple(window_from_dict(w) for w in data.get("failures", ()))
     except ConfigurationError as error:
-        # SmallCloud / profile constructors reject bad SLAs, negative
-        # rates, unknown fields ... with ConfigurationError; re-route
-        # through the invariant machinery so schema rejection has one
-        # uniform shape.
+        # SmallCloud / profile / failure-window constructors reject bad
+        # SLAs, negative rates, unknown fields ... with
+        # ConfigurationError; re-route through the invariant machinery so
+        # schema rejection has one uniform shape.
         raise _reject("scenario-schema", str(error), {"name": data.get("name")}) from error
     return ScenarioSpec(
         schema_version=version,
@@ -313,6 +344,7 @@ def spec_from_dict(data: dict[str, Any]) -> ScenarioSpec:
         clouds=clouds,
         demand=demand,
         run=RunConfig.from_dict(data.get("run", {})),
+        failures=failures,
     )
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,12 +32,19 @@ from repro._validation import check_non_negative, check_positive
 from repro.core.small_cloud import FederationScenario
 from repro.exceptions import SimulationError
 from repro.queueing.sla import prob_no_forward
-from repro.sim.engine import SimulationEngine
-from repro.sim.rng import RandomStreams
+from repro.sim.engine import STEP_MODES, SimulationEngine
+from repro.sim.rng import ExponentialBlock, RandomStreams, UniformBlock
 from repro.sim.stats import WelfordAccumulator
 from repro import obs
 from repro.sim.trace import TraceRecorder
 from repro.workload.service import ExponentialService, ServiceDistribution
+
+if TYPE_CHECKING:
+    from repro.sim.failures import FailureWindow
+
+#: Typed event codes for the batched engine's dispatch lane.
+_EV_ARRIVAL = 0
+_EV_COMPLETION = 1
 
 
 @dataclass(frozen=True)
@@ -216,6 +224,16 @@ class FederationSimulator:
             Poisson defaults (Sect. VII extension).  When provided, the
             scenario's ``arrival_rate`` is only used by analytic models.
         trace: optional :class:`TraceRecorder` capturing every event.
+        step_mode: engine stepping mode (``event`` reference path,
+            ``batched`` throughput path, or ``three_phase``).  All modes
+            produce bit-identical metrics and traces: the batched paths
+            draw arrival/service/SLA randomness from pre-drawn stream
+            blocks (see :mod:`repro.sim.rng` for the mapping) and replace
+            per-event closures with typed dispatch, and ``three_phase``
+            additionally folds the per-event statistics snapshots of each
+            timestamp batch into one deferred ``record`` per cloud.
+        failures: optional schedule of :class:`FailureWindow` injections
+            (see :mod:`repro.sim.failures` for the semantics).
     """
 
     def __init__(
@@ -225,10 +243,17 @@ class FederationSimulator:
         service_distributions: list[ServiceDistribution] | None = None,
         arrival_processes: list | None = None,
         trace: TraceRecorder | None = None,
+        step_mode: str = "event",
+        failures: "tuple[FailureWindow, ...] | list[FailureWindow] | None" = None,
     ) -> None:
+        if step_mode not in STEP_MODES:
+            raise SimulationError(
+                f"unknown step_mode {step_mode!r}; expected one of {STEP_MODES}"
+            )
         self.scenario = scenario
         self.k = len(scenario)
-        self.engine = SimulationEngine()
+        self.step_mode = step_mode
+        self.engine = SimulationEngine(step_mode=step_mode)
         self.streams = RandomStreams(seed)
         self.trace = trace
         if service_distributions is None:
@@ -252,6 +277,63 @@ class FederationSimulator:
         self._service_rng = [self.streams.stream(f"service[{i}]") for i in range(self.k)]
         self._choice_rng = self.streams.stream("choices")
         self._sla_rng = self.streams.stream("sla")
+        # Batched modes: pre-drawn stream blocks (bit-identical to the
+        # scalar draws, see repro.sim.rng) and typed event dispatch.
+        # Blocks exist only where the scalar path would draw from the
+        # same stream with a fixed one-draw routine: Poisson arrivals,
+        # exponential service, SLA uniforms.  Everything else (choice
+        # tie-breaks, custom distributions) stays scalar in every mode.
+        batched = step_mode != "event"
+        self._typed = batched
+        self._arrival_block: list[ExponentialBlock | None] = [
+            ExponentialBlock(rng) if batched and self.arrivals is None else None
+            for rng in self._arrival_rng
+        ]
+        self._service_block: list[ExponentialBlock | None] = [
+            ExponentialBlock(self._service_rng[i])
+            if batched and type(self.service[i]) is ExponentialService
+            else None
+            for i in range(self.k)
+        ]
+        self._sla_block: UniformBlock | None = (
+            UniformBlock(self._sla_rng) if batched else None
+        )
+        if batched:
+            self.engine.typed_dispatch = self._dispatch
+        # Deferred statistics snapshots: in three_phase mode, handlers
+        # mark clouds dirty and the engine's batch hook records each
+        # dirty cloud once per timestamp batch (float-identical to the
+        # per-event records because intermediate same-time records only
+        # perform dt=0 snapshot refreshes).
+        self._defer = step_mode == "three_phase"
+        self._dirty: set[int] = set()
+        if self._defer:
+            self.engine.batch_hook = self._flush_records
+        # Failure injection: active-window state plus scheduled
+        # transitions at priority -1 (before same-time arrivals).
+        self.failures: tuple[FailureWindow, ...] = tuple(failures or ())
+        if self.failures:
+            # Imported here (not at module top) so `python -m
+            # repro.sim.failures` does not pre-import its own target
+            # through the repro.sim package init.
+            from repro.sim.failures import validate_schedule
+
+            validate_schedule(self.failures, self.k)
+        self._out = [False] * self.k
+        self._service_factor = [1.0] * self.k
+        self._arrival_factor = [1.0] * self.k
+        for window in self.failures:
+            if window.kind == "flash_crowd" and self.arrivals is not None:
+                raise SimulationError(
+                    "flash_crowd windows require Poisson arrivals "
+                    "(custom arrival processes own their own rates)"
+                )
+            self.engine.schedule_at(
+                window.start, _Transition(self, window, True), priority=-1
+            )
+            self.engine.schedule_at(
+                window.end, _Transition(self, window, False), priority=-1
+            )
         self._measuring = True
         for i in range(self.k):
             self._schedule_arrival(i)
@@ -260,22 +342,99 @@ class FederationSimulator:
     # event machinery
     # ------------------------------------------------------------------ #
 
+    # hot-path: one call per simulated arrival
     def _schedule_arrival(self, sc: int) -> None:
         if self.arrivals is not None:
             delay = float(self.arrivals[sc].next_interarrival())
         else:
             rate = self.scenario[sc].arrival_rate
-            delay = float(self._arrival_rng[sc].exponential(1.0 / rate))
-        self.engine.schedule(delay, lambda: self._on_arrival(sc))
+            factor = self._arrival_factor[sc]
+            if factor != 1.0:
+                rate = rate * factor
+            block = self._arrival_block[sc]
+            if block is not None:
+                delay = block.next(1.0 / rate)
+            else:
+                delay = float(self._arrival_rng[sc].exponential(1.0 / rate))
+        if self._typed:
+            self.engine.schedule_typed(delay, _EV_ARRIVAL, sc)
+        else:
+            self.engine.schedule(delay, lambda: self._on_arrival(sc))
 
+    # hot-path: one call per service start
     def _schedule_completion(self, owner: int, host: int) -> None:
-        duration = self.service[host].sample(self._service_rng[host])
-        self.engine.schedule(duration, lambda: self._on_completion(owner, host))
+        block = self._service_block[host]
+        if block is not None:
+            duration = block.next(self.service[host].mean())
+        else:
+            duration = self.service[host].sample(self._service_rng[host])
+        factor = self._service_factor[host]
+        if factor != 1.0:
+            duration = duration * factor
+        if self._typed:
+            self.engine.schedule_typed(duration, _EV_COMPLETION, owner, host)
+        else:
+            self.engine.schedule(duration, lambda: self._on_completion(owner, host))
+
+    def _dispatch(self, code: int, a: int, b: int) -> None:
+        """Typed-event receiver for the batched engine."""
+        if code == _EV_ARRIVAL:
+            self._on_arrival(a)
+        elif code == _EV_COMPLETION:
+            self._on_completion(a, b)
+        else:  # pragma: no cover - engine schedules only the codes above
+            raise SimulationError(f"unknown typed event code {code}")
+
+    def _flush_records(self, time: float) -> None:
+        """three_phase batch hook: one record per dirty cloud per batch."""
+        dirty = self._dirty
+        if dirty:
+            clouds = self.clouds
+            for index in dirty:
+                clouds[index].record(time)
+            dirty.clear()
 
     def _record_all(self) -> None:
         now = self.engine.now
         for state in self.clouds:
             state.record(now)
+
+    # ------------------------------------------------------------------ #
+    # failure transitions
+    # ------------------------------------------------------------------ #
+
+    def _on_failure_start(self, window: FailureWindow) -> None:
+        sc = window.sc
+        state = self.clouds[sc]
+        self._emit("failure_start", failure=window.kind, sc=sc, factor=window.factor)
+        if window.kind == "outage":
+            self._out[sc] = True
+            # Flush the queue to the public cloud: a dead SC cannot honor
+            # its SLA, and queued work is not lost — it forwards.
+            flushed = len(state.queue_arrival_times)
+            if flushed:
+                state.queue_arrival_times.clear()
+                if self._measuring:
+                    state.forwarded += flushed
+                self._emit("outage_flush", sc=sc, flushed=flushed)
+            if self._defer:
+                self._dirty.add(sc)
+            else:
+                state.record(self.engine.now)
+        elif window.kind == "limplock":
+            self._service_factor[sc] = window.factor
+        else:
+            self._arrival_factor[sc] = window.factor
+
+    def _on_failure_end(self, window: FailureWindow) -> None:
+        sc = window.sc
+        self._emit("failure_end", failure=window.kind, sc=sc)
+        if window.kind == "outage":
+            self._out[sc] = False
+        elif window.kind == "limplock":
+            self._service_factor[sc] = 1.0
+        else:
+            self._arrival_factor[sc] = 1.0
 
     def _emit(self, kind: str, **fields: object) -> None:
         if self.trace is not None:
@@ -291,7 +450,14 @@ class FederationSimulator:
         now = self.engine.now
         if self._measuring:
             state.arrivals += 1
-        if state.free > 0:
+        if self._out[sc]:
+            # The SC is down: its customers go straight to the public
+            # cloud (no local VMs, no borrowing, no queueing under an
+            # unhonorable SLA).
+            if self._measuring:
+                state.forwarded += 1
+            self._emit("outage_forward", sc=sc)
+        elif state.free > 0:
             state.own_running += 1
             self._schedule_completion(sc, sc)
             self._emit("serve_local", sc=sc)
@@ -304,17 +470,25 @@ class FederationSimulator:
                 state.borrowed_count += 1
                 self._schedule_completion(sc, lender)
                 self._emit("serve_borrowed", sc=sc, host=lender)
-                host.record(now)
+                if self._defer:
+                    self._dirty.add(lender)
+                else:
+                    host.record(now)
             else:
                 self._queue_or_forward(sc)
-        state.record(now)
+        if self._defer:
+            self._dirty.add(sc)
+        else:
+            state.record(now)
 
     def _pick_lender(self, sc: int) -> int | None:
         """Lender with a free VM, sharing headroom, and minimum load."""
+        out = self._out
         candidates = [
             j
             for j in range(self.k)
             if j != sc
+            and not out[j]
             and self.clouds[j].free > 0
             and self.clouds[j].lent_total < self.clouds[j].share_limit
         ]
@@ -334,7 +508,9 @@ class FederationSimulator:
         p_queue = prob_no_forward(
             state.backlog, busy_for_own, config.service_rate, config.sla_bound
         )
-        if self._sla_rng.random() < p_queue:
+        block = self._sla_block
+        draw = block.next() if block is not None else float(self._sla_rng.random())
+        if draw < p_queue:
             state.queue_arrival_times.append(self.engine.now)
             self._emit("queue", sc=sc, backlog=state.backlog)
         else:
@@ -366,11 +542,18 @@ class FederationSimulator:
         self._emit("complete", owner=owner, host=host)
         extra = self._allocate_freed_vm(host)
         now = self.engine.now
-        owner_state.record(now)
-        if host != owner:
-            host_state.record(now)
-        if extra is not None and extra not in (owner, host):
-            self.clouds[extra].record(now)
+        if self._defer:
+            dirty = self._dirty
+            dirty.add(owner)
+            dirty.add(host)
+            if extra is not None:
+                dirty.add(extra)
+        else:
+            owner_state.record(now)
+            if host != owner:
+                host_state.record(now)
+            if extra is not None and extra not in (owner, host):
+                self.clouds[extra].record(now)
 
     def _allocate_freed_vm(self, host: int) -> int | None:
         """Dispatch the VM freed at ``host`` per the paper's return rules.
@@ -380,6 +563,10 @@ class FederationSimulator:
         refresh its statistics.
         """
         state = self.clouds[host]
+        if self._out[host]:
+            # A dead SC neither serves its (flushed, empty) queue nor
+            # lends freed capacity; the VM idles until recovery.
+            return None
         if state.backlog > 0:
             # Owner priority: serve the host's own queue head.
             self._start_queued(host, host)
@@ -500,3 +687,27 @@ class FederationSimulator:
                 raise SimulationError(
                     f"SC {state.index}: borrowed bookkeeping mismatch"
                 )
+
+
+class _Transition:
+    """A scheduled failure-window edge (start or end) as a callback.
+
+    A tiny callable class instead of a lambda so the two edges of every
+    window read identically in heap dumps and the engine's event-mode
+    and batched-mode schedules build the same object shape.
+    """
+
+    __slots__ = ("simulator", "window", "starting")
+
+    def __init__(
+        self, simulator: FederationSimulator, window: FailureWindow, starting: bool
+    ) -> None:
+        self.simulator = simulator
+        self.window = window
+        self.starting = starting
+
+    def __call__(self) -> None:
+        if self.starting:
+            self.simulator._on_failure_start(self.window)
+        else:
+            self.simulator._on_failure_end(self.window)

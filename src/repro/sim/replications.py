@@ -22,6 +22,7 @@ from repro.sim.stats import BatchMeans, ConfidenceInterval
 
 if TYPE_CHECKING:
     from repro.runtime.executor import Executor
+    from repro.sim.failures import FailureWindow
     from repro.sim.federation import SimulatedMetrics
 
 #: Metric fields reduced across replications.
@@ -54,7 +55,7 @@ class ReplicatedMetrics:
 
 
 def _run_replication(
-    task: tuple[FederationScenario, int, float, float]
+    task: "tuple[FederationScenario, int, float, float, str, tuple[FailureWindow, ...]]"
 ) -> list[SimulatedMetrics]:
     """One replication as a pure, process-pool-friendly function.
 
@@ -63,11 +64,17 @@ def _run_replication(
     events are forwarded into the ``sim.replication`` span; the
     recorder is otherwise omitted to keep the hot path allocation-free.
     """
-    scenario, seed, horizon, warmup = task
+    scenario, seed, horizon, warmup, step_mode, failures = task
     with obs.span("sim.replication", seed=seed):
         obs.inc("sim.replications")
         trace = TraceRecorder() if obs.tracing_active() else None
-        simulator = FederationSimulator(scenario, seed=seed, trace=trace)
+        simulator = FederationSimulator(
+            scenario,
+            seed=seed,
+            trace=trace,
+            step_mode=step_mode,
+            failures=failures or None,
+        )
         return simulator.run(horizon=horizon, warmup=warmup)
 
 
@@ -79,6 +86,8 @@ def replicate(
     base_seed: int = 0,
     executor: "Executor | None" = None,
     seed_scheme: str = "offset",
+    step_mode: str = "event",
+    failures: "tuple[FailureWindow, ...] | None" = None,
 ) -> list[ReplicatedMetrics]:
     """Run independent replications and reduce to confidence intervals.
 
@@ -96,6 +105,9 @@ def replicate(
         seed_scheme: ``'offset'`` (historical ``base_seed + r``) or
             ``'spawn'`` (independent derived seeds) — see
             :func:`repro.runtime.seeding.replication_seeds`.
+        step_mode: simulator stepping mode; every mode reduces to
+            bit-identical intervals (the engine-equivalence guarantee).
+        failures: optional failure schedule applied to every replication.
 
     Returns:
         One :class:`ReplicatedMetrics` per SC, in scenario order.
@@ -108,7 +120,10 @@ def replicate(
         {metric: BatchMeans(min_batches=2) for metric in _METRICS} for _ in range(k)
     ]
     seeds = replication_seeds(base_seed, replications, scheme=seed_scheme)
-    tasks = [(scenario, seed, horizon, warmup) for seed in seeds]
+    schedule = tuple(failures or ())
+    tasks = [
+        (scenario, seed, horizon, warmup, step_mode, schedule) for seed in seeds
+    ]
     with obs.span("sim.replicate", replications=replications):
         if executor is not None and replications > 1:
             # Routed through the executor on every backend (serial

@@ -91,6 +91,26 @@ class WelfordAccumulator:
         """Sample standard deviation."""
         return math.sqrt(self.variance())
 
+    def merge(self, other: "WelfordAccumulator") -> None:
+        """Fold ``other``'s observations into this accumulator.
+
+        Chan et al.'s pairwise combination: exact in count and mean and
+        numerically stable in M2, so per-repeat (or per-worker)
+        accumulators reduce to the same statistics as one serial stream.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._mean += delta * other.count / total
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.count = total
+
 
 @dataclass(frozen=True)
 class ConfidenceInterval:

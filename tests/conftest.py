@@ -1,0 +1,26 @@
+"""Shared pytest configuration: hypothesis profiles.
+
+Two profiles keep the property suites honest in both directions:
+
+- ``dev`` (default): hypothesis picks fresh random examples every run —
+  maximum bug-finding power on developer machines, where a surprising
+  failure is cheap to investigate.
+- ``ci``: derandomized, deadline-free, and reproducible — the
+  ``sim-equivalence`` CI job selects it via ``HYPOTHESIS_PROFILE=ci`` so
+  an engine-equivalence failure on a PR is always reproducible locally
+  from the printed blob, never a flaky roll of the dice.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -22,6 +22,7 @@ from repro import obs
 from repro.obs import goldens
 
 GOLDEN_PATH = Path(__file__).parent / "goldens" / "quick_game.json"
+FAILURE_GOLDEN_PATH = Path(__file__).parent / "goldens" / "failure_outage.json"
 
 
 class TestShapeHelpers:
@@ -55,6 +56,24 @@ class TestShapeHelpers:
 
         assert tree(1) == tree(2)
 
+    def test_shape_counts_span_events_per_kind(self):
+        with obs.capture(tracing=True, metrics=False) as cap:
+            with obs.span("root"):
+                obs.add_event("arrive", 1.0)
+                obs.add_event("arrive", 2.0, sc=1)
+                obs.add_event("depart", 3.0)
+        (root,) = cap.tracer.roots
+        shape = goldens.span_shape(root)
+        assert shape["events"] == {"arrive": 2, "depart": 1}
+
+    def test_event_free_spans_keep_the_historical_shape(self):
+        """No ``events`` key unless a span actually carries events."""
+        with obs.capture(metrics=False) as cap:
+            with obs.span("root"):
+                pass
+        (root,) = cap.tracer.roots
+        assert "events" not in goldens.span_shape(root)
+
 
 @pytest.mark.slow
 class TestGoldenTrace:
@@ -82,3 +101,49 @@ class TestGoldenTrace:
         assert goldens.main(["--update", "--path", str(target)]) == 0
         written = json.loads(target.read_text())
         assert written == json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.slow
+class TestFailureOutageGolden:
+    def test_registered_alongside_quick_game(self):
+        assert set(goldens.GOLDENS) == {"quick_game", "failure_outage"}
+
+    def test_failure_run_matches_committed_golden(self):
+        golden = json.loads(FAILURE_GOLDEN_PATH.read_text())
+        current = goldens.tracer_shape(goldens.trace_failure_outage())
+        assert current == golden, (
+            "failure-injection trace shape drifted from the committed "
+            "golden; if the semantic change is intentional, regenerate "
+            "with `python -m repro.obs.goldens --golden failure_outage "
+            "--update`"
+        )
+
+    def test_golden_pins_every_failure_event_kind(self):
+        """The committed shape covers the full failure event vocabulary."""
+        golden = json.loads(FAILURE_GOLDEN_PATH.read_text())
+        (root,) = golden["roots"]
+        assert root["name"] == "sim.run"
+        for kind in ("failure_start", "outage_flush", "outage_forward", "failure_end"):
+            assert golden and root["events"][kind] >= 1
+
+    def test_check_cli_covers_both_goldens(self, capsys):
+        assert goldens.main([]) == 0
+        out = capsys.readouterr().out
+        assert "quick_game" in out and "failure_outage" in out
+
+    def test_single_golden_selection(self, capsys):
+        assert goldens.main(["--golden", "failure_outage"]) == 0
+        out = capsys.readouterr().out
+        assert "failure_outage" in out and "quick_game" not in out
+
+    def test_path_override_selects_named_golden(self, tmp_path):
+        target = tmp_path / "failure.json"
+        assert (
+            goldens.main(
+                ["--golden", "failure_outage", "--update", "--path", str(target)]
+            )
+            == 0
+        )
+        assert json.loads(target.read_text()) == json.loads(
+            FAILURE_GOLDEN_PATH.read_text()
+        )
